@@ -1,0 +1,62 @@
+//! Fig. 4 bench: the per-episode cost of each controller in the Fig. 4
+//! comparison (RMPC-only, bang-bang, DRL inference) on the sinusoidal
+//! workload. The full histogram is produced by the `fig4` binary; this
+//! bench times one unit of that experiment so regressions in the dominant
+//! loop are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oic_core::acc::{AccCaseStudy, EpisodeConfig};
+use oic_core::{AlwaysRunPolicy, BangBangPolicy, DrlPolicy, SkipPolicy};
+use oic_drl::{DoubleDqnAgent, DqnConfig};
+use oic_sim::front::SinusoidalFront;
+use oic_sim::fuel::Hbefa3Fuel;
+
+fn case() -> &'static AccCaseStudy {
+    use std::sync::OnceLock;
+    static CASE: OnceLock<AccCaseStudy> = OnceLock::new();
+    CASE.get_or_init(|| AccCaseStudy::build_default().expect("case study builds"))
+}
+
+fn episode(policy: &mut dyn SkipPolicy, steps: usize) {
+    let case = case();
+    let outcome = case
+        .run_episode(EpisodeConfig {
+            policy,
+            front: Box::new(SinusoidalFront::new(case.params(), 40.0, 9.0, 1.0, 7)),
+            fuel: Box::new(Hbefa3Fuel::default()),
+            steps,
+            initial_state: [0.0, 0.0],
+            oracle_forecast: false,
+        })
+        .expect("episode runs");
+    black_box(outcome);
+}
+
+fn bench_fig4_units(c: &mut Criterion) {
+    let steps = 100;
+    c.bench_function("fig4/episode_rmpc_only", |b| {
+        b.iter(|| episode(&mut AlwaysRunPolicy, steps))
+    });
+    c.bench_function("fig4/episode_bang_bang", |b| {
+        b.iter(|| episode(&mut BangBangPolicy, steps))
+    });
+    // Untrained agent: identical inference cost to a trained one.
+    let agent = DoubleDqnAgent::new(DqnConfig {
+        state_dim: 4,
+        num_actions: 2,
+        hidden: vec![64, 64],
+        seed: 0,
+        ..DqnConfig::default()
+    });
+    let mut drl = DrlPolicy::new(agent, case().sets(), 1);
+    c.bench_function("fig4/episode_drl_inference", |b| b.iter(|| episode(&mut drl, steps)));
+}
+
+criterion_group! {
+    name = fig4;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4_units
+}
+criterion_main!(fig4);

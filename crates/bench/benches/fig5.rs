@@ -1,0 +1,52 @@
+//! Fig. 5 bench: per-episode cost on the bounded-random-acceleration
+//! workload at the widest (Ex.1) and narrowest (Ex.5) velocity ranges.
+//! The full series is produced by the `fig5` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oic_bench::experiments::fig5::{ACCEL_RANGE, VELOCITY_RANGES};
+use oic_core::acc::{AccCaseStudy, EpisodeConfig};
+use oic_core::BangBangPolicy;
+use oic_sim::front::SmoothRandomFront;
+use oic_sim::fuel::Hbefa3Fuel;
+
+fn case() -> &'static AccCaseStudy {
+    use std::sync::OnceLock;
+    static CASE: OnceLock<AccCaseStudy> = OnceLock::new();
+    CASE.get_or_init(|| AccCaseStudy::build_default().expect("case study builds"))
+}
+
+fn bench_fig5_units(c: &mut Criterion) {
+    for (label, range) in [("ex1_wide", VELOCITY_RANGES[0]), ("ex5_narrow", VELOCITY_RANGES[4])] {
+        c.bench_function(&format!("fig5/episode_{label}"), |b| {
+            b.iter(|| {
+                let case = case();
+                let mut policy = BangBangPolicy;
+                let outcome = case
+                    .run_episode(EpisodeConfig {
+                        policy: &mut policy,
+                        front: Box::new(SmoothRandomFront::new(
+                            range,
+                            ACCEL_RANGE,
+                            case.params().dt,
+                            3,
+                        )),
+                        fuel: Box::new(Hbefa3Fuel::default()),
+                        steps: 100,
+                        initial_state: [0.0, 0.0],
+                        oracle_forecast: false,
+                    })
+                    .expect("episode runs");
+                black_box(outcome);
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = fig5;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5_units
+}
+criterion_main!(fig5);

@@ -1,0 +1,46 @@
+//! Fig. 6 bench: per-episode cost across the regularity spectrum (pure
+//! random Ex.6 vs the most regular sinusoid Ex.10). The full series is
+//! produced by the `fig6` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oic_bench::experiments::fig6::EXPERIMENTS;
+use oic_core::acc::{AccCaseStudy, EpisodeConfig};
+use oic_core::BangBangPolicy;
+use oic_sim::fuel::Hbefa3Fuel;
+
+fn case() -> &'static AccCaseStudy {
+    use std::sync::OnceLock;
+    static CASE: OnceLock<AccCaseStudy> = OnceLock::new();
+    CASE.get_or_init(|| AccCaseStudy::build_default().expect("case study builds"))
+}
+
+fn bench_fig6_units(c: &mut Criterion) {
+    for (label, regularity) in [EXPERIMENTS[0], EXPERIMENTS[4]] {
+        c.bench_function(&format!("fig6/episode_{label}"), |b| {
+            b.iter(|| {
+                let case = case();
+                let mut policy = BangBangPolicy;
+                let outcome = case
+                    .run_episode(EpisodeConfig {
+                        policy: &mut policy,
+                        front: regularity.front(case.params(), 11),
+                        fuel: Box::new(Hbefa3Fuel::default()),
+                        steps: 100,
+                        initial_state: [0.0, 0.0],
+                        oracle_forecast: false,
+                    })
+                    .expect("episode runs");
+                black_box(outcome);
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = fig6;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6_units
+}
+criterion_main!(fig6);

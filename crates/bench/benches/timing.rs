@@ -1,0 +1,46 @@
+//! §IV-A timing bench: the two per-step costs whose ratio drives the
+//! paper's computation-saving claim — one tube-MPC solve versus one
+//! monitor check plus one DQN forward pass. The derived saving table is
+//! produced by the `timing` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oic_core::acc::AccCaseStudy;
+use oic_core::Monitor;
+use oic_drl::{DoubleDqnAgent, DqnConfig};
+
+fn case() -> &'static AccCaseStudy {
+    use std::sync::OnceLock;
+    static CASE: OnceLock<AccCaseStudy> = OnceLock::new();
+    CASE.get_or_init(|| AccCaseStudy::build_default().expect("case study builds"))
+}
+
+fn bench_timing_units(c: &mut Criterion) {
+    let case = case();
+    c.bench_function("timing/rmpc_solve_per_step", |b| {
+        b.iter(|| black_box(case.mpc().solve(black_box(&[3.0, -1.0])).expect("feasible")))
+    });
+    let monitor = Monitor::new(case.sets().clone());
+    let agent = DoubleDqnAgent::new(DqnConfig {
+        state_dim: 4,
+        num_actions: 2,
+        hidden: vec![64, 64],
+        seed: 0,
+        ..DqnConfig::default()
+    });
+    c.bench_function("timing/monitor_plus_nn_per_step", |b| {
+        b.iter(|| {
+            let verdict = monitor.check(black_box(&[3.0, -1.0]));
+            let q = agent.q_values(black_box(&[0.1, -0.07, 0.0, 0.0]));
+            black_box((verdict, q))
+        })
+    });
+}
+
+criterion_group! {
+    name = timing;
+    config = Criterion::default().sample_size(30);
+    targets = bench_timing_units
+}
+criterion_main!(timing);

@@ -1,0 +1,18 @@
+//! Ablations over the design choices DESIGN.md calls out (tightening
+//! recursion, skip-input semantics, MPC horizon).
+//!
+//! Usage: `cargo run --release -p oic-bench --bin ablation -- [--cases N]
+//! [--steps N] [--seed N]`
+
+use oic_bench::experiments::{ablation, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    match ablation::run(&scale) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

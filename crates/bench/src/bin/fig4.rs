@@ -1,0 +1,21 @@
+//! Regenerates the paper's Fig. 4 (fuel-saving histogram over 500 cases).
+//!
+//! Usage: `cargo run --release -p oic-bench --bin fig4 -- [--cases N]
+//! [--steps N] [--train N] [--seed N]`
+
+use oic_bench::experiments::{fig4, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!(
+        "fig4: {} cases x {} steps, {} training episodes (seed {})",
+        scale.cases, scale.steps, scale.train_episodes, scale.seed
+    );
+    match fig4::run(&scale) {
+        Ok(report) => print!("{}", fig4::render(&report)),
+        Err(e) => {
+            eprintln!("fig4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

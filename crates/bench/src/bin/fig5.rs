@@ -1,0 +1,21 @@
+//! Regenerates the paper's Table I and Fig. 5 (savings vs `v_f` range).
+//!
+//! Usage: `cargo run --release -p oic-bench --bin fig5 -- [--cases N]
+//! [--steps N] [--train N] [--seed N]`
+
+use oic_bench::experiments::{fig5, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!(
+        "fig5: 5 experiments x {} cases x {} steps, {} training episodes (seed {})",
+        scale.cases, scale.steps, scale.train_episodes, scale.seed
+    );
+    match fig5::run(&scale) {
+        Ok(report) => print!("{}", fig5::render(&report)),
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates the paper's Fig. 6 (savings vs `v_f` regularity).
+//!
+//! Usage: `cargo run --release -p oic-bench --bin fig6 -- [--cases N]
+//! [--steps N] [--train N] [--seed N]`
+
+use oic_bench::experiments::{fig6, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!(
+        "fig6: 5 experiments x {} cases x {} steps, {} training episodes (seed {})",
+        scale.cases, scale.steps, scale.train_episodes, scale.seed
+    );
+    match fig6::run(&scale) {
+        Ok(report) => print!("{}", fig6::render(&report)),
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the paper's §IV-A computation-saving analysis.
+//!
+//! Usage: `cargo run --release -p oic-bench --bin timing -- [--cases N]
+//! [--steps N] [--seed N]`
+
+use oic_bench::experiments::{timing, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("timing: seed {}", scale.seed);
+    match timing::run(&scale) {
+        Ok(report) => print!("{}", timing::render(&report)),
+        Err(e) => {
+            eprintln!("timing failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

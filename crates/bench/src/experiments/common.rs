@@ -1,0 +1,164 @@
+//! Shared experiment plumbing: scaling knobs, paired episode runs, and
+//! saving statistics.
+
+use oic_core::acc::{AccCaseStudy, EpisodeConfig, EpisodeOutcome};
+use oic_core::{CoreError, SkipPolicy};
+use oic_sim::front::FrontModel;
+use oic_sim::fuel::Hbefa3Fuel;
+
+/// Size knobs shared by all experiment binaries.
+///
+/// Defaults match the paper's protocol (500 cases × 100 steps); pass
+/// `--cases/--steps/--train/--seed` on the command line to scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Number of random test cases per experiment.
+    pub cases: usize,
+    /// Steps per episode (the paper evaluates 100).
+    pub steps: usize,
+    /// DRL training episodes per experiment.
+    pub train_episodes: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self { cases: 500, steps: 100, train_episodes: 300, seed: 2020 }
+    }
+}
+
+impl ExperimentScale {
+    /// Parses `--cases N --steps N --train N --seed N` from an argument
+    /// iterator (unknown arguments are ignored).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut scale = Self::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--cases" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        scale.cases = v;
+                    }
+                }
+                "--steps" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        scale.steps = v;
+                    }
+                }
+                "--train" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        scale.train_episodes = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        scale.seed = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        scale
+    }
+}
+
+/// Outcome of running one test case under a policy and under the RMPC-only
+/// baseline on the *same* front-vehicle trace and initial state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeComparison {
+    /// Baseline (always-run) outcome.
+    pub baseline: EpisodeOutcome,
+    /// Policy-under-test outcome.
+    pub policy: EpisodeOutcome,
+}
+
+impl EpisodeComparison {
+    /// Fractional fuel saving of the policy over the baseline.
+    pub fn fuel_saving(&self) -> f64 {
+        let base = self.baseline.summary.total_fuel;
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (base - self.policy.summary.total_fuel) / base
+    }
+
+    /// Total safety violations across both runs (must be zero).
+    pub fn violations(&self) -> usize {
+        self.baseline.summary.safety_violations + self.policy.summary.safety_violations
+    }
+}
+
+/// Runs one test case: the same initial state and front trace under the
+/// RMPC-only baseline and under `policy`.
+///
+/// # Errors
+///
+/// Propagates episode failures (which indicate a precondition violation —
+/// they abort the experiment rather than being averaged away).
+pub fn compare_on_case(
+    case: &AccCaseStudy,
+    policy: &mut dyn SkipPolicy,
+    front_factory: &mut dyn FnMut() -> Box<dyn FrontModel>,
+    initial_state: [f64; 2],
+    steps: usize,
+    oracle_forecast: bool,
+) -> Result<EpisodeComparison, CoreError> {
+    let mut always = oic_core::AlwaysRunPolicy;
+    let baseline = case.run_episode(EpisodeConfig {
+        policy: &mut always,
+        front: front_factory(),
+        fuel: Box::new(Hbefa3Fuel::default()),
+        steps,
+        initial_state,
+        oracle_forecast: false,
+    })?;
+    let policy_outcome = case.run_episode(EpisodeConfig {
+        policy,
+        front: front_factory(),
+        fuel: Box::new(Hbefa3Fuel::default()),
+        steps,
+        initial_state,
+        oracle_forecast,
+    })?;
+    Ok(EpisodeComparison { baseline, policy: policy_outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let scale = ExperimentScale::from_args(
+            ["--cases", "20", "--train", "5", "--junk", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(scale.cases, 20);
+        assert_eq!(scale.train_episodes, 5);
+        assert_eq!(scale.seed, 7);
+        assert_eq!(scale.steps, 100, "untouched default");
+    }
+
+    #[test]
+    fn comparison_math() {
+        use oic_core::RunStats;
+        use oic_sim::SimSummary;
+        let outcome = |fuel: f64| EpisodeOutcome {
+            summary: SimSummary {
+                total_fuel: fuel,
+                total_actuation: 0.0,
+                safety_violations: 0,
+                skipped_steps: 0,
+                steps: 100,
+                min_distance: 140.0,
+                max_distance: 160.0,
+            },
+            stats: RunStats::default(),
+        };
+        let cmp = EpisodeComparison { baseline: outcome(10.0), policy: outcome(8.0) };
+        assert!((cmp.fuel_saving() - 0.2).abs() < 1e-12);
+        assert_eq!(cmp.violations(), 0);
+    }
+}

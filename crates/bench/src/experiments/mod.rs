@@ -1,0 +1,11 @@
+//! Experiment runners, one module per paper artifact.
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod timing;
+
+mod common;
+
+pub use common::{EpisodeComparison, ExperimentScale};

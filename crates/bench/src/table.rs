@@ -1,0 +1,95 @@
+//! Plain-text table rendering for experiment reports.
+
+/// Renders a table with a header row and aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// let out = oic_bench::table::render(
+///     &["experiment", "saving"],
+///     &[vec!["Ex.1".into(), "7.2%".into()]],
+/// );
+/// assert!(out.contains("Ex.1"));
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..*w {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    };
+    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", 100.0 * fraction)
+}
+
+/// Renders a horizontal ASCII bar scaled to `max` (for histogram output).
+pub fn bar(value: usize, max: usize, width: usize) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let filled = (value * width + max / 2) / max;
+    "#".repeat(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let out = render(
+            &["a", "bbbb"],
+            &[vec!["xxxxx".into(), "1".into()], vec!["y".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.2383), "23.8%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(10, 10, 10).len(), 10);
+        assert_eq!(bar(5, 10, 10).len(), 5);
+        assert_eq!(bar(0, 10, 10).len(), 0);
+        assert_eq!(bar(3, 0, 10), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let _ = render(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,455 @@
+//! Robust invariant set computations.
+//!
+//! Three algorithms, matching the three set constructions the paper leans
+//! on:
+//!
+//! * [`max_rpi`] — maximal robust positively invariant (RPI) set of an
+//!   autonomous perturbed loop `x⁺ = A_K x + w` inside a constraint set,
+//!   by the standard fixpoint iteration `Ω ← Ω ∩ Pre(Ω)`.
+//! * [`max_rci`] — maximal robust *control* invariant set of
+//!   `x⁺ = Ax + Bu + w` (paper reference [17]); `Pre` gains an `∃u ∈ U`
+//!   which is resolved by polytope projection.
+//! * [`rakovic_rpi`] — the Raković et al. outer approximation of the
+//!   *minimal* RPI set (paper reference [19]), the paper's
+//!   `XI = α(W ⊕ A_K W ⊕ … ⊕ A_Kⁿ W)` formula, computed exactly on
+//!   zonotopes.
+
+use oic_geom::{GeomError, Halfspace, Polytope, SupportFunction, Zonotope};
+use oic_linalg::Matrix;
+use oic_lp::LinearProgram;
+
+use crate::{ConstrainedLti, ControlError};
+
+/// Tuning knobs for the invariant-set iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantOptions {
+    /// Maximum fixpoint iterations (or Minkowski terms for Raković).
+    pub max_iterations: usize,
+    /// Set-equality tolerance used to detect the fixpoint.
+    pub set_tolerance: f64,
+    /// Raković only: stop once the scaling factor `α` drops below this.
+    pub alpha_target: f64,
+}
+
+impl Default for InvariantOptions {
+    fn default() -> Self {
+        Self { max_iterations: 200, set_tolerance: 1e-7, alpha_target: 0.01 }
+    }
+}
+
+/// Result of [`rakovic_rpi`]: the invariant zonotope and the parameters the
+/// paper calls `α` and `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RakovicRpi {
+    /// The RPI outer approximation `(1−α)⁻¹ (W ⊕ A_K W ⊕ … ⊕ A_K^{s−1} W)`.
+    pub set: Zonotope,
+    /// The achieved scaling `α` with `A_K^s W ⊆ α F_s`.
+    pub alpha: f64,
+    /// The number of Minkowski terms `s`.
+    pub terms: usize,
+}
+
+/// Computes the maximal RPI set of `x⁺ = A_cl x + w`, `w ∈ W`, inside
+/// `constraint`.
+///
+/// Iterates `Ω ← Ω ∩ (Ω ⊖ W) ∘ A_cl⁻¹` (as a pre-image, no inversion) until
+/// the set stops changing.
+///
+/// # Errors
+///
+/// * [`ControlError::EmptySet`] — no RPI set exists inside the constraint.
+/// * [`ControlError::NotConverged`] — iteration budget exhausted.
+/// * [`ControlError::Geometry`] — an LP certificate failed numerically.
+///
+/// # Examples
+///
+/// ```
+/// use oic_control::{max_rpi, InvariantOptions};
+/// use oic_geom::Polytope;
+/// use oic_linalg::Matrix;
+///
+/// # fn main() -> Result<(), oic_control::ControlError> {
+/// let a = Matrix::from_rows(&[&[0.5]]);
+/// let w = Polytope::from_box(&[-1.0], &[1.0]);
+/// let x = Polytope::from_box(&[-3.0], &[3.0]);
+/// let inv = max_rpi(&a, &w, &x, &InvariantOptions::default())?;
+/// assert!(inv.contains(&[2.0]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_rpi<S: SupportFunction>(
+    a_cl: &Matrix,
+    w: &S,
+    constraint: &Polytope,
+    options: &InvariantOptions,
+) -> Result<Polytope, ControlError> {
+    assert_eq!(a_cl.rows(), constraint.dim(), "dimension mismatch");
+    let zero_shift = vec![0.0; constraint.dim()];
+    let mut omega = constraint.remove_redundant();
+    for _ in 0..options.max_iterations {
+        if omega.is_empty() {
+            return Err(ControlError::EmptySet);
+        }
+        let pre = omega.minkowski_diff(w)?.preimage(a_cl, &zero_shift);
+        let next = omega.intersection(&pre).remove_redundant();
+        if next.is_empty() {
+            return Err(ControlError::EmptySet);
+        }
+        if next.set_eq(&omega, options.set_tolerance)? {
+            return Ok(next);
+        }
+        omega = next;
+    }
+    Err(ControlError::NotConverged { iterations: options.max_iterations })
+}
+
+/// One-step robust controllable predecessor
+/// `Pre(Ω) = { x : ∃ u ∈ U, ∀ w ∈ W : Ax + Bu + w ∈ Ω }`.
+///
+/// The `∃u` is eliminated by Fourier–Motzkin projection of the lifted
+/// polytope `{ (x,u) : Ax + Bu ∈ Ω ⊖ W, u ∈ U }`.
+///
+/// # Errors
+///
+/// Propagates geometry failures ([`ControlError::Geometry`]).
+pub fn robust_controllable_pre(
+    plant: &ConstrainedLti,
+    target: &Polytope,
+) -> Result<Polytope, ControlError> {
+    let sys = plant.system();
+    let n = sys.state_dim();
+    let m = sys.input_dim();
+    let shrunk = target.minkowski_diff(plant.disturbance_set())?;
+    let mut rows: Vec<Halfspace> = Vec::new();
+    for h in shrunk.halfspaces() {
+        // a·(Ax + Bu) ≤ b  ⇔  (aᵀA)·x + (aᵀB)·u ≤ b.
+        let mut normal = sys.a().vec_mul(h.normal());
+        normal.extend(sys.b().vec_mul(h.normal()));
+        rows.push(Halfspace::new(normal, h.offset()));
+    }
+    for h in plant.input_set().halfspaces() {
+        let mut normal = vec![0.0; n];
+        normal.extend_from_slice(h.normal());
+        rows.push(Halfspace::new(normal, h.offset()));
+    }
+    Ok(Polytope::new(n + m, rows).project_to_first(n))
+}
+
+/// Computes the maximal robust control invariant set of a constrained plant
+/// inside its safe set `X` (paper reference [17]).
+///
+/// # Errors
+///
+/// * [`ControlError::EmptySet`] — no control invariant subset of `X` exists.
+/// * [`ControlError::NotConverged`] — iteration budget exhausted.
+/// * [`ControlError::Geometry`] — an LP certificate failed numerically.
+pub fn max_rci(plant: &ConstrainedLti, options: &InvariantOptions) -> Result<Polytope, ControlError> {
+    let mut omega = plant.safe_set().remove_redundant();
+    for _ in 0..options.max_iterations {
+        if omega.is_empty() {
+            return Err(ControlError::EmptySet);
+        }
+        let pre = robust_controllable_pre(plant, &omega)?;
+        let next = omega.intersection(&pre).remove_redundant();
+        if next.is_empty() {
+            return Err(ControlError::EmptySet);
+        }
+        if next.set_eq(&omega, options.set_tolerance)? {
+            return Ok(next);
+        }
+        omega = next;
+    }
+    Err(ControlError::NotConverged { iterations: options.max_iterations })
+}
+
+/// Smallest `α ≥ 0` with `p ∈ α·Z` for a zonotope `Z` centered at the
+/// origin, via one LP; `None` if `p` is outside the range of the generators.
+fn min_scale_for_point(p: &[f64], z: &Zonotope) -> Option<f64> {
+    let k = z.generators().len();
+    let n = z.dim();
+    if k == 0 {
+        return p.iter().all(|v| v.abs() < 1e-9).then_some(0.0);
+    }
+    // Variables (ξ₁..ξ_k, α): minimize α s.t. G ξ = p, |ξᵢ| ≤ α.
+    let mut costs = vec![0.0; k + 1];
+    costs[k] = 1.0;
+    let mut lp = LinearProgram::minimize(&costs);
+    lp.set_lower_bound(k, 0.0);
+    for d in 0..n {
+        let mut row: Vec<f64> = z.generators().iter().map(|g| g[d]).collect();
+        row.push(0.0);
+        lp.add_eq(&row, p[d]);
+    }
+    for i in 0..k {
+        let mut row = vec![0.0; k + 1];
+        row[i] = 1.0;
+        row[k] = -1.0;
+        lp.add_le(&row, 0.0);
+        row[i] = -1.0;
+        lp.add_le(&row, 0.0);
+    }
+    lp.solve().ok().map(|s| s.objective())
+}
+
+/// Raković et al. outer approximation of the minimal RPI set of
+/// `x⁺ = A_cl x + w`, `w ∈ W` — the paper's
+/// `XI = α(W ⊕ A_K W ⊕ … ⊕ A_Kⁿ W)` construction.
+///
+/// Grows the truncated sum `F_s = ⊕_{i<s} A_cl^i W` until
+/// `A_cl^s W ⊆ α F_s` holds with `α ≤ alpha_target`, then returns
+/// `(1−α)⁻¹ F_s`, which is RPI.
+///
+/// # Errors
+///
+/// * [`ControlError::NotConverged`] — `α` did not reach the target within
+///   `max_iterations` terms (e.g. the loop is not strictly stable).
+///
+/// # Panics
+///
+/// Panics if `w` is not centered at the origin (the construction requires a
+/// symmetric disturbance; re-center `w` first).
+pub fn rakovic_rpi(
+    a_cl: &Matrix,
+    w: &Zonotope,
+    options: &InvariantOptions,
+) -> Result<RakovicRpi, ControlError> {
+    assert!(
+        w.center().iter().all(|c| c.abs() < 1e-12),
+        "rakovic_rpi requires a disturbance zonotope centered at the origin"
+    );
+    let mut f = w.clone(); // F_1 = W
+    let mut a_pow_w = w.linear_image(a_cl); // A_cl^s W with s = 1
+    for s in 1..=options.max_iterations {
+        // α(s) = min α such that A_cl^s W ⊆ α F_s. A zonotope is contained
+        // in a convex set iff all its extreme points are, and the extreme
+        // points of A_cl^s W lie among c ± g₁ ± … ± g_k.
+        let k = a_pow_w.generators().len();
+        let mut alpha: f64 = 0.0;
+        let mut feasible = true;
+        'points: for mask in 0..(1u32 << k) {
+            let mut p = a_pow_w.center().to_vec();
+            for (i, g) in a_pow_w.generators().iter().enumerate() {
+                let sign = if mask >> i & 1 == 1 { 1.0 } else { -1.0 };
+                for (pd, gd) in p.iter_mut().zip(g) {
+                    *pd += sign * gd;
+                }
+            }
+            match min_scale_for_point(&p, &f) {
+                Some(a) => alpha = alpha.max(a),
+                None => {
+                    feasible = false;
+                    break 'points;
+                }
+            }
+        }
+        if feasible && alpha < options.alpha_target && alpha < 1.0 {
+            let set = f.scale(1.0 / (1.0 - alpha));
+            return Ok(RakovicRpi { set, alpha, terms: s });
+        }
+        f = f.minkowski_sum(&a_pow_w);
+        a_pow_w = a_pow_w.linear_image(a_cl);
+    }
+    Err(ControlError::NotConverged { iterations: options.max_iterations })
+}
+
+/// Computes a **certified** RPI outer approximation of the minimal RPI set
+/// for a 2-dimensional closed loop.
+///
+/// [`rakovic_rpi`] matches the paper's formula but — like the paper's own
+/// usage — only guarantees invariance when the disturbance set is
+/// full-dimensional (`A^s W ⊆ αW` is the classical closure condition). For
+/// degenerate disturbances such as the ACC's `W = [−1,1] × {0}`, this
+/// function starts from the Raković set and forward-iterates
+/// `Ω ← conv(Ω ∪ (A_cl Ω ⊕ W))` on vertices until the exact
+/// [`verify_rpi`] certificate passes.
+///
+/// # Errors
+///
+/// * [`ControlError::Geometry`] — the sets are not 2-dimensional.
+/// * [`ControlError::NotConverged`] — certification did not close within the
+///   iteration budget.
+pub fn rakovic_rpi_certified_2d(
+    a_cl: &Matrix,
+    w: &Zonotope,
+    options: &InvariantOptions,
+) -> Result<Polytope, ControlError> {
+    let seed = rakovic_rpi(a_cl, w, options)?;
+    let mut omega = seed.set.to_polytope_2d()?.remove_redundant();
+    let w_poly = w.to_polytope_2d()?;
+    let w_verts = w_poly.vertices_2d()?;
+    for _ in 0..options.max_iterations {
+        if verify_rpi(&omega, a_cl, w, options.set_tolerance)? {
+            return Ok(omega);
+        }
+        // Ω ← conv(Ω ∪ (A Ω ⊕ W)), computed on vertices.
+        let mut pts = omega.vertices_2d()?;
+        let current = pts.clone();
+        for v in &current {
+            let av = a_cl.mul_vec(&[v[0], v[1]]);
+            for wv in &w_verts {
+                pts.push([av[0] + wv[0], av[1] + wv[1]]);
+            }
+        }
+        omega = oic_geom::polytope_from_points_2d(&pts)?.remove_redundant();
+    }
+    Err(ControlError::NotConverged { iterations: options.max_iterations })
+}
+
+/// Certifies that `set` is RPI for `x⁺ = A_cl x + w`, `w ∈ W`: for every
+/// facet `aᵀx ≤ b`, checks `sup_{x ∈ set} aᵀA_cl x + h_W(a) ≤ b + tol` by
+/// LP — an exact certificate, not sampling.
+///
+/// # Errors
+///
+/// Propagates LP failures as [`GeomError`].
+pub fn verify_rpi<S: SupportFunction>(
+    set: &Polytope,
+    a_cl: &Matrix,
+    w: &S,
+    tol: f64,
+) -> Result<bool, GeomError> {
+    for h in set.halfspaces() {
+        let pushed = a_cl.vec_mul(h.normal()); // (aᵀ A_cl) as a direction on x
+        let flow = match set.support(&pushed) {
+            Ok(v) => v,
+            Err(GeomError::EmptySet) => return Ok(true),
+            Err(e) => return Err(e),
+        };
+        let drift = w.support(h.normal())?;
+        if flow + drift > h.offset() + tol {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Certifies that `set` is robust **control** invariant for the plant:
+/// `set ⊆ Pre(set)` with `Pre` from [`robust_controllable_pre`].
+///
+/// # Errors
+///
+/// Propagates geometry failures.
+pub fn verify_rci(plant: &ConstrainedLti, set: &Polytope, tol: f64) -> Result<bool, ControlError> {
+    let pre = robust_controllable_pre(plant, set)?;
+    Ok(set.is_subset_of(&pre, tol)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lti;
+
+    fn scalar_plant(x_hi: f64) -> (Matrix, Polytope, Polytope) {
+        (
+            Matrix::from_rows(&[&[0.5]]),
+            Polytope::from_box(&[-1.0], &[1.0]),
+            Polytope::from_box(&[-x_hi], &[x_hi]),
+        )
+    }
+
+    #[test]
+    fn max_rpi_scalar_whole_set_invariant() {
+        let (a, w, x) = scalar_plant(3.0);
+        let inv = max_rpi(&a, &w, &x, &InvariantOptions::default()).unwrap();
+        // 0.5·3 + 1 = 2.5 ≤ 3, so X itself is invariant.
+        assert!(inv.set_eq(&x, 1e-6).unwrap());
+        assert!(verify_rpi(&inv, &a, &w, 1e-7).unwrap());
+    }
+
+    #[test]
+    fn max_rpi_scalar_empty_when_too_tight() {
+        // Minimal RPI is [-2,2]; X = [-1.5,1.5] admits no RPI subset.
+        let (a, w, x) = scalar_plant(1.5);
+        let err = max_rpi(&a, &w, &x, &InvariantOptions::default()).unwrap_err();
+        assert_eq!(err, ControlError::EmptySet);
+    }
+
+    #[test]
+    fn max_rpi_two_dimensional_certified() {
+        // Mildly rotating stable loop with box disturbance.
+        let a = Matrix::from_rows(&[&[0.8, 0.2], &[-0.2, 0.8]]);
+        let w = Polytope::from_box(&[-0.1, -0.1], &[0.1, 0.1]);
+        let x = Polytope::from_box(&[-2.0, -2.0], &[2.0, 2.0]);
+        let inv = max_rpi(&a, &w, &x, &InvariantOptions::default()).unwrap();
+        assert!(!inv.is_empty());
+        assert!(inv.is_subset_of(&x, 1e-6).unwrap());
+        assert!(verify_rpi(&inv, &a, &w, 1e-6).unwrap());
+    }
+
+    fn double_integrator_plant() -> ConstrainedLti {
+        let sys = Lti::new(
+            Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
+            Matrix::from_rows(&[&[0.5], &[1.0]]),
+        );
+        ConstrainedLti::new(
+            sys,
+            Polytope::from_box(&[-5.0, -2.0], &[5.0, 2.0]),
+            Polytope::from_box(&[-1.0], &[1.0]),
+            Polytope::from_box(&[-0.05, -0.05], &[0.05, 0.05]),
+        )
+    }
+
+    #[test]
+    fn max_rci_double_integrator_certified() {
+        let plant = double_integrator_plant();
+        let rci = max_rci(&plant, &InvariantOptions::default()).unwrap();
+        assert!(!rci.is_empty());
+        assert!(rci.is_subset_of(plant.safe_set(), 1e-6).unwrap());
+        assert!(verify_rci(&plant, &rci, 1e-6).unwrap());
+        // The origin must be controllable-invariant here.
+        assert!(rci.contains(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn max_rci_strictly_smaller_than_safe_set() {
+        let plant = double_integrator_plant();
+        let rci = max_rci(&plant, &InvariantOptions::default()).unwrap();
+        // At (5, 2) the velocity pushes position out faster than u can stop:
+        // x⁺ = 5 + 2 ± … > 5. So X is not control invariant.
+        assert!(!rci.contains(&[5.0, 2.0]));
+    }
+
+    #[test]
+    fn rakovic_scalar_matches_geometric_series() {
+        // x⁺ = 0.5 x + w, w ∈ [-1,1]: minimal RPI is [-2, 2].
+        let a = Matrix::from_rows(&[&[0.5]]);
+        let w = Zonotope::from_box(&[-1.0], &[1.0]);
+        let opts = InvariantOptions { alpha_target: 1e-3, ..Default::default() };
+        let r = rakovic_rpi(&a, &w, &opts).unwrap();
+        let radius = r.set.support(&[1.0]).unwrap();
+        assert!((radius - 2.0).abs() < 0.01, "radius {radius}");
+        assert!(r.alpha < 1e-3);
+    }
+
+    #[test]
+    fn rakovic_acc_closed_loop_certified() {
+        // ACC model under an LQR gain; W is degenerate so the certified 2-D
+        // variant must close the small invariance gap of the raw formula.
+        let a = Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]);
+        let b = Matrix::from_rows(&[&[0.0], &[0.1]]);
+        let k = crate::dlqr(&a, &b, &Matrix::identity(2), &Matrix::identity(1)).unwrap();
+        let a_cl = &a + &(&b * &k);
+        let w = Zonotope::from_box(&[-1.0, 0.0], &[1.0, 0.0]);
+        let certified = rakovic_rpi_certified_2d(&a_cl, &w, &InvariantOptions::default()).unwrap();
+        let wp = Polytope::from_box(&[-1.0, 0.0], &[1.0, 0.0]);
+        assert!(verify_rpi(&certified, &a_cl, &wp, 1e-6).unwrap());
+        // The certified set stays close to the raw Raković set: compare
+        // support radii in a few directions (within 20 %).
+        let raw = rakovic_rpi(&a_cl, &w, &InvariantOptions::default()).unwrap();
+        for dir in [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]] {
+            let c = certified.support(&dir).unwrap();
+            let r = raw.set.support(&dir).unwrap();
+            assert!(c >= r - 1e-9, "certified must contain raw");
+            assert!(c <= 1.2 * r + 1e-9, "certified should not blow up: {c} vs {r}");
+        }
+    }
+
+    #[test]
+    fn verify_rpi_rejects_non_invariant_set() {
+        // [-1,1] is not RPI for x⁺ = 0.5x + w with w ∈ [-1,1] (0.5+1 > 1).
+        let a = Matrix::from_rows(&[&[0.5]]);
+        let w = Polytope::from_box(&[-1.0], &[1.0]);
+        let cand = Polytope::from_box(&[-1.0], &[1.0]);
+        assert!(!verify_rpi(&cand, &a, &w, 1e-7).unwrap());
+    }
+}

@@ -1,0 +1,226 @@
+//! Discrete linear time-invariant systems with polytopic constraints.
+
+use oic_geom::Polytope;
+use oic_linalg::{vec_ops, Matrix};
+
+/// The discrete LTI plant `x(t+1) = A x(t) + B u(t) + w(t)` (paper Eq. (1)).
+///
+/// # Examples
+///
+/// ```
+/// use oic_control::Lti;
+/// use oic_linalg::Matrix;
+///
+/// let sys = Lti::new(
+///     Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]),
+///     Matrix::from_rows(&[&[0.0], &[0.1]]),
+/// );
+/// let next = sys.step(&[10.0, 2.0], &[4.0], &[0.5, 0.0]);
+/// assert!((next[0] - 10.3).abs() < 1e-12);
+/// assert!((next[1] - 2.36).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lti {
+    a: Matrix,
+    b: Matrix,
+}
+
+impl Lti {
+    /// Creates the system from its `A` and `B` matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A` is not square or `B` has a different row count.
+    pub fn new(a: Matrix, b: Matrix) -> Self {
+        assert!(a.is_square(), "A must be square");
+        assert_eq!(a.rows(), b.rows(), "A and B must have the same row count");
+        Self { a, b }
+    }
+
+    /// State dimension `n`.
+    pub fn state_dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Input dimension `m`.
+    pub fn input_dim(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// The `A` matrix.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The `B` matrix.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// One step of the perturbed dynamics `A x + B u + w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn step(&self, x: &[f64], u: &[f64], w: &[f64]) -> Vec<f64> {
+        assert_eq!(w.len(), self.state_dim(), "disturbance dimension mismatch");
+        let nominal = self.step_nominal(x, u);
+        vec_ops::add(&nominal, w)
+    }
+
+    /// One step of the nominal dynamics `A x + B u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn step_nominal(&self, x: &[f64], u: &[f64]) -> Vec<f64> {
+        let ax = self.a.mul_vec(x);
+        let bu = self.b.mul_vec(u);
+        vec_ops::add(&ax, &bu)
+    }
+
+    /// Closed-loop matrix `A + B K` for a feedback gain `K` (`u = K x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `K` is not `m × n`.
+    pub fn closed_loop(&self, k: &Matrix) -> Matrix {
+        assert_eq!(k.rows(), self.input_dim(), "gain rows must equal input dim");
+        assert_eq!(k.cols(), self.state_dim(), "gain cols must equal state dim");
+        let bk = &self.b * k;
+        &self.a + &bk
+    }
+}
+
+/// An [`Lti`] system together with its constraint polytopes
+/// `x ∈ X, u ∈ U, w ∈ W` (paper Eq. (2)).
+///
+/// # Examples
+///
+/// ```
+/// use oic_control::{ConstrainedLti, Lti};
+/// use oic_geom::Polytope;
+/// use oic_linalg::Matrix;
+///
+/// let sys = Lti::new(
+///     Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]),
+///     Matrix::from_rows(&[&[0.0], &[0.1]]),
+/// );
+/// let plant = ConstrainedLti::new(
+///     sys,
+///     Polytope::from_box(&[-30.0, -15.0], &[30.0, 15.0]),
+///     Polytope::from_box(&[-48.0], &[32.0]),
+///     Polytope::from_box(&[-1.0, 0.0], &[1.0, 0.0]),
+/// );
+/// assert!(plant.safe_set().contains(&[0.0, 0.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstrainedLti {
+    sys: Lti,
+    safe_set: Polytope,
+    input_set: Polytope,
+    disturbance_set: Polytope,
+}
+
+impl ConstrainedLti {
+    /// Bundles a plant with its constraint sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if set dimensions do not match the system dimensions.
+    pub fn new(sys: Lti, safe_set: Polytope, input_set: Polytope, disturbance_set: Polytope) -> Self {
+        assert_eq!(safe_set.dim(), sys.state_dim(), "X dimension mismatch");
+        assert_eq!(input_set.dim(), sys.input_dim(), "U dimension mismatch");
+        assert_eq!(disturbance_set.dim(), sys.state_dim(), "W dimension mismatch");
+        Self { sys, safe_set, input_set, disturbance_set }
+    }
+
+    /// The unconstrained dynamics.
+    pub fn system(&self) -> &Lti {
+        &self.sys
+    }
+
+    /// The safe state set `X`.
+    pub fn safe_set(&self) -> &Polytope {
+        &self.safe_set
+    }
+
+    /// The admissible input set `U`.
+    pub fn input_set(&self) -> &Polytope {
+        &self.input_set
+    }
+
+    /// The disturbance set `W`.
+    pub fn disturbance_set(&self) -> &Polytope {
+        &self.disturbance_set
+    }
+
+    /// Convenience forward to [`Lti::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn step(&self, x: &[f64], u: &[f64], w: &[f64]) -> Vec<f64> {
+        self.sys.step(x, u, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc() -> Lti {
+        Lti::new(
+            Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]),
+            Matrix::from_rows(&[&[0.0], &[0.1]]),
+        )
+    }
+
+    #[test]
+    fn step_matches_hand_computation() {
+        let sys = acc();
+        // s' = s - 0.1 v ; v' = 0.98 v + 0.1 u (+ w).
+        let x = sys.step(&[5.0, 3.0], &[-2.0], &[0.25, 0.0]);
+        assert!((x[0] - (5.0 - 0.3 + 0.25)).abs() < 1e-12);
+        assert!((x[1] - (2.94 - 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_step_has_no_disturbance() {
+        let sys = acc();
+        let x = sys.step_nominal(&[1.0, 1.0], &[0.0]);
+        let xw = sys.step(&[1.0, 1.0], &[0.0], &[0.0, 0.0]);
+        assert_eq!(x, xw);
+    }
+
+    #[test]
+    fn closed_loop_matrix() {
+        let sys = acc();
+        let k = Matrix::from_rows(&[&[0.5, -1.0]]);
+        let cl = sys.closed_loop(&k);
+        // A + B K = [[1, -0.1],[0.05, 0.88]].
+        assert!((cl[(1, 0)] - 0.05).abs() < 1e-12);
+        assert!((cl[(1, 1)] - 0.88).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gain rows")]
+    fn wrong_gain_shape_panics() {
+        let sys = acc();
+        let k = Matrix::identity(2);
+        let _ = sys.closed_loop(&k);
+    }
+
+    #[test]
+    fn constrained_accessors() {
+        let plant = ConstrainedLti::new(
+            acc(),
+            Polytope::from_box(&[-30.0, -15.0], &[30.0, 15.0]),
+            Polytope::from_box(&[-48.0], &[32.0]),
+            Polytope::from_box(&[-1.0, 0.0], &[1.0, 0.0]),
+        );
+        assert_eq!(plant.system().state_dim(), 2);
+        assert!(plant.input_set().contains(&[-48.0]));
+        assert!(!plant.disturbance_set().contains(&[0.0, 0.5]));
+    }
+}

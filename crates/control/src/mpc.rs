@@ -1,0 +1,657 @@
+//! Tube (robust) model predictive control — the paper's underlying safe
+//! controller `κ_R` (Chisci–Rossiter–Zappa, paper reference [1]).
+//!
+//! The online optimization is paper Eq. (5): a 1-norm cost over the nominal
+//! prediction, state constraints tightened by the accumulated disturbance,
+//! and a robust terminal set. Because the cost is a 1-norm and every set is
+//! a polytope, each solve is a single LP over the input sequence plus
+//! auxiliary absolute-value variables.
+//!
+//! [`TubeMpc::feasible_set`] computes the exact feasible region `X_F` by a
+//! backward controllability recursion (one Fourier–Motzkin elimination of
+//! the input per horizon step). Proposition 1 of the paper identifies `X_F`
+//! with the robust control invariant set `X_I` used by the safety monitor.
+
+use oic_geom::{AffineImage, Halfspace, Polytope};
+use oic_linalg::Matrix;
+use oic_lp::LinearProgram;
+
+use crate::{max_rpi, ConstrainedLti, Controller, ControlError, InvariantOptions};
+
+/// How the state-constraint tightening sequence `X(k)` propagates the
+/// disturbance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TighteningMode {
+    /// The paper's recursion: `X(k) = X(k−1) ∩ (X(k−1) ⊖ A^{k−1} W)`.
+    OpenLoop,
+    /// Chisci et al.'s recursion with a disturbance-rejection gain:
+    /// `X(k) = X(k−1) ∩ (X(k−1) ⊖ (A+BK)^{k−1} W)`. Less conservative when
+    /// `A` is not strictly stable.
+    ClosedLoop(Matrix),
+}
+
+/// Solution of one tube-MPC optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpcSolution {
+    u_sequence: Vec<Vec<f64>>,
+    predicted_states: Vec<Vec<f64>>,
+    cost: f64,
+}
+
+impl MpcSolution {
+    /// The optimal nominal input sequence `u(0|t), …, u(N−1|t)`.
+    pub fn u_sequence(&self) -> &[Vec<f64>] {
+        &self.u_sequence
+    }
+
+    /// The predicted nominal states `x(0|t), …, x(N|t)`.
+    pub fn predicted_states(&self) -> &[Vec<f64>] {
+        &self.predicted_states
+    }
+
+    /// The input actually applied: `κ(x) = u(0|t)`.
+    pub fn first_input(&self) -> &[f64] {
+        &self.u_sequence[0]
+    }
+
+    /// The optimal cost `Σ P‖x(k|t)‖₁ + Q‖u(k|t)‖₁`.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+/// Builder for [`TubeMpc`].
+///
+/// # Examples
+///
+/// ```
+/// use oic_control::{ConstrainedLti, Lti, TubeMpcBuilder};
+/// use oic_geom::Polytope;
+/// use oic_linalg::Matrix;
+///
+/// # fn main() -> Result<(), oic_control::ControlError> {
+/// let plant = ConstrainedLti::new(
+///     Lti::new(
+///         Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]),
+///         Matrix::from_rows(&[&[0.0], &[0.1]]),
+///     ),
+///     Polytope::from_box(&[-30.0, -15.0], &[30.0, 15.0]),
+///     Polytope::from_box(&[-48.0], &[32.0]),
+///     Polytope::from_box(&[-1.0, 0.0], &[1.0, 0.0]),
+/// );
+/// let mpc = TubeMpcBuilder::new(plant, 10).weights(1.0, 0.5).build()?;
+/// let u = mpc.solve(&[5.0, 2.0])?;
+/// assert_eq!(u.u_sequence().len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TubeMpcBuilder {
+    plant: ConstrainedLti,
+    horizon: usize,
+    state_weights: Vec<f64>,
+    input_weight: f64,
+    tightening: TighteningMode,
+    terminal_override: Option<Polytope>,
+    terminal_gain: Option<Matrix>,
+}
+
+impl TubeMpcBuilder {
+    /// Starts a builder for the given plant and prediction horizon `N ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    pub fn new(plant: ConstrainedLti, horizon: usize) -> Self {
+        assert!(horizon >= 1, "horizon must be at least 1");
+        let n = plant.system().state_dim();
+        Self {
+            plant,
+            horizon,
+            state_weights: vec![1.0; n],
+            input_weight: 0.5,
+            tightening: TighteningMode::OpenLoop,
+            terminal_override: None,
+            terminal_gain: None,
+        }
+    }
+
+    /// Sets the 1-norm cost weights `P` (uniform over state components) and
+    /// `Q` (input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either weight is negative.
+    pub fn weights(mut self, state_weight: f64, input_weight: f64) -> Self {
+        assert!(state_weight >= 0.0 && input_weight >= 0.0, "weights must be non-negative");
+        self.state_weights = vec![state_weight; self.state_weights.len()];
+        self.input_weight = input_weight;
+        self
+    }
+
+    /// Sets per-component state weights (e.g. track position tightly while
+    /// leaving velocity nearly free, which 1-norm costs otherwise penalize
+    /// into inaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the state dimension or any weight
+    /// is negative.
+    pub fn state_weight_vector(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.state_weights.len(), "state weight length mismatch");
+        assert!(weights.iter().all(|w| *w >= 0.0), "weights must be non-negative");
+        self.state_weights = weights;
+        self
+    }
+
+    /// Sets only the input weight `Q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is negative.
+    pub fn input_weight(mut self, input_weight: f64) -> Self {
+        assert!(input_weight >= 0.0, "weight must be non-negative");
+        self.input_weight = input_weight;
+        self
+    }
+
+    /// Selects the tightening recursion (default: the paper's open-loop).
+    pub fn tightening(mut self, mode: TighteningMode) -> Self {
+        self.tightening = mode;
+        self
+    }
+
+    /// Overrides the terminal set (otherwise a robust terminal set is
+    /// synthesized from an LQR gain).
+    pub fn terminal_set(mut self, terminal: Polytope) -> Self {
+        self.terminal_override = Some(terminal);
+        self
+    }
+
+    /// Overrides the local gain used to synthesize the terminal set.
+    pub fn terminal_gain(mut self, gain: Matrix) -> Self {
+        self.terminal_gain = Some(gain);
+        self
+    }
+
+    /// Builds the controller: computes tightened sets, synthesizes the
+    /// terminal set, and precomputes prediction matrices.
+    ///
+    /// # Errors
+    ///
+    /// * [`ControlError::EmptySet`] — a tightened set or the terminal set is
+    ///   empty (the horizon is too long for the disturbance, or constraints
+    ///   are too tight).
+    /// * [`ControlError::Riccati`] — terminal-gain synthesis failed.
+    pub fn build(self) -> Result<TubeMpc, ControlError> {
+        let sys = self.plant.system().clone();
+        let n = sys.state_dim();
+        let horizon = self.horizon;
+
+        // Tightening matrix M: X(k) shrinks by M^{k-1} W.
+        let m_mat = match &self.tightening {
+            TighteningMode::OpenLoop => sys.a().clone(),
+            TighteningMode::ClosedLoop(k) => sys.closed_loop(k),
+        };
+
+        // X(0) = X; X(k) = X(k−1) ∩ (X(k−1) ⊖ M^{k−1} W).
+        let mut tightened = Vec::with_capacity(horizon + 1);
+        tightened.push(self.plant.safe_set().remove_redundant());
+        let mut m_pow = Matrix::identity(n); // M^{k−1} for k = 1 is I
+        for _k in 1..=horizon {
+            let prev: &Polytope = tightened.last().expect("at least X(0) present");
+            let shifted_w = AffineImage::new(&m_pow, self.plant.disturbance_set());
+            let shrunk = prev.minkowski_diff(&shifted_w)?;
+            let next = prev.intersection(&shrunk).remove_redundant();
+            if next.is_empty() {
+                return Err(ControlError::EmptySet);
+            }
+            tightened.push(next);
+            m_pow = &m_pow * &m_mat;
+        }
+
+        // Terminal set: robust positively invariant under a local feedback,
+        // inside X(N) ∩ {x : Kx ∈ U} — this satisfies Proposition 1's
+        // stability premise.
+        let terminal = match self.terminal_override {
+            Some(t) => {
+                assert_eq!(t.dim(), n, "terminal set dimension mismatch");
+                t
+            }
+            None => {
+                let gain = match self.terminal_gain {
+                    Some(g) => g,
+                    None => crate::dlqr(
+                        sys.a(),
+                        sys.b(),
+                        &Matrix::identity(n),
+                        &Matrix::identity(sys.input_dim()),
+                    )?,
+                };
+                let a_cl = sys.closed_loop(&gain);
+                let input_ok = self.plant.input_set().preimage(&gain, &vec![0.0; sys.input_dim()]);
+                let constraint = tightened[horizon].intersection(&input_ok).remove_redundant();
+                max_rpi(&a_cl, self.plant.disturbance_set(), &constraint, &InvariantOptions::default())?
+            }
+        };
+
+        // Prediction matrices: A^k for k = 0..=N and A^j B for j = 0..N−1.
+        let mut a_pow = Vec::with_capacity(horizon + 1);
+        a_pow.push(Matrix::identity(n));
+        for k in 1..=horizon {
+            let next = &a_pow[k - 1] * sys.a();
+            a_pow.push(next);
+        }
+        let impulse: Vec<Matrix> = (0..horizon).map(|j| &a_pow[j] * sys.b()).collect();
+
+        Ok(TubeMpc {
+            plant: self.plant,
+            horizon,
+            state_weights: self.state_weights.clone(),
+            input_weight: self.input_weight,
+            tightened,
+            terminal,
+            a_pow,
+            impulse,
+        })
+    }
+}
+
+/// The tube MPC controller (paper Eq. (5)).
+///
+/// Construct with [`TubeMpcBuilder`]. Each [`solve`](Self::solve) is one LP;
+/// [`control`](Self::control) returns the first input of the optimal
+/// sequence, which is what gets actuated.
+#[derive(Debug, Clone)]
+pub struct TubeMpc {
+    plant: ConstrainedLti,
+    horizon: usize,
+    state_weights: Vec<f64>,
+    input_weight: f64,
+    /// `X(0), …, X(N)`.
+    tightened: Vec<Polytope>,
+    terminal: Polytope,
+    /// `A^0, …, A^N`.
+    a_pow: Vec<Matrix>,
+    /// `impulse[j] = A^j B`; the coefficient of `u(j)` in `x(k)` is
+    /// `impulse[k−1−j]`.
+    impulse: Vec<Matrix>,
+}
+
+impl TubeMpc {
+    /// The constrained plant this controller was built for.
+    pub fn plant(&self) -> &ConstrainedLti {
+        &self.plant
+    }
+
+    /// The prediction horizon `N`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The tightened constraint sequence `X(0), …, X(N)`.
+    pub fn tightened_sets(&self) -> &[Polytope] {
+        &self.tightened
+    }
+
+    /// The robust terminal set `X_t`.
+    pub fn terminal_set(&self) -> &Polytope {
+        &self.terminal
+    }
+
+    /// Solves the tube-MPC LP at state `x`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ControlError::Infeasible`] — `x` is outside the feasible set
+    ///   `X_F` (equivalently, outside the robust control invariant set).
+    /// * [`ControlError::Lp`] — numerical LP failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the state dimension.
+    pub fn solve(&self, x: &[f64]) -> Result<MpcSolution, ControlError> {
+        let sys = self.plant.system();
+        let n = sys.state_dim();
+        let m = sys.input_dim();
+        let big_n = self.horizon;
+        assert_eq!(x.len(), n, "state dimension mismatch");
+
+        if !self.tightened[0].contains_with_tol(x, 1e-6) {
+            return Err(ControlError::Infeasible { state: x.to_vec() });
+        }
+
+        // Variable layout: [u(0..N) | tx(1..N) | tu(0..N)] where tx are
+        // per-component |x| bounds for k = 1..N−1 and tu per-component |u|.
+        let n_u = big_n * m;
+        let n_tx = big_n.saturating_sub(1) * n;
+        let n_tu = big_n * m;
+        let total = n_u + n_tx + n_tu;
+        let u_ix = |k: usize, l: usize| k * m + l;
+        let tx_ix = |k: usize, i: usize| n_u + (k - 1) * n + i; // k = 1..N−1
+        let tu_ix = |k: usize, l: usize| n_u + n_tx + k * m + l;
+
+        let mut costs = vec![0.0; total];
+        for k in 1..big_n {
+            for i in 0..n {
+                costs[tx_ix(k, i)] = self.state_weights[i];
+            }
+        }
+        for k in 0..big_n {
+            for l in 0..m {
+                costs[tu_ix(k, l)] = self.input_weight;
+            }
+        }
+        let mut lp = LinearProgram::minimize(&costs);
+
+        // x_free(k) = A^k x; coefficient of u(j) in x(k) is A^{k−1−j} B.
+        let x_free: Vec<Vec<f64>> = (0..=big_n).map(|k| self.a_pow[k].mul_vec(x)).collect();
+
+        // Row builder for a·x(k) ≤ rhs expressed over the u variables.
+        let state_row = |k: usize, normal: &[f64]| -> (Vec<f64>, f64) {
+            let mut row = vec![0.0; total];
+            for j in 0..k {
+                let coef = self.impulse[k - 1 - j].vec_mul(normal); // aᵀ A^{k−1−j} B
+                for l in 0..m {
+                    row[u_ix(j, l)] = coef[l];
+                }
+            }
+            let free: f64 = normal.iter().zip(&x_free[k]).map(|(a, v)| a * v).sum();
+            (row, free)
+        };
+
+        // State constraints x(k) ∈ X(k) for k = 1..N and x(N) ∈ X_t.
+        for k in 1..=big_n {
+            for h in self.tightened[k].halfspaces() {
+                let (row, free) = state_row(k, h.normal());
+                lp.add_le(&row, h.offset() - free);
+            }
+        }
+        for h in self.terminal.halfspaces() {
+            let (row, free) = state_row(big_n, h.normal());
+            lp.add_le(&row, h.offset() - free);
+        }
+
+        // Input constraints u(k) ∈ U.
+        for k in 0..big_n {
+            for h in self.plant.input_set().halfspaces() {
+                let mut row = vec![0.0; total];
+                for l in 0..m {
+                    row[u_ix(k, l)] = h.normal()[l];
+                }
+                lp.add_le(&row, h.offset());
+            }
+        }
+
+        // Absolute-value linking: ±x_i(k) ≤ tx(k,i), ±u_l(k) ≤ tu(k,l).
+        for k in 1..big_n {
+            for i in 0..n {
+                let mut e = vec![0.0; n];
+                e[i] = 1.0;
+                let (mut row, free) = state_row(k, &e);
+                row[tx_ix(k, i)] = -1.0;
+                lp.add_le(&row, -free);
+                let (mut row_neg, free_neg) = state_row(k, &e.iter().map(|v| -v).collect::<Vec<_>>());
+                row_neg[tx_ix(k, i)] = -1.0;
+                lp.add_le(&row_neg, -free_neg);
+            }
+        }
+        for k in 0..big_n {
+            for l in 0..m {
+                let mut row = vec![0.0; total];
+                row[u_ix(k, l)] = 1.0;
+                row[tu_ix(k, l)] = -1.0;
+                lp.add_le(&row, 0.0);
+                row[u_ix(k, l)] = -1.0;
+                lp.add_le(&row, 0.0);
+            }
+        }
+
+        let sol = match lp.solve() {
+            Ok(s) => s,
+            Err(oic_lp::LpError::Infeasible) => {
+                return Err(ControlError::Infeasible { state: x.to_vec() })
+            }
+            Err(e) => return Err(ControlError::Lp(e)),
+        };
+
+        let u_sequence: Vec<Vec<f64>> = (0..big_n)
+            .map(|k| (0..m).map(|l| sol.x()[u_ix(k, l)]).collect())
+            .collect();
+        let mut predicted_states = Vec::with_capacity(big_n + 1);
+        let mut xs = x.to_vec();
+        predicted_states.push(xs.clone());
+        for u in &u_sequence {
+            xs = sys.step_nominal(&xs, u);
+            predicted_states.push(xs.clone());
+        }
+        Ok(MpcSolution { u_sequence, predicted_states, cost: sol.objective() })
+    }
+
+    /// Computes the feasible set `X_F` of the MPC optimization — by
+    /// Proposition 1, the robust control invariant set `X_I`.
+    ///
+    /// Uses the backward recursion `F_N = X(N) ∩ X_t`,
+    /// `F_k = X(k) ∩ proj_x { (x,u) : u ∈ U, Ax + Bu ∈ F_{k+1} }`,
+    /// so each step projects out only the `m` input coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::EmptySet`] if the recursion empties out.
+    pub fn feasible_set(&self) -> Result<Polytope, ControlError> {
+        let sys = self.plant.system();
+        let n = sys.state_dim();
+        let m = sys.input_dim();
+        let mut f = self.tightened[self.horizon].intersection(&self.terminal).remove_redundant();
+        for k in (0..self.horizon).rev() {
+            if f.is_empty() {
+                return Err(ControlError::EmptySet);
+            }
+            let mut rows: Vec<Halfspace> = Vec::new();
+            for h in f.halfspaces() {
+                let mut normal = sys.a().vec_mul(h.normal());
+                normal.extend(sys.b().vec_mul(h.normal()));
+                rows.push(Halfspace::new(normal, h.offset()));
+            }
+            for h in self.plant.input_set().halfspaces() {
+                let mut normal = vec![0.0; n];
+                normal.extend_from_slice(h.normal());
+                rows.push(Halfspace::new(normal, h.offset()));
+            }
+            let pre = Polytope::new(n + m, rows).project_to_first(n);
+            f = self.tightened[k].intersection(&pre).remove_redundant();
+        }
+        if f.is_empty() {
+            return Err(ControlError::EmptySet);
+        }
+        Ok(f)
+    }
+}
+
+impl Controller for TubeMpc {
+    fn state_dim(&self) -> usize {
+        self.plant.system().state_dim()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.plant.system().input_dim()
+    }
+
+    fn control(&self, x: &[f64]) -> Result<Vec<f64>, ControlError> {
+        Ok(self.solve(x)?.first_input().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lti;
+
+    fn acc_plant() -> ConstrainedLti {
+        ConstrainedLti::new(
+            Lti::new(
+                Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]),
+                Matrix::from_rows(&[&[0.0], &[0.1]]),
+            ),
+            Polytope::from_box(&[-30.0, -15.0], &[30.0, 15.0]),
+            Polytope::from_box(&[-48.0], &[32.0]),
+            Polytope::from_box(&[-1.0, 0.0], &[1.0, 0.0]),
+        )
+    }
+
+    fn acc_mpc() -> TubeMpc {
+        TubeMpcBuilder::new(acc_plant(), 10).weights(1.0, 0.5).build().unwrap()
+    }
+
+    #[test]
+    fn tightened_sets_are_nested() {
+        let mpc = acc_mpc();
+        let sets = mpc.tightened_sets();
+        assert_eq!(sets.len(), 11);
+        for k in 1..sets.len() {
+            assert!(sets[k].is_subset_of(&sets[k - 1], 1e-6).unwrap(), "X({k}) ⊄ X({})", k - 1);
+        }
+    }
+
+    #[test]
+    fn acc_tightening_shrinks_position_band() {
+        // A^{k−1} W = W = [-1,1]×{0} for the ACC A matrix, so each step
+        // shrinks the s-range by 1: X(10) has s ∈ [-20, 20].
+        let mpc = acc_mpc();
+        let x10 = &mpc.tightened_sets()[10];
+        assert!(x10.contains(&[19.9, 0.0]));
+        assert!(!x10.contains(&[20.5, 0.0]));
+        assert!(x10.contains(&[0.0, 14.9]), "v range should be untightened");
+    }
+
+    #[test]
+    fn terminal_set_is_rpi_certified() {
+        let mpc = acc_mpc();
+        let gain = crate::dlqr(
+            mpc.plant().system().a(),
+            mpc.plant().system().b(),
+            &Matrix::identity(2),
+            &Matrix::identity(1),
+        )
+        .unwrap();
+        let a_cl = mpc.plant().system().closed_loop(&gain);
+        assert!(crate::verify_rpi(
+            mpc.terminal_set(),
+            &a_cl,
+            mpc.plant().disturbance_set(),
+            1e-6
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn solve_at_origin_is_cheap() {
+        let mpc = acc_mpc();
+        let sol = mpc.solve(&[0.0, 0.0]).unwrap();
+        assert!(sol.cost() < 1e-6, "cost at origin = {}", sol.cost());
+        assert!(sol.first_input()[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_respects_input_bounds() {
+        let mpc = acc_mpc();
+        let sol = mpc.solve(&[0.0, -12.0]).unwrap();
+        for u in sol.u_sequence() {
+            assert!(u[0] >= -48.0 - 1e-6 && u[0] <= 32.0 + 1e-6, "u = {}", u[0]);
+        }
+    }
+
+    #[test]
+    fn tightening_makes_marginal_states_infeasible() {
+        // (25, −10) satisfies X but the s-drift over the horizon violates the
+        // tightened bounds — the tube MPC must reject it.
+        let mpc = acc_mpc();
+        assert!(matches!(
+            mpc.solve(&[25.0, -10.0]),
+            Err(ControlError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn predicted_states_satisfy_tightened_constraints() {
+        let mpc = acc_mpc();
+        let sol = mpc.solve(&[20.0, 8.0]).unwrap();
+        for (k, xs) in sol.predicted_states().iter().enumerate().skip(1) {
+            let set = if k < 10 { &mpc.tightened_sets()[k] } else { mpc.terminal_set() };
+            assert!(
+                set.contains_with_tol(xs, 1e-5),
+                "x({k}) = {xs:?} violates its constraint set"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_far_outside() {
+        let mpc = acc_mpc();
+        let err = mpc.solve(&[100.0, 0.0]).unwrap_err();
+        assert!(matches!(err, ControlError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn feasible_set_matches_online_solver() {
+        let mpc = acc_mpc();
+        let xf = mpc.feasible_set().unwrap();
+        assert!(!xf.is_empty());
+        // Sample a grid; membership in X_F must coincide with LP feasibility.
+        let mut checked_in = 0;
+        let mut checked_out = 0;
+        for s in [-28.0, -20.0, -10.0, 0.0, 10.0, 20.0, 28.0] {
+            for v in [-14.0, -7.0, 0.0, 7.0, 14.0] {
+                let x = [s, v];
+                let in_set = xf.contains_with_tol(&x, 1e-6);
+                let solvable = mpc.solve(&x).is_ok();
+                // Skip points within 1e-3 of the boundary to avoid tolerance
+                // flapping.
+                if xf.min_slack(&x).abs() < 1e-3 {
+                    continue;
+                }
+                assert_eq!(in_set, solvable, "disagreement at {x:?}");
+                if in_set {
+                    checked_in += 1;
+                } else {
+                    checked_out += 1;
+                }
+            }
+        }
+        assert!(checked_in >= 5, "grid should hit interior points");
+        assert!(checked_out >= 1, "grid should hit exterior points");
+    }
+
+    #[test]
+    fn feasible_set_is_robust_control_invariant() {
+        // Proposition 1: X_F is RCI. Certify via the Pre-inclusion check.
+        let mpc = acc_mpc();
+        let xf = mpc.feasible_set().unwrap();
+        assert!(crate::verify_rci(mpc.plant(), &xf, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn closed_loop_tightening_builds() {
+        let gain = crate::dlqr(
+            acc_plant().system().a(),
+            acc_plant().system().b(),
+            &Matrix::identity(2),
+            &Matrix::identity(1),
+        )
+        .unwrap();
+        let mpc = TubeMpcBuilder::new(acc_plant(), 10)
+            .tightening(TighteningMode::ClosedLoop(gain))
+            .build()
+            .unwrap();
+        assert!(mpc.solve(&[5.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn controller_trait_roundtrip() {
+        let mpc = acc_mpc();
+        let u = mpc.control(&[5.0, 2.0]).unwrap();
+        assert_eq!(u.len(), 1);
+        let sol = mpc.solve(&[5.0, 2.0]).unwrap();
+        assert!((u[0] - sol.first_input()[0]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,395 @@
+//! The paper's §IV adaptive cruise control case study, assembled end to
+//! end: deviation-coordinate plant, tube MPC `κ_R`, certified safe sets,
+//! DRL training, and closed-loop episode execution against the traffic
+//! simulator.
+
+use oic_control::{dlqr, ConstrainedLti, Lti, TubeMpc, TubeMpcBuilder};
+use oic_drl::{train, DoubleDqnAgent, DqnConfig, TrainingStats};
+use oic_geom::Polytope;
+use oic_linalg::Matrix;
+use oic_sim::front::{FixedTraceFront, FrontModel};
+use oic_sim::fuel::FuelModel;
+use oic_sim::{AccParams, SimSummary, TrafficSim};
+use rand::Rng;
+
+use crate::{
+    CoreError, DisturbanceProcess, DrlPolicy, IntermittentController, RunStats, SafeSets,
+    SkipInput, SkipPolicy, SkipRewardWeights, SkipTrainingEnv,
+};
+
+/// How many future disturbance samples are handed to oracle policies.
+const ORACLE_WINDOW: usize = 10;
+
+/// The fully assembled ACC case study.
+///
+/// # Examples
+///
+/// ```
+/// use oic_core::acc::AccCaseStudy;
+///
+/// # fn main() -> Result<(), oic_core::CoreError> {
+/// let case = AccCaseStudy::build_default()?;
+/// assert_eq!(case.mpc().horizon(), 10);
+/// assert!(case.sets().strengthened().contains(&[0.0, 0.0]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccCaseStudy {
+    params: AccParams,
+    mpc: TubeMpc,
+    sets: SafeSets,
+    gain: Matrix,
+}
+
+/// Everything needed to run one closed-loop episode.
+pub struct EpisodeConfig<'a> {
+    /// The skipping policy under test.
+    pub policy: &'a mut dyn SkipPolicy,
+    /// The front-vehicle behaviour for this episode.
+    pub front: Box<dyn FrontModel>,
+    /// The fuel meter.
+    pub fuel: Box<dyn FuelModel>,
+    /// Episode length in control steps.
+    pub steps: usize,
+    /// Initial deviation state (must lie in `XI`; sample with
+    /// [`AccCaseStudy::sample_initial_state`]).
+    pub initial_state: [f64; 2],
+    /// Hand the policy the true future disturbances (the model-based
+    /// policy's "known w" assumption).
+    pub oracle_forecast: bool,
+}
+
+/// Result of one closed-loop episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeOutcome {
+    /// Simulator-side summary (fuel, violations, skip annotations).
+    pub summary: SimSummary,
+    /// Runtime-side statistics (skip rate, forced runs, effort).
+    pub stats: RunStats,
+}
+
+impl AccCaseStudy {
+    /// Builds the case study with explicit parameters, MPC horizon, and
+    /// skip-input semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MPC construction, feasible-set, and certification
+    /// failures.
+    pub fn build(
+        params: AccParams,
+        horizon: usize,
+        skip_input: SkipInput,
+    ) -> Result<Self, CoreError> {
+        let (x_lo, x_hi, u_lo, u_hi, w_lo, w_hi) = params.deviation_bounds();
+        let plant = ConstrainedLti::new(
+            Lti::new(params.a_matrix(), params.b_matrix()),
+            Polytope::from_box(&x_lo, &x_hi),
+            Polytope::from_box(&u_lo, &u_hi),
+            Polytope::from_box(&w_lo, &w_hi),
+        );
+        let gain = dlqr(
+            plant.system().a(),
+            plant.system().b(),
+            &Matrix::identity(2),
+            &Matrix::identity(1),
+        )?;
+        // Weights make κ_R a *tight* distance-tracking controller (the
+        // conservative, always-actuating baseline the paper compares
+        // against). With a uniform 1-norm state weight the velocity penalty
+        // outweighs any distance correction reachable within the horizon
+        // and the MPC stops actuating altogether — so the distance deviation
+        // is weighted heavily, the velocity deviation barely, and the input
+        // lightly.
+        let mpc = TubeMpcBuilder::new(plant, horizon)
+            .state_weight_vector(vec![1.0, 0.02])
+            .input_weight(0.05)
+            .build()?;
+        let sets = SafeSets::for_tube_mpc(&mpc, &skip_input)?;
+        sets.certify()?;
+        Ok(Self { params, mpc, sets, gain })
+    }
+
+    /// The paper's configuration: default parameters, horizon 10, and
+    /// physical coasting (`u_abs = 0`) as the skip input.
+    ///
+    /// # Errors
+    ///
+    /// See [`build`](Self::build).
+    pub fn build_default() -> Result<Self, CoreError> {
+        let params = AccParams::default();
+        let coast = SkipInput::Vector(vec![-params.u_eq()]);
+        Self::build(params, 10, coast)
+    }
+
+    /// The case-study parameters.
+    pub fn params(&self) -> &AccParams {
+        &self.params
+    }
+
+    /// The underlying robust MPC `κ_R`.
+    pub fn mpc(&self) -> &TubeMpc {
+        &self.mpc
+    }
+
+    /// The certified safe-set hierarchy.
+    pub fn sets(&self) -> &SafeSets {
+        &self.sets
+    }
+
+    /// The LQR gain used by the analytic (model-based) policy variant.
+    pub fn gain(&self) -> &Matrix {
+        &self.gain
+    }
+
+    /// Samples a deviation state uniformly from the strengthened safe set
+    /// (the experiments "randomly pick feasible initial states within X′").
+    pub fn sample_initial_state<R: Rng>(&self, rng: &mut R) -> [f64; 2] {
+        let (lo, hi) = self
+            .sets
+            .strengthened()
+            .bounding_box()
+            .expect("strengthened set is bounded");
+        loop {
+            let cand = [rng.gen_range(lo[0]..=hi[0]), rng.gen_range(lo[1]..=hi[1])];
+            if self.sets.strengthened().contains(&cand) {
+                return cand;
+            }
+        }
+    }
+
+    /// Builds the runtime (Algorithm 1) around the case study's MPC.
+    pub fn intermittent_controller(
+        &self,
+        policy: Box<dyn SkipPolicy>,
+        memory: usize,
+    ) -> IntermittentController<TubeMpc> {
+        IntermittentController::new(self.mpc.clone(), self.sets.clone(), policy, memory)
+    }
+
+    /// Runs one closed-loop episode against the traffic simulator.
+    ///
+    /// The front model's velocity trace is materialized up front so the
+    /// same behaviour can be replayed across controllers and so oracle
+    /// policies can see the future disturbance window.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::OutsideInvariant`] — the state left `XI`, i.e. the
+    ///   disturbance exceeded the modeled `W` (front vehicle outside its
+    ///   assumed velocity range).
+    /// * [`CoreError::Control`] — the underlying MPC failed inside its
+    ///   certified region (should not happen).
+    pub fn run_episode(&self, config: EpisodeConfig<'_>) -> Result<EpisodeOutcome, CoreError> {
+        let EpisodeConfig { policy, mut front, fuel, steps, initial_state, oracle_forecast } =
+            config;
+        let replay = FixedTraceFront::materialize(front.as_mut(), steps);
+        let vf_trace: Vec<f64> = replay.trace().to_vec();
+        let (s0, v0) = self.params.from_deviation(&initial_state);
+        let mut sim = TrafficSim::new(self.params.clone(), Box::new(replay), fuel, s0, v0);
+
+        // `SkipPolicy` is implemented for `&mut dyn SkipPolicy`, so the
+        // runtime borrows the caller's policy for the episode. The history
+        // window is kept larger than any policy's `r` (the encoder takes
+        // the most recent entries it needs).
+        let mut ic =
+            IntermittentController::new(self.mpc.clone(), self.sets.clone(), policy, 8);
+
+        for t in 0..steps {
+            let x = self
+                .params
+                .to_deviation(sim.distance(), sim.velocity());
+            let forecast: Vec<Vec<f64>> = if oracle_forecast {
+                vf_trace[t..(t + ORACLE_WINDOW).min(vf_trace.len())]
+                    .iter()
+                    .map(|vf| self.params.disturbance(*vf).to_vec())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let decision = ic.step(&x, &forecast)?;
+            let u_abs = self.params.input_from_deviation(decision.input[0]);
+            sim.step_annotated(u_abs, decision.skipped);
+        }
+        Ok(EpisodeOutcome { summary: sim.summary(), stats: ic.stats().clone() })
+    }
+
+    /// Trains a DQN skipping policy against a family of front-vehicle
+    /// behaviours (`front_factory(episode_seed)` supplies one per episode).
+    ///
+    /// Returns the trained policy and the training statistics. `memory` is
+    /// the paper's `r` (1 in §IV); reward weights default to the paper's
+    /// `w₁ = 0.01, w₂ = 0.0001`.
+    pub fn train_drl(
+        &self,
+        front_factory: Box<dyn FnMut(u64) -> Box<dyn FrontModel>>,
+        episodes: usize,
+        steps_per_episode: usize,
+        memory: usize,
+        seed: u64,
+    ) -> (DrlPolicy, TrainingStats) {
+        let params = self.params.clone();
+        let mut factory = front_factory;
+        let disturbance_factory = Box::new(move |episode: u64| -> Box<dyn DisturbanceProcess> {
+            Box::new(FrontDisturbance { params: params.clone(), front: factory(episode) })
+        });
+        // R₂ meters the same tractive-power fuel the evaluation reports
+        // (substitution documented in DESIGN.md: the paper's `‖κ(x)‖₁`
+        // cannot distinguish free braking from expensive acceleration under
+        // the fuel model the figures use). The energy weight is calibrated
+        // so a typical run step costs a few tenths of the X′-exit penalty,
+        // the same balance as the paper's (w₁, w₂) with their input ranges.
+        let weights = SkipRewardWeights { leave_strengthened: 0.01, energy: 0.05 };
+        let mut env = SkipTrainingEnv::new(
+            self.sets.clone(),
+            Box::new(self.mpc.clone()),
+            memory,
+            weights,
+            disturbance_factory,
+            seed,
+        );
+        let fuel_params = self.params.clone();
+        let fuel = oic_sim::fuel::Hbefa3Fuel::default();
+        env.set_energy_metric(Box::new(move |x: &[f64], u: &[f64]| {
+            use oic_sim::fuel::{FuelContext, FuelModel};
+            let v_abs = x[1] + fuel_params.v_ref();
+            let u_abs = fuel_params.input_from_deviation(u[0]);
+            fuel.consumption(&FuelContext {
+                velocity: v_abs,
+                acceleration: fuel_params.acceleration(v_abs, u_abs),
+                input: u_abs,
+                dt: fuel_params.dt,
+            }) / fuel_params.dt
+        }));
+        let state_dim = 2 + memory * 2;
+        let mut agent = DoubleDqnAgent::new(DqnConfig {
+            state_dim,
+            num_actions: 2,
+            hidden: vec![64, 64],
+            gamma: 0.95,
+            learning_rate: 1e-3,
+            epsilon_start: 1.0,
+            epsilon_end: 0.05,
+            epsilon_decay: 0.9995,
+            buffer_capacity: 50_000,
+            batch_size: 64,
+            target_sync_every: 250,
+            learn_start: 500,
+            seed,
+        });
+        let stats = train(&mut agent, &mut env, episodes, steps_per_episode);
+        agent.sync_target();
+        (DrlPolicy::new(agent, &self.sets, memory), stats)
+    }
+}
+
+/// Adapts a front-vehicle model into the deviation-coordinate disturbance
+/// process `w(t) = (δ·(v_f(t) − v*), 0)`.
+struct FrontDisturbance {
+    params: AccParams,
+    front: Box<dyn FrontModel>,
+}
+
+impl DisturbanceProcess for FrontDisturbance {
+    fn next(&mut self, t: usize) -> Vec<f64> {
+        self.params.disturbance(self.front.velocity(t)).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlwaysRunPolicy, BangBangPolicy};
+    use oic_sim::front::SinusoidalFront;
+    use oic_sim::fuel::Hbefa3Fuel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn case() -> AccCaseStudy {
+        AccCaseStudy::build_default().unwrap()
+    }
+
+    #[test]
+    fn build_default_certifies() {
+        let c = case();
+        c.sets().certify().unwrap();
+        assert!(c.sets().invariant().contains(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn sampled_initial_states_are_strengthened() {
+        let c = case();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let x = c.sample_initial_state(&mut rng);
+            assert!(c.sets().strengthened().contains(&x));
+        }
+    }
+
+    #[test]
+    fn episode_with_rmpc_only_is_safe() {
+        let c = case();
+        let mut policy = AlwaysRunPolicy;
+        let outcome = c
+            .run_episode(EpisodeConfig {
+                policy: &mut policy,
+                front: Box::new(SinusoidalFront::new(c.params(), 40.0, 9.0, 1.0, 11)),
+                fuel: Box::new(Hbefa3Fuel::default()),
+                steps: 100,
+                initial_state: [0.0, 0.0],
+                oracle_forecast: false,
+            })
+            .unwrap();
+        assert_eq!(outcome.summary.safety_violations, 0);
+        assert_eq!(outcome.stats.skipped, 0);
+        assert_eq!(outcome.summary.steps, 100);
+    }
+
+    #[test]
+    fn bang_bang_skips_and_saves_fuel() {
+        let c = case();
+        let front_seed = 17;
+        let run = |policy: &mut dyn SkipPolicy| {
+            c.run_episode(EpisodeConfig {
+                policy,
+                front: Box::new(SinusoidalFront::new(c.params(), 40.0, 9.0, 1.0, front_seed)),
+                fuel: Box::new(Hbefa3Fuel::default()),
+                steps: 100,
+                initial_state: [0.0, 0.0],
+                oracle_forecast: false,
+            })
+            .unwrap()
+        };
+        let mut always = AlwaysRunPolicy;
+        let base = run(&mut always);
+        let mut bang = BangBangPolicy;
+        let skipping = run(&mut bang);
+        assert_eq!(skipping.summary.safety_violations, 0);
+        assert!(skipping.stats.skipped > 30, "skips: {}", skipping.stats.skipped);
+        assert!(
+            skipping.summary.total_fuel < base.summary.total_fuel,
+            "skipping should save fuel: {} vs {}",
+            skipping.summary.total_fuel,
+            base.summary.total_fuel
+        );
+    }
+
+    #[test]
+    fn drl_training_smoke() {
+        let c = case();
+        let params = c.params().clone();
+        let (policy, stats) = c.train_drl(
+            Box::new(move |seed| {
+                Box::new(SinusoidalFront::new(&params, 40.0, 9.0, 1.0, seed))
+            }),
+            5,
+            50,
+            1,
+            2,
+        );
+        assert_eq!(stats.episode_returns.len(), 5);
+        assert!(policy.agent().buffer_len() > 0);
+    }
+
+}

@@ -1,0 +1,305 @@
+//! The model-based skipping policy — paper Eq. (6) as a mixed-integer
+//! program.
+//!
+//! Applicable when the underlying controller is analytic (`κ(x) = Kx`) and
+//! the disturbance over the decision horizon is known (the paper's "model-
+//! based approach" assumptions). At each step it minimizes the actuation
+//! energy `Σ‖u(k) − u_skip‖₁` over binary skip choices `z(k)`, subject to
+//! the predicted states staying in the strengthened safe set `X′`, and
+//! applies the first `z*` (receding horizon; no terminal constraint —
+//! paper Remark 1).
+
+use oic_control::ConstrainedLti;
+use oic_geom::{Polytope, SupportFunction};
+use oic_linalg::Matrix;
+use oic_lp::{LinearProgram, MixedIntegerProgram};
+
+use crate::{CoreError, PolicyContext, SafeSets, SkipDecision, SkipPolicy};
+
+/// MIP-based `Ω` for analytic controllers with known disturbances.
+///
+/// # Examples
+///
+/// ```
+/// use oic_core::acc::AccCaseStudy;
+/// use oic_core::ModelBasedPolicy;
+///
+/// # fn main() -> Result<(), oic_core::CoreError> {
+/// let case = AccCaseStudy::build_default()?;
+/// let policy = ModelBasedPolicy::new(case.sets(), case.gain().clone(), 5)?;
+/// assert_eq!(policy.horizon(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelBasedPolicy {
+    plant: ConstrainedLti,
+    gain: Matrix,
+    strengthened: Polytope,
+    skip_input: Vec<f64>,
+    horizon: usize,
+    big_m: f64,
+    /// `A^k` for `k = 0..=horizon`.
+    a_pow: Vec<Matrix>,
+    /// `A^j B` for `j = 0..horizon`.
+    impulse: Vec<Matrix>,
+}
+
+impl ModelBasedPolicy {
+    /// Creates the policy for the plant and sets in `sets`, with the
+    /// analytic feedback `gain` and the given decision horizon `H ≥ 1`.
+    ///
+    /// The big-M constant is derived from support functions of `U` and
+    /// `K·X′`, so the indicator constraints are valid over the whole
+    /// feasible region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry failures while bounding `K·X′`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0` or the gain shape mismatches the plant.
+    pub fn new(sets: &SafeSets, gain: Matrix, horizon: usize) -> Result<Self, CoreError> {
+        assert!(horizon >= 1, "horizon must be at least 1");
+        let plant = sets.plant().clone();
+        let sys = plant.system();
+        let n = sys.state_dim();
+        let m = sys.input_dim();
+        assert_eq!(gain.rows(), m, "gain rows must equal input dimension");
+        assert_eq!(gain.cols(), n, "gain cols must equal state dimension");
+
+        // Big-M: bound |u_l|, |K x|_l over U and X', plus the skip input.
+        let mut big_m: f64 = 1.0;
+        let mut dir = vec![0.0; m];
+        for l in 0..m {
+            dir[l] = 1.0;
+            let u_hi = plant.input_set().support(&dir)?;
+            dir[l] = -1.0;
+            let u_lo = -plant.input_set().support(&dir)?;
+            dir[l] = 0.0;
+            let row: Vec<f64> = gain.row(l).to_vec();
+            let kx_hi = sets.strengthened().support(&row)?;
+            let kx_lo = -sets.strengthened().support(&row.iter().map(|v| -v).collect::<Vec<_>>())?;
+            let span = u_hi.abs().max(u_lo.abs()) + kx_hi.abs().max(kx_lo.abs());
+            big_m = big_m.max(2.0 * span + sets.skip_input()[l].abs() + 1.0);
+        }
+
+        let mut a_pow = Vec::with_capacity(horizon + 1);
+        a_pow.push(Matrix::identity(n));
+        for k in 1..=horizon {
+            let next = &a_pow[k - 1] * sys.a();
+            a_pow.push(next);
+        }
+        let impulse: Vec<Matrix> = (0..horizon).map(|j| &a_pow[j] * sys.b()).collect();
+
+        Ok(Self {
+            strengthened: sets.strengthened().clone(),
+            skip_input: sets.skip_input().to_vec(),
+            plant,
+            gain,
+            horizon,
+            big_m,
+            a_pow,
+            impulse,
+        })
+    }
+
+    /// The configured decision horizon.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Solves Eq. (6) and returns the optimal skip sequence, or `None` when
+    /// the MIP is infeasible (the caller then falls back to `Run`).
+    fn solve(&self, x: &[f64], w_forecast: &[Vec<f64>]) -> Option<Vec<bool>> {
+        let sys = self.plant.system();
+        let n = sys.state_dim();
+        let m = sys.input_dim();
+        // Effective horizon: limited by the available forecast (missing
+        // entries are treated as zero disturbance).
+        let h = self.horizon;
+        let w_at = |k: usize| -> Vec<f64> {
+            w_forecast.get(k).cloned().unwrap_or_else(|| vec![0.0; n])
+        };
+
+        // Accumulated disturbance part of x(k): cw(k) = Σ_{j<k} A^{k−1−j} w(j).
+        let mut cw: Vec<Vec<f64>> = Vec::with_capacity(h + 1);
+        cw.push(vec![0.0; n]);
+        for k in 1..=h {
+            let mut acc = vec![0.0; n];
+            for j in 0..k {
+                let contrib = self.a_pow[k - 1 - j].mul_vec(&w_at(j));
+                for (a, c) in acc.iter_mut().zip(&contrib) {
+                    *a += c;
+                }
+            }
+            cw.push(acc);
+        }
+
+        // Variables: [u (h·m) | z (h) | t (h·m)].
+        let n_u = h * m;
+        let total = n_u + h + h * m;
+        let u_ix = |k: usize, l: usize| k * m + l;
+        let z_ix = |k: usize| n_u + k;
+        let t_ix = |k: usize, l: usize| n_u + h + k * m + l;
+
+        let mut costs = vec![0.0; total];
+        for k in 0..h {
+            for l in 0..m {
+                costs[t_ix(k, l)] = 1.0;
+            }
+        }
+        let mut lp = LinearProgram::minimize(&costs);
+
+        // a·x(k) as a row over u plus a constant: x(k) = A^k x + Σ A^{k−1−j}B u_j + cw(k).
+        let state_row = |k: usize, normal: &[f64]| -> (Vec<f64>, f64) {
+            let mut row = vec![0.0; total];
+            for j in 0..k {
+                let coef = self.impulse[k - 1 - j].vec_mul(normal);
+                for l in 0..m {
+                    row[u_ix(j, l)] = coef[l];
+                }
+            }
+            let free: f64 = normal
+                .iter()
+                .zip(self.a_pow[k].mul_vec(x).iter().zip(&cw[k]))
+                .map(|(a, (fx, fw))| a * (fx + fw))
+                .sum();
+            (row, free)
+        };
+
+        // x(k+1) ∈ X' for k = 0..h−1.
+        for k in 1..=h {
+            for hs in self.strengthened.halfspaces() {
+                let (row, free) = state_row(k, hs.normal());
+                lp.add_le(&row, hs.offset() - free);
+            }
+        }
+        // u(k) ∈ U.
+        for k in 0..h {
+            for hs in self.plant.input_set().halfspaces() {
+                let mut row = vec![0.0; total];
+                for l in 0..m {
+                    row[u_ix(k, l)] = hs.normal()[l];
+                }
+                lp.add_le(&row, hs.offset());
+            }
+        }
+        // Indicator semantics and the energy objective, per component l:
+        //   ±(u_l(k) − (Kx(k))_l) ≤ M (1 − z_k)
+        //   ±(u_l(k) − u_skip_l) ≤ M z_k
+        //   ±(u_l(k) − u_skip_l) ≤ t_l(k)
+        for k in 0..h {
+            for l in 0..m {
+                let k_row: Vec<f64> = self.gain.row(l).to_vec();
+                let (kx_row, kx_free) = state_row(k, &k_row);
+                // u − Kx ≤ M(1−z):  u − Kx_row·u_vars + M z ≤ M − kx_free… sign care:
+                // u_l(k) − (Kx)_l ≤ M − M z_k.
+                let mut row = kx_row.iter().map(|v| -v).collect::<Vec<f64>>();
+                row[u_ix(k, l)] += 1.0;
+                row[z_ix(k)] += self.big_m;
+                lp.add_le(&row, self.big_m + kx_free);
+                // (Kx)_l − u_l(k) ≤ M − M z_k.
+                let mut row = kx_row.clone();
+                row[u_ix(k, l)] -= 1.0;
+                row[z_ix(k)] += self.big_m;
+                lp.add_le(&row, self.big_m - kx_free);
+                // u_l(k) − skip_l ≤ M z_k.
+                let mut row = vec![0.0; total];
+                row[u_ix(k, l)] = 1.0;
+                row[z_ix(k)] = -self.big_m;
+                lp.add_le(&row, self.skip_input[l]);
+                // skip_l − u_l(k) ≤ M z_k.
+                let mut row = vec![0.0; total];
+                row[u_ix(k, l)] = -1.0;
+                row[z_ix(k)] = -self.big_m;
+                lp.add_le(&row, -self.skip_input[l]);
+                // |u_l(k) − skip_l| ≤ t_l(k).
+                let mut row = vec![0.0; total];
+                row[u_ix(k, l)] = 1.0;
+                row[t_ix(k, l)] = -1.0;
+                lp.add_le(&row, self.skip_input[l]);
+                row[u_ix(k, l)] = -1.0;
+                lp.add_le(&row, -self.skip_input[l]);
+            }
+        }
+
+        let binaries: Vec<usize> = (0..h).map(z_ix).collect();
+        let mip = MixedIntegerProgram::new(lp, &binaries);
+        let sol = mip.solve().ok()?;
+        Some((0..h).map(|k| sol.binary_value(z_ix(k))).collect())
+    }
+}
+
+impl SkipPolicy for ModelBasedPolicy {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> SkipDecision {
+        match self.solve(ctx.state, ctx.w_forecast) {
+            // z = 1 means run; z = 0 means skip.
+            Some(z) if !z[0] => SkipDecision::Skip,
+            Some(_) => SkipDecision::Run,
+            // Infeasible or numerical failure: running κ is always safe.
+            None => SkipDecision::Run,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "model-based-mip"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acc::AccCaseStudy;
+
+    fn policy(horizon: usize) -> ModelBasedPolicy {
+        let case = AccCaseStudy::build_default().unwrap();
+        ModelBasedPolicy::new(case.sets(), case.gain().clone(), horizon).unwrap()
+    }
+
+    #[test]
+    fn skips_at_equilibrium_with_zero_disturbance() {
+        // At the origin with no disturbance, skipping (coasting) keeps the
+        // state well inside X' for several steps: the MIP must choose skip.
+        let mut p = policy(4);
+        let w0 = vec![vec![0.0, 0.0]; 4];
+        let ctx = PolicyContext {
+            state: &[0.0, 0.0],
+            w_history: &[],
+            w_forecast: &w0,
+            time_step: 0,
+        };
+        assert_eq!(p.decide(&ctx), SkipDecision::Skip);
+    }
+
+    #[test]
+    fn solve_returns_feasible_plan() {
+        let p = policy(4);
+        let w = vec![vec![0.5, 0.0]; 4];
+        let plan = p.solve(&[2.0, 1.0], &w);
+        assert!(plan.is_some(), "plan should exist near the origin");
+        assert_eq!(plan.unwrap().len(), 4);
+    }
+
+    #[test]
+    fn missing_forecast_treated_as_zero() {
+        let mut p = policy(3);
+        let ctx =
+            PolicyContext { state: &[0.0, 0.0], w_history: &[], w_forecast: &[], time_step: 0 };
+        // Must not panic and must return a decision.
+        let _ = p.decide(&ctx);
+    }
+
+    #[test]
+    fn energy_objective_prefers_skipping() {
+        // Compare total |u_abs| of the returned plan against the all-run
+        // alternative implicitly: the MIP picks skip whenever feasible, so
+        // from a comfortably interior state the first action is skip.
+        let mut p = policy(5);
+        let w = vec![vec![0.0, 0.0]; 5];
+        let ctx =
+            PolicyContext { state: &[1.0, 2.0], w_history: &[], w_forecast: &w, time_step: 0 };
+        assert_eq!(p.decide(&ctx), SkipDecision::Skip);
+    }
+}

@@ -1,0 +1,100 @@
+//! The runtime safety monitor (paper Fig. 2).
+
+use crate::SafeSets;
+
+/// Where the monitored state sits in the Fig. 1 hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// `x ∈ X′`: skipping is provably safe this step; the skipping policy
+    /// decides.
+    Strengthened,
+    /// `x ∈ XI \ X′`: the underlying controller **must** run (`z = 1`).
+    InvariantOnly,
+    /// `x ∉ XI`: the framework's precondition is violated (should be
+    /// unreachable when started inside `XI` with disturbances in `W`).
+    Outside,
+}
+
+/// Checks each sensor sample against the strengthened and invariant sets.
+///
+/// This is the component the paper's computation-saving argument hinges on:
+/// a verdict is two polytope membership tests (a handful of dot products),
+/// versus a full MPC solve.
+///
+/// # Examples
+///
+/// ```
+/// use oic_core::{acc::AccCaseStudy, Monitor, Verdict};
+///
+/// # fn main() -> Result<(), oic_core::CoreError> {
+/// let case = AccCaseStudy::build_default()?;
+/// let monitor = Monitor::new(case.sets().clone());
+/// assert_eq!(monitor.check(&[0.0, 0.0]), Verdict::Strengthened);
+/// assert_eq!(monitor.check(&[1000.0, 0.0]), Verdict::Outside);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    sets: SafeSets,
+}
+
+impl Monitor {
+    /// Creates a monitor over the given set hierarchy.
+    pub fn new(sets: SafeSets) -> Self {
+        Self { sets }
+    }
+
+    /// The underlying set hierarchy.
+    pub fn sets(&self) -> &SafeSets {
+        &self.sets
+    }
+
+    /// Classifies a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the state dimension.
+    pub fn check(&self, x: &[f64]) -> Verdict {
+        if self.sets.strengthened().contains(x) {
+            Verdict::Strengthened
+        } else if self.sets.invariant().contains(x) {
+            Verdict::InvariantOnly
+        } else {
+            Verdict::Outside
+        }
+    }
+
+    /// `true` when the state is inside the original safe set `X` (the
+    /// property Theorem 1 ultimately guarantees).
+    pub fn is_safe(&self, x: &[f64]) -> bool {
+        self.sets.safe().contains(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acc::AccCaseStudy;
+
+    #[test]
+    fn verdict_ordering_is_consistent() {
+        let case = AccCaseStudy::build_default().unwrap();
+        let monitor = Monitor::new(case.sets().clone());
+        // Every strengthened state is also invariant and safe.
+        for x in [[0.0, 0.0], [3.0, 1.0], [-5.0, -2.0]] {
+            if monitor.check(&x) == Verdict::Strengthened {
+                assert!(monitor.sets().invariant().contains(&x));
+                assert!(monitor.is_safe(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn outside_far_away() {
+        let case = AccCaseStudy::build_default().unwrap();
+        let monitor = Monitor::new(case.sets().clone());
+        assert_eq!(monitor.check(&[500.0, 500.0]), Verdict::Outside);
+        assert!(!monitor.is_safe(&[500.0, 500.0]));
+    }
+}

@@ -1,0 +1,232 @@
+//! The skipping decision function `Ω` and its simple implementations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The binary skipping choice `z(t)` (paper §II): `Run` actuates the
+/// underlying controller, `Skip` applies the skip input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipDecision {
+    /// `z = 0`: skip the controller.
+    Skip,
+    /// `z = 1`: run the controller.
+    Run,
+}
+
+/// Everything `Ω` may condition on at one decision instant.
+///
+/// The paper's `Ω(x(t), w̄(t))` sees the current state and a window of past
+/// disturbances; the model-based variant additionally assumes the future
+/// disturbance is known, which [`Self::w_forecast`] carries when an oracle
+/// provides it (empty otherwise).
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyContext<'a> {
+    /// Current state `x(t)` — guaranteed to be inside `X′` (the runtime
+    /// only consults the policy there).
+    pub state: &'a [f64],
+    /// Estimated past disturbances, oldest first, most recent last
+    /// (`w(t−r), …, w(t−1)`).
+    pub w_history: &'a [Vec<f64>],
+    /// Known future disturbances `w(t), w(t+1), …` (empty when unknown).
+    pub w_forecast: &'a [Vec<f64>],
+    /// Current time step `t`.
+    pub time_step: usize,
+}
+
+/// A skipping decision function `Ω`.
+///
+/// Safety does **not** depend on the policy (Theorem 1): the runtime
+/// consults it only inside the strengthened safe set, where both choices
+/// are provably safe. Policies differ only in efficiency.
+pub trait SkipPolicy {
+    /// Decides `z(t)` for a state inside `X′`.
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> SkipDecision;
+
+    /// A short display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl<T: SkipPolicy + ?Sized> SkipPolicy for Box<T> {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> SkipDecision {
+        (**self).decide(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: SkipPolicy + ?Sized> SkipPolicy for &mut T {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> SkipDecision {
+        (**self).decide(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Never skips — the "RMPC only" baseline of the experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysRunPolicy;
+
+impl SkipPolicy for AlwaysRunPolicy {
+    fn decide(&mut self, _ctx: &PolicyContext<'_>) -> SkipDecision {
+        SkipDecision::Run
+    }
+
+    fn name(&self) -> &'static str {
+        "always-run"
+    }
+}
+
+/// The paper's bang-bang baseline (Eq. (7)): always skip inside `X′` (the
+/// runtime already forces `Run` outside).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BangBangPolicy;
+
+impl SkipPolicy for BangBangPolicy {
+    fn decide(&mut self, _ctx: &PolicyContext<'_>) -> SkipDecision {
+        SkipDecision::Skip
+    }
+
+    fn name(&self) -> &'static str {
+        "bang-bang"
+    }
+}
+
+/// Skips on a fixed period: runs the controller every `period`-th decision
+/// and skips otherwise — the static weakly-hard pattern (`K−1` misses in
+/// every window of `K`) that the DAC-2020 related work contrasts with
+/// opportunistic skipping. Useful as a non-adaptive baseline.
+#[derive(Debug, Clone)]
+pub struct PeriodicSkipPolicy {
+    period: usize,
+    counter: usize,
+}
+
+impl PeriodicSkipPolicy {
+    /// Creates the policy: one run per `period ≥ 1` decisions (period 1
+    /// never skips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(period: usize) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        Self { period, counter: 0 }
+    }
+
+    /// The configured period `K`.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+impl SkipPolicy for PeriodicSkipPolicy {
+    fn decide(&mut self, _ctx: &PolicyContext<'_>) -> SkipDecision {
+        let run = self.counter == 0;
+        self.counter = (self.counter + 1) % self.period;
+        if run {
+            SkipDecision::Run
+        } else {
+            SkipDecision::Skip
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+}
+
+/// Skips with probability `p` — an adversarial stressor used by the safety
+/// property tests (Theorem 1 must hold for *any* policy, including this
+/// one).
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    skip_probability: f64,
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with the given skip probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ skip_probability ≤ 1`.
+    pub fn new(skip_probability: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&skip_probability), "probability out of range");
+        Self { skip_probability, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl SkipPolicy for RandomPolicy {
+    fn decide(&mut self, _ctx: &PolicyContext<'_>) -> SkipDecision {
+        if self.rng.gen_range(0.0..1.0) < self.skip_probability {
+            SkipDecision::Skip
+        } else {
+            SkipDecision::Run
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(state: &'a [f64]) -> PolicyContext<'a> {
+        PolicyContext { state, w_history: &[], w_forecast: &[], time_step: 0 }
+    }
+
+    #[test]
+    fn always_run_runs() {
+        let mut p = AlwaysRunPolicy;
+        assert_eq!(p.decide(&ctx(&[0.0])), SkipDecision::Run);
+    }
+
+    #[test]
+    fn bang_bang_skips() {
+        let mut p = BangBangPolicy;
+        assert_eq!(p.decide(&ctx(&[0.0])), SkipDecision::Skip);
+    }
+
+    #[test]
+    fn random_policy_hits_both_choices() {
+        let mut p = RandomPolicy::new(0.5, 1);
+        let mut skips = 0;
+        let mut runs = 0;
+        for _ in 0..200 {
+            match p.decide(&ctx(&[0.0])) {
+                SkipDecision::Skip => skips += 1,
+                SkipDecision::Run => runs += 1,
+            }
+        }
+        assert!(skips > 50 && runs > 50, "skips={skips} runs={runs}");
+    }
+
+    #[test]
+    fn periodic_policy_pattern() {
+        let mut p = PeriodicSkipPolicy::new(4);
+        let pattern: Vec<SkipDecision> = (0..8).map(|_| p.decide(&ctx(&[0.0]))).collect();
+        assert_eq!(pattern[0], SkipDecision::Run);
+        assert_eq!(pattern[4], SkipDecision::Run);
+        assert_eq!(pattern[1..4].iter().filter(|d| **d == SkipDecision::Skip).count(), 3);
+        // Period 1 never skips.
+        let mut p1 = PeriodicSkipPolicy::new(1);
+        assert!((0..5).all(|_| p1.decide(&ctx(&[0.0])) == SkipDecision::Run));
+    }
+
+    #[test]
+    fn random_policy_extremes() {
+        let mut never = RandomPolicy::new(0.0, 0);
+        let mut always = RandomPolicy::new(1.0, 0);
+        for _ in 0..50 {
+            assert_eq!(never.decide(&ctx(&[0.0])), SkipDecision::Run);
+            assert_eq!(always.decide(&ctx(&[0.0])), SkipDecision::Skip);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Experience replay.
+
+use rand::Rng;
+
+/// One environment transition `(s, a, r, s′, done)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State the action was taken in.
+    pub state: Vec<f64>,
+    /// Index of the action taken.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Successor state.
+    pub next_state: Vec<f64>,
+    /// Whether the episode terminated at `next_state` (no bootstrapping).
+    pub done: bool,
+}
+
+/// Fixed-capacity ring buffer of transitions with uniform sampling.
+///
+/// # Examples
+///
+/// ```
+/// use oic_drl::{ReplayBuffer, Transition};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut buf = ReplayBuffer::new(2);
+/// for i in 0..3 {
+///     buf.push(Transition {
+///         state: vec![i as f64],
+///         action: 0,
+///         reward: 0.0,
+///         next_state: vec![0.0],
+///         done: false,
+///     });
+/// }
+/// assert_eq!(buf.len(), 2); // oldest evicted
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert_eq!(buf.sample(&mut rng, 2).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<Transition>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self { capacity, data: Vec::with_capacity(capacity.min(4096)), next: 0 }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.next] = t;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Samples `count` transitions uniformly with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample<'a, R: Rng>(&'a self, rng: &mut R, count: usize) -> Vec<&'a Transition> {
+        assert!(!self.data.is_empty(), "cannot sample from an empty buffer");
+        (0..count).map(|_| &self.data[rng.gen_range(0..self.data.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(i: usize) -> Transition {
+        Transition { state: vec![i as f64], action: i % 2, reward: i as f64, next_state: vec![0.0], done: false }
+    }
+
+    #[test]
+    fn ring_eviction_order() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i));
+        }
+        assert_eq!(buf.len(), 3);
+        // 0 and 1 evicted; 2, 3, 4 remain.
+        let states: Vec<f64> = buf.data.iter().map(|t| t.state[0]).collect();
+        assert!(states.contains(&2.0) && states.contains(&3.0) && states.contains(&4.0));
+    }
+
+    #[test]
+    fn sampling_covers_buffer() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(t(i));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = buf.sample(&mut rng, 256);
+        let mut seen = [false; 8];
+        for s in sample {
+            seen[s.state[0] as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "uniform sampling should hit all slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn sampling_empty_panics() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = buf.sample(&mut rng, 1);
+    }
+}

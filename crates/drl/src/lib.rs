@@ -1,0 +1,33 @@
+//! Double deep Q-learning (paper reference [24], van Hasselt et al.).
+//!
+//! The paper's skipping decision function `Ω` is a DQN with two actions
+//! (skip / run the controller) trained online. This crate provides the
+//! generic pieces: a ring [`ReplayBuffer`], an ε-greedy
+//! [`DoubleDqnAgent`] with online/target networks and the double-DQN
+//! target `r + γ·Q_target(s′, argmax_a Q_online(s′, a))`, a generic
+//! [`Environment`] trait, and a [`train`] loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use oic_drl::{DoubleDqnAgent, DqnConfig};
+//!
+//! let mut agent = DoubleDqnAgent::new(DqnConfig {
+//!     state_dim: 2,
+//!     num_actions: 2,
+//!     seed: 7,
+//!     ..DqnConfig::default()
+//! });
+//! let q = agent.q_values(&[0.0, 1.0]);
+//! assert_eq!(q.len(), 2);
+//! let a = agent.act(&[0.0, 1.0]);
+//! assert!(a < 2);
+//! ```
+
+mod agent;
+mod buffer;
+mod env;
+
+pub use agent::{DoubleDqnAgent, DqnConfig};
+pub use buffer::{ReplayBuffer, Transition};
+pub use env::{train, Environment, StepOutcome, TrainingStats};

@@ -1,0 +1,147 @@
+//! A single linear inequality `aᵀx ≤ b`.
+
+use std::fmt;
+
+/// The halfspace `{ x : normal · x ≤ offset }`.
+///
+/// # Examples
+///
+/// ```
+/// use oic_geom::Halfspace;
+///
+/// let h = Halfspace::new(vec![1.0, 0.0], 2.0); // x₁ ≤ 2
+/// assert!(h.contains(&[1.5, 100.0], 1e-9));
+/// assert!(!h.contains(&[2.5, 0.0], 1e-9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halfspace {
+    normal: Vec<f64>,
+    offset: f64,
+}
+
+impl Halfspace {
+    /// Creates the halfspace `normal · x ≤ offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `normal` is empty or any entry is non-finite.
+    pub fn new(normal: Vec<f64>, offset: f64) -> Self {
+        assert!(!normal.is_empty(), "halfspace normal must be non-empty");
+        assert!(
+            normal.iter().all(|v| v.is_finite()) && offset.is_finite(),
+            "halfspace entries must be finite"
+        );
+        Self { normal, offset }
+    }
+
+    /// The outward normal vector `a`.
+    pub fn normal(&self) -> &[f64] {
+        &self.normal
+    }
+
+    /// The offset `b`.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// Signed slack `offset − normal·x`; non-negative inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the ambient dimension.
+    pub fn slack(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "point dimension mismatch");
+        let mut dot = 0.0;
+        for (a, v) in self.normal.iter().zip(x) {
+            dot += a * v;
+        }
+        self.offset - dot
+    }
+
+    /// Tests membership with tolerance `tol ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the ambient dimension.
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        self.slack(x) >= -tol
+    }
+
+    /// Returns a scaled copy with unit-length normal, or `None` when the
+    /// normal is (numerically) zero.
+    pub fn normalized(&self) -> Option<Halfspace> {
+        let norm: f64 = self.normal.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return None;
+        }
+        Some(Halfspace {
+            normal: self.normal.iter().map(|v| v / norm).collect(),
+            offset: self.offset / norm,
+        })
+    }
+
+    /// Returns the halfspace translated by `t`: `{x + t : aᵀx ≤ b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t.len()` differs from the ambient dimension.
+    pub fn translated(&self, t: &[f64]) -> Halfspace {
+        assert_eq!(t.len(), self.dim(), "translation dimension mismatch");
+        let shift: f64 = self.normal.iter().zip(t).map(|(a, v)| a * v).sum();
+        Halfspace { normal: self.normal.clone(), offset: self.offset + shift }
+    }
+}
+
+impl fmt::Display for Halfspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.normal.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{a:.4}·x{i}")?;
+        }
+        write!(f, " ≤ {:.4}", self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_and_membership() {
+        let h = Halfspace::new(vec![1.0, 1.0], 1.0);
+        assert!((h.slack(&[0.25, 0.25]) - 0.5).abs() < 1e-12);
+        assert!(h.contains(&[0.5, 0.5], 1e-9));
+        assert!(h.contains(&[0.5, 0.5 + 1e-10], 1e-9));
+        assert!(!h.contains(&[1.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let h = Halfspace::new(vec![3.0, 4.0], 10.0);
+        let n = h.normalized().unwrap();
+        let len: f64 = n.normal().iter().map(|v| v * v).sum::<f64>();
+        assert!((len - 1.0).abs() < 1e-12);
+        assert!((n.offset() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_normal_cannot_normalize() {
+        let h = Halfspace::new(vec![0.0, 0.0], 1.0);
+        assert!(h.normalized().is_none());
+    }
+
+    #[test]
+    fn translation_shifts_offset() {
+        let h = Halfspace::new(vec![1.0, 0.0], 2.0);
+        let t = h.translated(&[3.0, -100.0]);
+        assert!((t.offset() - 5.0).abs() < 1e-12);
+        assert!(t.contains(&[4.9, 0.0], 1e-9));
+    }
+}

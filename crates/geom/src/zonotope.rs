@@ -1,0 +1,324 @@
+//! Zonotopes: Minkowski sums of segments.
+//!
+//! The Raković invariant-set approximation needs iterated Minkowski sums
+//! `W ⊕ A_K W ⊕ A_K² W ⊕ …`. Sums of polytopes in H-rep are expensive, but a
+//! box disturbance set is a zonotope and zonotopes are *closed* under both
+//! linear maps and Minkowski sums (generator concatenation), so the whole
+//! sum stays exact and cheap in this representation.
+
+use oic_linalg::Matrix;
+use oic_lp::LinearProgram;
+
+use crate::{GeomError, Polytope, SupportFunction};
+
+/// A zonotope `{ c + Σᵢ ξᵢ gᵢ : ‖ξ‖_∞ ≤ 1 }` with center `c` and generators
+/// `gᵢ`.
+///
+/// # Examples
+///
+/// ```
+/// use oic_geom::{SupportFunction, Zonotope};
+///
+/// # fn main() -> Result<(), oic_geom::GeomError> {
+/// // The box [-1,1] × [-2,2] as a zonotope.
+/// let z = Zonotope::new(vec![0.0, 0.0], vec![vec![1.0, 0.0], vec![0.0, 2.0]]);
+/// assert!((z.support(&[1.0, 1.0])? - 3.0).abs() < 1e-12);
+/// assert!(z.contains(&[1.0, 2.0]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zonotope {
+    center: Vec<f64>,
+    generators: Vec<Vec<f64>>,
+}
+
+impl Zonotope {
+    /// Creates a zonotope from a center and generator list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the center is empty or any generator has a different
+    /// dimension.
+    pub fn new(center: Vec<f64>, generators: Vec<Vec<f64>>) -> Self {
+        assert!(!center.is_empty(), "zonotope center must be non-empty");
+        for g in &generators {
+            assert_eq!(g.len(), center.len(), "generator dimension mismatch");
+        }
+        Self { center, generators }
+    }
+
+    /// The box `[lo, hi]` as a zonotope (one axis generator per non-trivial
+    /// interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bounds are inconsistent (`lo > hi` anywhere).
+    pub fn from_box(lo: &[f64], hi: &[f64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "box bounds length mismatch");
+        let dim = lo.len();
+        let center: Vec<f64> = lo.iter().zip(hi).map(|(l, h)| 0.5 * (l + h)).collect();
+        let mut generators = Vec::new();
+        for i in 0..dim {
+            assert!(lo[i] <= hi[i], "box lower bound exceeds upper bound");
+            let half = 0.5 * (hi[i] - lo[i]);
+            if half > 0.0 {
+                let mut g = vec![0.0; dim];
+                g[i] = half;
+                generators.push(g);
+            }
+        }
+        Self { center, generators }
+    }
+
+    /// A single point as a (generator-free) zonotope.
+    pub fn point(center: Vec<f64>) -> Self {
+        Self::new(center, Vec::new())
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// The center `c`.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// The generator list.
+    pub fn generators(&self) -> &[Vec<f64>] {
+        &self.generators
+    }
+
+    /// Linear image `{ M z : z ∈ self }` — exact for any `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.cols()` differs from the ambient dimension.
+    pub fn linear_image(&self, m: &Matrix) -> Zonotope {
+        assert_eq!(m.cols(), self.dim(), "matrix dimension mismatch");
+        Zonotope {
+            center: m.mul_vec(&self.center),
+            generators: self.generators.iter().map(|g| m.mul_vec(g)).collect(),
+        }
+    }
+
+    /// Minkowski sum — exact via generator concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn minkowski_sum(&self, other: &Zonotope) -> Zonotope {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in Minkowski sum");
+        let center = self.center.iter().zip(&other.center).map(|(a, b)| a + b).collect();
+        let mut generators = self.generators.clone();
+        generators.extend(other.generators.iter().cloned());
+        Zonotope { center, generators }
+    }
+
+    /// Scales about the origin: `{ α z : z ∈ self }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha < 0`.
+    pub fn scale(&self, alpha: f64) -> Zonotope {
+        assert!(alpha >= 0.0, "scale factor must be non-negative");
+        Zonotope {
+            center: self.center.iter().map(|v| v * alpha).collect(),
+            generators: self
+                .generators
+                .iter()
+                .map(|g| g.iter().map(|v| v * alpha).collect())
+                .collect(),
+        }
+    }
+
+    /// Membership test via LP feasibility of `x = c + G ξ, ‖ξ‖_∞ ≤ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the ambient dimension.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        assert_eq!(x.len(), self.dim(), "point dimension mismatch");
+        let k = self.generators.len();
+        if k == 0 {
+            return self.center.iter().zip(x).all(|(c, v)| (c - v).abs() < 1e-7);
+        }
+        let mut lp = LinearProgram::minimize(&vec![0.0; k]);
+        for i in 0..k {
+            lp.set_bounds(i, -1.0, 1.0);
+        }
+        for d in 0..self.dim() {
+            let row: Vec<f64> = self.generators.iter().map(|g| g[d]).collect();
+            lp.add_eq(&row, x[d] - self.center[d]);
+        }
+        lp.solve().is_ok()
+    }
+
+    /// Exact halfspace representation of a 2-D zonotope.
+    ///
+    /// Each generator direction contributes a pair of parallel facets with
+    /// normal perpendicular to the generator; offsets come from the support
+    /// function. Degenerate (generator-free or rank-1) zonotopes fall back
+    /// to box/segment constructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NotTwoDimensional`] if the ambient dimension is
+    /// not 2.
+    pub fn to_polytope_2d(&self) -> Result<Polytope, GeomError> {
+        if self.dim() != 2 {
+            return Err(GeomError::NotTwoDimensional);
+        }
+        let mut normals: Vec<[f64; 2]> = Vec::new();
+        for g in &self.generators {
+            let n = [-g[1], g[0]];
+            let len = (n[0] * n[0] + n[1] * n[1]).sqrt();
+            if len < 1e-12 {
+                continue;
+            }
+            let unit = [n[0] / len, n[1] / len];
+            if !normals
+                .iter()
+                .any(|m| (m[0] - unit[0]).abs() < 1e-10 && (m[1] - unit[1]).abs() < 1e-10
+                    || (m[0] + unit[0]).abs() < 1e-10 && (m[1] + unit[1]).abs() < 1e-10)
+            {
+                normals.push(unit);
+            }
+        }
+        if normals.is_empty() {
+            // A point.
+            return Ok(Polytope::from_box(&self.center, &self.center));
+        }
+        if normals.len() == 1 {
+            // A segment: add end caps along the generator direction.
+            let n = normals[0];
+            normals.push([n[1], -n[0]]);
+        }
+        let mut hs = Vec::with_capacity(2 * normals.len());
+        for n in normals {
+            let dir = [n[0], n[1]];
+            let hi = self.support(&dir)?;
+            let lo = self.support(&[-dir[0], -dir[1]])?;
+            hs.push(crate::Halfspace::new(vec![dir[0], dir[1]], hi));
+            hs.push(crate::Halfspace::new(vec![-dir[0], -dir[1]], lo));
+        }
+        Ok(Polytope::new(2, hs))
+    }
+}
+
+impl SupportFunction for Zonotope {
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Analytic support function `h(d) = c·d + Σᵢ |gᵢ·d|`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails — zonotopes are bounded and non-empty. The `Result`
+    /// mirrors the trait signature.
+    fn support(&self, direction: &[f64]) -> Result<f64, GeomError> {
+        assert_eq!(direction.len(), self.dim(), "direction dimension mismatch");
+        let mut v: f64 = self.center.iter().zip(direction).map(|(c, d)| c * d).sum();
+        for g in &self.generators {
+            let dot: f64 = g.iter().zip(direction).map(|(a, d)| a * d).sum();
+            v += dot.abs();
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_zonotope_support_matches_polytope() {
+        let z = Zonotope::from_box(&[-1.0, -2.0], &[3.0, 2.0]);
+        let p = Polytope::from_box(&[-1.0, -2.0], &[3.0, 2.0]);
+        for dir in [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [-2.0, 3.0], [0.5, -0.5]] {
+            let zs = z.support(&dir).unwrap();
+            let ps = p.support(&dir).unwrap();
+            assert!((zs - ps).abs() < 1e-7, "dir {dir:?}: {zs} vs {ps}");
+        }
+    }
+
+    #[test]
+    fn degenerate_box_has_one_generator() {
+        // The paper's W = [-1,1] × {0}.
+        let z = Zonotope::from_box(&[-1.0, 0.0], &[1.0, 0.0]);
+        assert_eq!(z.generators().len(), 1);
+        assert!(z.contains(&[1.0, 0.0]));
+        assert!(!z.contains(&[0.0, 0.1]));
+    }
+
+    #[test]
+    fn linear_image_support_identity() {
+        let z = Zonotope::from_box(&[-1.0, -1.0], &[1.0, 1.0]);
+        let m = Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]);
+        let img = z.linear_image(&m);
+        // h_{Mz}(d) = h_z(Mᵀd) for several directions.
+        for dir in [[1.0, 0.0], [0.0, 1.0], [1.0, 2.0]] {
+            let lhs = img.support(&dir).unwrap();
+            let pulled = m.vec_mul(&dir);
+            let rhs = z.support(&pulled).unwrap();
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minkowski_sum_support_is_additive() {
+        let a = Zonotope::from_box(&[-1.0, 0.0], &[1.0, 0.0]);
+        let b = Zonotope::from_box(&[0.0, -2.0], &[0.0, 2.0]);
+        let s = a.minkowski_sum(&b);
+        for dir in [[1.0, 1.0], [3.0, -1.0]] {
+            let lhs = s.support(&dir).unwrap();
+            let rhs = a.support(&dir).unwrap() + b.support(&dir).unwrap();
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn to_polytope_2d_matches_membership() {
+        // Rotated zonotope: center (1,0), generators (1,1) and (1,-0.5).
+        let z = Zonotope::new(vec![1.0, 0.0], vec![vec![1.0, 1.0], vec![1.0, -0.5]]);
+        let p = z.to_polytope_2d().unwrap();
+        // Extreme points: c ± g1 ± g2.
+        for (s1, s2) in [(1.0, 1.0), (1.0, -1.0), (-1.0, 1.0), (-1.0, -1.0)] {
+            let x = [1.0 + s1 + s2, s1 - 0.5 * s2];
+            assert!(p.contains(&x), "{x:?}");
+            assert!(z.contains(&x), "{x:?}");
+        }
+        // A point outside.
+        assert!(!p.contains(&[3.5, 1.0]));
+        assert!(!z.contains(&[3.5, 1.0]));
+    }
+
+    #[test]
+    fn to_polytope_2d_segment() {
+        let z = Zonotope::new(vec![0.0, 0.0], vec![vec![1.0, 1.0]]);
+        let p = z.to_polytope_2d().unwrap();
+        assert!(p.contains(&[1.0, 1.0]));
+        assert!(p.contains(&[-0.5, -0.5]));
+        assert!(!p.contains(&[0.5, -0.5]));
+        assert!(!p.contains(&[1.5, 1.5]));
+    }
+
+    #[test]
+    fn to_polytope_2d_point() {
+        let z = Zonotope::point(vec![2.0, 3.0]);
+        let p = z.to_polytope_2d().unwrap();
+        assert!(p.contains(&[2.0, 3.0]));
+        assert!(!p.contains(&[2.0, 3.1]));
+    }
+
+    #[test]
+    fn scale_shrinks() {
+        let z = Zonotope::from_box(&[-2.0, -2.0], &[2.0, 2.0]);
+        let half = z.scale(0.5);
+        assert!(half.contains(&[1.0, 1.0]));
+        assert!(!half.contains(&[1.5, 0.0]));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the polytope/zonotope layer: the set operations
+//! must *transport membership* correctly, which is exactly what the safety
+//! machinery relies on.
+
+use oic_geom::{
+    minkowski_sum_2d, polytope_from_points_2d, Polytope, SupportFunction, Zonotope,
+};
+use oic_linalg::Matrix;
+use proptest::prelude::*;
+
+fn box2d() -> impl Strategy<Value = Polytope> {
+    ((-5.0f64..0.0), (0.1f64..5.0), (-5.0f64..0.0), (0.1f64..5.0)).prop_map(
+        |(lx, wx, ly, wy)| Polytope::from_box(&[lx, ly], &[lx + wx, ly + wy]),
+    )
+}
+
+fn point2d() -> impl Strategy<Value = [f64; 2]> {
+    [(-6.0f64..6.0), (-6.0f64..6.0)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Minkowski difference: x ∈ P ⊖ W ⟺ x + w ∈ P for the extreme w.
+    #[test]
+    fn minkowski_diff_transports_membership(p in box2d(), x in point2d()) {
+        let w = Polytope::from_box(&[-0.5, -0.25], &[0.5, 0.25]);
+        let d = p.minkowski_diff(&w).unwrap();
+        if d.contains_with_tol(&x, -1e-9) {
+            for wx in [[-0.5, -0.25], [0.5, -0.25], [-0.5, 0.25], [0.5, 0.25]] {
+                prop_assert!(p.contains_with_tol(&[x[0] + wx[0], x[1] + wx[1]], 1e-7));
+            }
+        }
+    }
+
+    /// Pre-image: x ∈ preimage(M, c) ⟺ Mx + c ∈ P.
+    #[test]
+    fn preimage_transports_membership(p in box2d(), x in point2d()) {
+        let m = Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]);
+        let c = [0.3, -0.2];
+        let pre = p.preimage(&m, &c);
+        let y = m.mul_vec(&x);
+        let image = [y[0] + c[0], y[1] + c[1]];
+        prop_assert_eq!(
+            pre.contains_with_tol(&x, 1e-9),
+            p.contains_with_tol(&image, 1e-9 * 2.0),
+            "x = {:?}, Mx+c = {:?}", x, image
+        );
+    }
+
+    /// Intersection is exactly conjunction of membership.
+    #[test]
+    fn intersection_is_conjunction(a in box2d(), b in box2d(), x in point2d()) {
+        let i = a.intersection(&b);
+        prop_assert_eq!(i.contains(&x), a.contains(&x) && b.contains(&x));
+    }
+
+    /// Redundancy removal preserves the set.
+    #[test]
+    fn remove_redundant_preserves_set(a in box2d(), b in box2d(), x in point2d()) {
+        let p = a.intersection(&b);
+        let r = p.remove_redundant();
+        // Equality of membership except within a hair of the boundary.
+        if p.min_slack(&x).abs() > 1e-6 {
+            prop_assert_eq!(r.contains(&x), p.contains(&x));
+        }
+        prop_assert!(r.num_halfspaces() <= p.num_halfspaces());
+    }
+
+    /// Support function characterizes membership: x ∈ P ⟹ d·x ≤ h_P(d).
+    #[test]
+    fn support_bounds_members(p in box2d(), x in point2d(), d in point2d()) {
+        if p.contains(&x) {
+            let h = p.support(&d).unwrap();
+            let dx = d[0] * x[0] + d[1] * x[1];
+            prop_assert!(dx <= h + 1e-7);
+        }
+    }
+
+    /// Support is sublinear: h(d1 + d2) ≤ h(d1) + h(d2).
+    #[test]
+    fn support_is_sublinear(p in box2d(), d1 in point2d(), d2 in point2d()) {
+        let h1 = p.support(&d1).unwrap();
+        let h2 = p.support(&d2).unwrap();
+        let hs = p.support(&[d1[0] + d2[0], d1[1] + d2[1]]).unwrap();
+        prop_assert!(hs <= h1 + h2 + 1e-7);
+    }
+
+    /// Fourier–Motzkin: membership in the projection has a witness, and
+    /// every full point projects into the projection.
+    #[test]
+    fn projection_soundness(p in box2d(), x in point2d(), z in -5.0f64..5.0) {
+        // Lift to 3-D with a coupling constraint, then eliminate z.
+        let mut hs = Vec::new();
+        for h in p.halfspaces() {
+            let mut n = h.normal().to_vec();
+            n.push(0.0);
+            hs.push(oic_geom::Halfspace::new(n, h.offset()));
+        }
+        hs.push(oic_geom::Halfspace::new(vec![0.5, 0.5, 1.0], 3.0));
+        hs.push(oic_geom::Halfspace::new(vec![0.0, 0.0, -1.0], 5.0));
+        let lifted = Polytope::new(3, hs);
+        let projected = lifted.eliminate(2);
+        // Completeness direction: (x, z) ∈ lifted ⟹ x ∈ projected.
+        if lifted.contains(&[x[0], x[1], z]) {
+            prop_assert!(projected.contains_with_tol(&x, 1e-6));
+        }
+    }
+
+    /// Zonotope support equals polytope support after conversion (2-D).
+    #[test]
+    fn zonotope_polytope_support_agree(
+        g1 in point2d(),
+        g2 in point2d(),
+        d in point2d(),
+    ) {
+        prop_assume!(d[0].abs() + d[1].abs() > 1e-6);
+        let z = Zonotope::new(vec![0.0, 0.0], vec![g1.to_vec(), g2.to_vec()]);
+        let p = z.to_polytope_2d().unwrap();
+        let hz = z.support(&d).unwrap();
+        let hp = p.support(&d).unwrap();
+        prop_assert!((hz - hp).abs() < 1e-6, "{hz} vs {hp}");
+    }
+
+    /// Zonotope membership agrees with its polytope form (2-D).
+    #[test]
+    fn zonotope_membership_agrees(g1 in point2d(), g2 in point2d(), x in point2d()) {
+        let z = Zonotope::new(vec![0.0, 0.0], vec![g1.to_vec(), g2.to_vec()]);
+        let p = z.to_polytope_2d().unwrap();
+        // Skip razor-thin boundary disagreements.
+        if p.min_slack(&x).abs() > 1e-6 {
+            prop_assert_eq!(z.contains(&x), p.contains(&x));
+        }
+    }
+
+    /// Minkowski sum on vertices: sums of member points are members.
+    #[test]
+    fn minkowski_sum_contains_pointwise_sums(a in box2d(), b in box2d()) {
+        let s = minkowski_sum_2d(&a, &b).unwrap();
+        let va = a.vertices_2d().unwrap();
+        let vb = b.vertices_2d().unwrap();
+        for p in &va {
+            for q in &vb {
+                prop_assert!(s.contains_with_tol(&[p[0] + q[0], p[1] + q[1]], 1e-6));
+            }
+        }
+    }
+
+    /// V-rep → H-rep: hull of random points contains exactly the points.
+    #[test]
+    fn hull_contains_its_points(
+        pts in prop::collection::vec(point2d(), 3..12),
+    ) {
+        let p = polytope_from_points_2d(&pts).unwrap();
+        for pt in &pts {
+            prop_assert!(p.contains_with_tol(pt, 1e-6), "{pt:?} outside its own hull");
+        }
+    }
+}

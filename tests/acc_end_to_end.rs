@@ -1,0 +1,159 @@
+//! End-to-end closed-loop tests of the ACC case study: every policy kind
+//! against the traffic simulator, checking safety, skip accounting, and
+//! the fuel ordering the paper's evaluation rests on.
+
+use oic::core::acc::{AccCaseStudy, EpisodeConfig, EpisodeOutcome};
+use oic::core::{
+    AlwaysRunPolicy, BangBangPolicy, CoreError, ModelBasedPolicy, RandomPolicy, SkipPolicy,
+};
+use oic::sim::front::{SinusoidalFront, StopAndGoFront, UniformRandomFront};
+use oic::sim::fuel::{ActuationEnergy, Hbefa3Fuel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn case() -> &'static AccCaseStudy {
+    use std::sync::OnceLock;
+    static CASE: OnceLock<AccCaseStudy> = OnceLock::new();
+    CASE.get_or_init(|| AccCaseStudy::build_default().expect("case study builds"))
+}
+
+fn run(
+    policy: &mut dyn SkipPolicy,
+    front_seed: u64,
+    x0: [f64; 2],
+    oracle: bool,
+) -> Result<EpisodeOutcome, CoreError> {
+    let case = case();
+    case.run_episode(EpisodeConfig {
+        policy,
+        front: Box::new(SinusoidalFront::new(case.params(), 40.0, 9.0, 1.0, front_seed)),
+        fuel: Box::new(Hbefa3Fuel::default()),
+        steps: 100,
+        initial_state: x0,
+        oracle_forecast: oracle,
+    })
+}
+
+#[test]
+fn all_policies_are_safe_on_sinusoidal_traffic() {
+    let case = case();
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..3 {
+        let x0 = case.sample_initial_state(&mut rng);
+        let outcomes = [
+            run(&mut AlwaysRunPolicy, 50 + i, x0, false).unwrap(),
+            run(&mut BangBangPolicy, 50 + i, x0, false).unwrap(),
+            run(&mut RandomPolicy::new(0.5, i), 50 + i, x0, false).unwrap(),
+        ];
+        for o in &outcomes {
+            assert_eq!(o.summary.safety_violations, 0, "case {i}");
+            assert_eq!(o.summary.steps, 100);
+        }
+    }
+}
+
+#[test]
+fn skipping_saves_fuel_on_average() {
+    let case = case();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut base_total = 0.0;
+    let mut bang_total = 0.0;
+    for i in 0..5 {
+        let x0 = case.sample_initial_state(&mut rng);
+        base_total += run(&mut AlwaysRunPolicy, 500 + i, x0, false).unwrap().summary.total_fuel;
+        bang_total += run(&mut BangBangPolicy, 500 + i, x0, false).unwrap().summary.total_fuel;
+    }
+    assert!(
+        bang_total < 0.95 * base_total,
+        "bang-bang should save >5% fuel: {bang_total} vs {base_total}"
+    );
+}
+
+#[test]
+fn bang_bang_skip_accounting_matches_simulator() {
+    let outcome = run(&mut BangBangPolicy, 9, [0.0, 0.0], false).unwrap();
+    // The simulator's annotated skip count equals the runtime's.
+    assert_eq!(outcome.summary.skipped_steps, outcome.stats.skipped);
+    assert!(outcome.stats.skipped > 50, "skips: {}", outcome.stats.skipped);
+    assert_eq!(
+        outcome.stats.skipped + outcome.stats.forced_runs + outcome.stats.policy_runs,
+        100
+    );
+}
+
+#[test]
+fn model_based_policy_with_oracle_is_safe_and_skips() {
+    let case = case();
+    let mut mip = ModelBasedPolicy::new(case.sets(), case.gain().clone(), 5).unwrap();
+    let outcome = run(&mut mip, 33, [0.0, 0.0], true).unwrap();
+    assert_eq!(outcome.summary.safety_violations, 0);
+    assert!(outcome.stats.skipped > 30, "MIP should skip plenty: {}", outcome.stats.skipped);
+}
+
+#[test]
+fn actuation_energy_metric_orders_like_fuel() {
+    // Under the paper's own Σ‖u‖₁ objective, skipping also wins.
+    let case = case();
+    let run_with = |policy: &mut dyn SkipPolicy| -> f64 {
+        case.run_episode(EpisodeConfig {
+            policy,
+            front: Box::new(SinusoidalFront::new(case.params(), 40.0, 9.0, 1.0, 77)),
+            fuel: Box::new(ActuationEnergy),
+            steps: 100,
+            initial_state: [0.0, 0.0],
+            oracle_forecast: false,
+        })
+        .unwrap()
+        .summary
+        .total_fuel
+    };
+    let base = run_with(&mut AlwaysRunPolicy);
+    let bang = run_with(&mut BangBangPolicy);
+    assert!(bang < base, "‖u‖₁ energy: {bang} vs {base}");
+}
+
+#[test]
+fn stop_and_go_and_random_traffic_are_safe() {
+    let case = case();
+    for i in 0..2 {
+        let mut bang = BangBangPolicy;
+        let outcome = case
+            .run_episode(EpisodeConfig {
+                policy: &mut bang,
+                front: Box::new(StopAndGoFront::new(
+                    case.params().vf_range,
+                    5.0,
+                    (10, 30),
+                    case.params().dt,
+                    i,
+                )),
+                fuel: Box::new(Hbefa3Fuel::default()),
+                steps: 200,
+                initial_state: [0.0, 0.0],
+                oracle_forecast: false,
+            })
+            .unwrap();
+        assert_eq!(outcome.summary.safety_violations, 0);
+
+        let mut rnd = RandomPolicy::new(0.7, i);
+        let outcome = case
+            .run_episode(EpisodeConfig {
+                policy: &mut rnd,
+                front: Box::new(UniformRandomFront::new(case.params().vf_range, i)),
+                fuel: Box::new(Hbefa3Fuel::default()),
+                steps: 200,
+                initial_state: [0.0, 0.0],
+                oracle_forecast: false,
+            })
+            .unwrap();
+        assert_eq!(outcome.summary.safety_violations, 0);
+    }
+}
+
+#[test]
+fn distance_band_is_respected_with_margin() {
+    // Theorem 1 keeps s within [120, 180]; check the observed extremes.
+    let outcome = run(&mut BangBangPolicy, 1234, [0.0, 0.0], false).unwrap();
+    assert!(outcome.summary.min_distance >= 120.0);
+    assert!(outcome.summary.max_distance <= 180.0);
+}

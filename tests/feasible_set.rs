@@ -1,0 +1,95 @@
+//! Cross-crate validation of Proposition 1 and the invariant-set layer:
+//! the MPC's feasible set equals the region where the online LP solves,
+//! is robust control invariant, and sits inside the maximal RCI set.
+
+use oic::control::{max_rci, verify_rci, InvariantOptions};
+use oic::core::acc::AccCaseStudy;
+use oic::geom::SupportFunction;
+use proptest::prelude::*;
+
+fn case() -> &'static AccCaseStudy {
+    use std::sync::OnceLock;
+    static CASE: OnceLock<AccCaseStudy> = OnceLock::new();
+    CASE.get_or_init(|| AccCaseStudy::build_default().expect("case study builds"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Membership in XI = X_F coincides with online-solver feasibility
+    /// (Proposition 1), sampled over the whole safe box.
+    #[test]
+    fn feasible_set_agrees_with_online_solver(
+        s in -29.0f64..29.0,
+        v in -14.5f64..14.5,
+    ) {
+        let case = case();
+        let x = [s, v];
+        let xi = case.sets().invariant();
+        // Skip boundary-ambiguous samples.
+        prop_assume!(xi.min_slack(&x).abs() > 1e-3);
+        let in_set = xi.contains(&x);
+        let solvable = case.mpc().solve(&x).is_ok();
+        prop_assert_eq!(in_set, solvable, "state {:?}", x);
+    }
+
+    /// X' membership implies one *skipped* step stays inside XI for the
+    /// extreme disturbances (the defining property of B(XI, u_skip)).
+    #[test]
+    fn strengthened_states_survive_one_skip(
+        s in -29.0f64..29.0,
+        v in -14.5f64..14.5,
+        w_sign in prop::bool::ANY,
+    ) {
+        let case = case();
+        let x = [s, v];
+        prop_assume!(case.sets().strengthened().contains(&x));
+        let sys = case.sets().plant().system();
+        let u_skip = case.sets().skip_input().to_vec();
+        let w = vec![if w_sign { 1.0 } else { -1.0 }, 0.0];
+        let next = sys.step(&x, &u_skip, &w);
+        prop_assert!(
+            case.sets().invariant().contains_with_tol(&next, 1e-6),
+            "skip from {:?} left XI: {:?}", x, next
+        );
+    }
+}
+
+#[test]
+fn feasible_set_is_certified_rci() {
+    let case = case();
+    assert!(verify_rci(case.sets().plant(), case.sets().invariant(), 1e-5).unwrap());
+}
+
+#[test]
+fn feasible_set_within_maximal_rci() {
+    // X_F is always a subset of the maximal RCI set; for this plant the
+    // long horizon recovers (numerically) all of it, so only inclusion —
+    // not strictness — is asserted.
+    let case = case();
+    let max = max_rci(case.sets().plant(), &InvariantOptions::default()).unwrap();
+    assert!(case.sets().invariant().is_subset_of(&max, 1e-5).unwrap());
+}
+
+#[test]
+fn tightened_sets_and_terminal_are_consistent() {
+    let case = case();
+    let mpc = case.mpc();
+    let sets = mpc.tightened_sets();
+    for k in 1..sets.len() {
+        assert!(sets[k].is_subset_of(&sets[k - 1], 1e-6).unwrap());
+    }
+    assert!(mpc.terminal_set().is_subset_of(&sets[sets.len() - 1], 1e-6).unwrap());
+}
+
+#[test]
+fn invariant_support_radii_are_sensible() {
+    // The invariant set spans most of the tightened s-range but is clipped
+    // in velocity by controllability.
+    let case = case();
+    let xi = case.sets().invariant();
+    let s_hi = xi.support(&[1.0, 0.0]).unwrap();
+    let v_hi = xi.support(&[0.0, 1.0]).unwrap();
+    assert!(s_hi > 15.0, "s extent {s_hi}");
+    assert!(v_hi <= 15.0 + 1e-6, "v extent {v_hi}");
+}

@@ -1,0 +1,159 @@
+//! Integration tests for Theorem 1: safety holds for *any* skipping
+//! decision function, under adversarial in-bound disturbances, for both
+//! kinds of underlying controller.
+
+use oic::control::{dlqr, ConstrainedLti, LinearFeedback, Lti};
+use oic::core::acc::AccCaseStudy;
+use oic::core::{
+    BangBangPolicy, CoreError, IntermittentController, RandomPolicy, SafeSets, SkipInput,
+    SkipPolicy,
+};
+use oic::geom::Polytope;
+use oic::linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn acc_case() -> &'static AccCaseStudy {
+    use std::sync::OnceLock;
+    static CASE: OnceLock<AccCaseStudy> = OnceLock::new();
+    CASE.get_or_init(|| AccCaseStudy::build_default().expect("case study builds"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 1 for the tube-MPC case study: arbitrary skip probability,
+    /// arbitrary disturbance seed, long horizon — the state never leaves
+    /// XI (and hence never leaves X).
+    #[test]
+    fn theorem1_mpc_any_policy_any_disturbance(
+        skip_prob in 0.0f64..1.0,
+        policy_seed in 0u64..1_000,
+        w_seed in 0u64..1_000,
+    ) {
+        let case = acc_case();
+        let sys = case.sets().plant().system().clone();
+        let mut ic = IntermittentController::new(
+            case.mpc().clone(),
+            case.sets().clone(),
+            Box::new(RandomPolicy::new(skip_prob, policy_seed)) as Box<dyn SkipPolicy>,
+            1,
+        );
+        let mut rng = StdRng::seed_from_u64(w_seed);
+        let mut x = vec![0.0, 0.0];
+        for step in 0..150 {
+            prop_assert!(
+                case.sets().invariant().contains_with_tol(&x, 1e-6),
+                "left XI at step {step}: {x:?}"
+            );
+            prop_assert!(
+                case.sets().safe().contains_with_tol(&x, 1e-6),
+                "left X at step {step}: {x:?}"
+            );
+            let d = ic.step(&x, &[]).expect("monitored step succeeds inside XI");
+            // Adversarial: full-magnitude disturbances only.
+            let w = vec![if rng.gen_bool(0.5) { 1.0 } else { -1.0 }, 0.0];
+            x = sys.step(&x, &d.input, &w);
+        }
+    }
+
+    /// Random initial states inside X' are all safe starting points.
+    #[test]
+    fn initial_states_within_strengthened_stay_safe(seed in 0u64..500) {
+        let case = acc_case();
+        let sys = case.sets().plant().system().clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = case.sample_initial_state(&mut rng);
+        let mut ic = IntermittentController::new(
+            case.mpc().clone(),
+            case.sets().clone(),
+            Box::new(BangBangPolicy) as Box<dyn SkipPolicy>,
+            1,
+        );
+        let mut x = x0.to_vec();
+        for _ in 0..100 {
+            let d = ic.step(&x, &[]).expect("safe step");
+            let w = vec![rng.gen_range(-1.0..=1.0), 0.0];
+            x = sys.step(&x, &d.input, &w);
+            prop_assert!(case.sets().safe().contains_with_tol(&x, 1e-6));
+        }
+    }
+}
+
+/// Theorem 1 for the linear-feedback controller with the literal zero skip
+/// input (the paper's simpler setting).
+#[test]
+fn theorem1_linear_feedback() {
+    let plant = ConstrainedLti::new(
+        Lti::new(
+            Matrix::from_rows(&[&[1.0, -0.1], &[0.0, 0.98]]),
+            Matrix::from_rows(&[&[0.0], &[0.1]]),
+        ),
+        Polytope::from_box(&[-30.0, -15.0], &[30.0, 15.0]),
+        Polytope::from_box(&[-48.0], &[32.0]),
+        Polytope::from_box(&[-1.0, 0.0], &[1.0, 0.0]),
+    );
+    let gain = dlqr(
+        plant.system().a(),
+        plant.system().b(),
+        &Matrix::identity(2),
+        &Matrix::identity(1),
+    )
+    .unwrap();
+    let sets = SafeSets::for_linear_feedback(plant, &gain, &SkipInput::Zero).unwrap();
+    sets.certify().unwrap();
+    let sys = sets.plant().system().clone();
+
+    for trial in 0..4 {
+        let mut ic = IntermittentController::new(
+            LinearFeedback::new(gain.clone()),
+            sets.clone(),
+            Box::new(RandomPolicy::new(0.8, trial)) as Box<dyn SkipPolicy>,
+            1,
+        );
+        let mut rng = StdRng::seed_from_u64(trial + 77);
+        let mut x = vec![0.0, 0.0];
+        for step in 0..250 {
+            assert!(
+                sets.invariant().contains_with_tol(&x, 1e-6),
+                "trial {trial} step {step}: left XI at {x:?}"
+            );
+            let d = ic.step(&x, &[]).unwrap();
+            let w = vec![if rng.gen_bool(0.5) { 1.0 } else { -1.0 }, 0.0];
+            x = sys.step(&x, &d.input, &w);
+        }
+    }
+}
+
+/// The monitor's error path: starting outside XI is reported, not silently
+/// "handled".
+#[test]
+fn outside_invariant_reports_error() {
+    let case = acc_case();
+    let mut ic = IntermittentController::new(
+        case.mpc().clone(),
+        case.sets().clone(),
+        Box::new(BangBangPolicy) as Box<dyn SkipPolicy>,
+        1,
+    );
+    match ic.step(&[29.9, 14.9], &[]) {
+        // Near the corner of X the state is outside XI: must be an error,
+        // or — if inside XI — a successful forced run.
+        Err(CoreError::OutsideInvariant { .. }) => {}
+        Ok(d) => assert!(!d.skipped || case.sets().strengthened().contains(&[29.9, 14.9])),
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+/// The certified sets satisfy the quantitative version of Fig. 1: the
+/// hierarchy is strict for the coast skip input.
+#[test]
+fn set_hierarchy_is_strict() {
+    let case = acc_case();
+    let sets = case.sets();
+    // X' ⊊ XI: some invariant state cannot skip safely.
+    assert!(!sets.invariant().is_subset_of(sets.strengthened(), 1e-6).unwrap());
+    // XI ⊊ X: the safe set is not invariant by itself.
+    assert!(!sets.safe().is_subset_of(sets.invariant(), 1e-6).unwrap());
+}
