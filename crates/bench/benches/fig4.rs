@@ -51,7 +51,9 @@ fn bench_fig4_units(c: &mut Criterion) {
         ..DqnConfig::default()
     });
     let mut drl = DrlPolicy::new(agent, case().sets(), 1);
-    c.bench_function("fig4/episode_drl_inference", |b| b.iter(|| episode(&mut drl, steps)));
+    c.bench_function("fig4/episode_drl_inference", |b| {
+        b.iter(|| episode(&mut drl, steps))
+    });
 }
 
 criterion_group! {

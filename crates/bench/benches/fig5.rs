@@ -18,7 +18,10 @@ fn case() -> &'static AccCaseStudy {
 }
 
 fn bench_fig5_units(c: &mut Criterion) {
-    for (label, range) in [("ex1_wide", VELOCITY_RANGES[0]), ("ex5_narrow", VELOCITY_RANGES[4])] {
+    for (label, range) in [
+        ("ex1_wide", VELOCITY_RANGES[0]),
+        ("ex5_narrow", VELOCITY_RANGES[4]),
+    ] {
         c.bench_function(&format!("fig5/episode_{label}"), |b| {
             b.iter(|| {
                 let case = case();

@@ -2,14 +2,21 @@
 //! recursion, skip-input semantics, MPC horizon).
 //!
 //! Usage: `cargo run --release -p oic-bench --bin ablation -- [--cases N]
-//! [--steps N] [--seed N]`
+//! [--steps N] [--seed N] [--out report.json]`
 
 use oic_bench::experiments::{ablation, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_args(std::env::args().skip(1));
     match ablation::run(&scale) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            print!("{out}");
+            let json = scale.json_header("ablation").with("text", out.as_str());
+            if let Err(e) = scale.save_json(&json) {
+                eprintln!("failed to write report: {e}");
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             eprintln!("ablation failed: {e}");
             std::process::exit(1);

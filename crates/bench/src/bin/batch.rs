@@ -1,0 +1,31 @@
+//! The engine-backed scenario sweep: every registered scenario × the
+//! standard policy roster, in parallel, with seed-stable JSON output.
+//!
+//! Usage: `cargo run --release -p oic-bench --bin batch -- [--cases N]
+//! [--steps N] [--seed N] [--out report.json]`
+
+use oic_bench::experiments::{batch, ExperimentScale};
+
+fn main() {
+    let mut scale = ExperimentScale::from_args(std::env::args().skip(1));
+    // The paper-scale default of 500 training episodes is a DRL knob; the
+    // sweep is policy-only, so only cases/steps/seed apply.
+    scale.train_episodes = 0;
+    eprintln!(
+        "batch: full registry x standard policies, {} episodes x {} steps (seed {})",
+        scale.cases, scale.steps, scale.seed
+    );
+    match batch::run(&scale) {
+        Ok(report) => {
+            print!("{}", batch::render(&report));
+            if let Err(e) = scale.save_json(&report.to_json(false)) {
+                eprintln!("failed to write report: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("batch failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

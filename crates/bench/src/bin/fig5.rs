@@ -1,7 +1,7 @@
 //! Regenerates the paper's Table I and Fig. 5 (savings vs `v_f` range).
 //!
 //! Usage: `cargo run --release -p oic-bench --bin fig5 -- [--cases N]
-//! [--steps N] [--train N] [--seed N]`
+//! [--steps N] [--train N] [--seed N] [--out report.json]`
 
 use oic_bench::experiments::{fig5, ExperimentScale};
 
@@ -12,7 +12,13 @@ fn main() {
         scale.cases, scale.steps, scale.train_episodes, scale.seed
     );
     match fig5::run(&scale) {
-        Ok(report) => print!("{}", fig5::render(&report)),
+        Ok(report) => {
+            print!("{}", fig5::render(&report));
+            if let Err(e) = scale.save_json(&fig5::to_json(&report, &scale)) {
+                eprintln!("failed to write report: {e}");
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             eprintln!("fig5 failed: {e}");
             std::process::exit(1);

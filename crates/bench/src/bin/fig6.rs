@@ -1,7 +1,7 @@
 //! Regenerates the paper's Fig. 6 (savings vs `v_f` regularity).
 //!
 //! Usage: `cargo run --release -p oic-bench --bin fig6 -- [--cases N]
-//! [--steps N] [--train N] [--seed N]`
+//! [--steps N] [--train N] [--seed N] [--out report.json]`
 
 use oic_bench::experiments::{fig6, ExperimentScale};
 
@@ -12,7 +12,13 @@ fn main() {
         scale.cases, scale.steps, scale.train_episodes, scale.seed
     );
     match fig6::run(&scale) {
-        Ok(report) => print!("{}", fig6::render(&report)),
+        Ok(report) => {
+            print!("{}", fig6::render(&report));
+            if let Err(e) = scale.save_json(&fig6::to_json(&report, &scale)) {
+                eprintln!("failed to write report: {e}");
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             eprintln!("fig6 failed: {e}");
             std::process::exit(1);

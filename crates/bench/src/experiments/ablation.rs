@@ -84,7 +84,10 @@ pub fn run(scale: &ExperimentScale) -> Result<String, CoreError> {
     let mut rows = Vec::new();
     for (label, skip) in [
         ("literal zero (deviation u = 0)", SkipInput::Zero),
-        ("physical coast (absolute u = 0)", SkipInput::Vector(vec![-params.u_eq()])),
+        (
+            "physical coast (absolute u = 0)",
+            SkipInput::Vector(vec![-params.u_eq()]),
+        ),
     ] {
         let case = AccCaseStudy::build(params.clone(), 10, skip)?;
         let xp = case.sets().strengthened();
@@ -119,7 +122,12 @@ pub fn run(scale: &ExperimentScale) -> Result<String, CoreError> {
     }
     out.push_str("\nAblation 2 — skip-input semantics\n");
     out.push_str(&table::render(
-        &["skip input", "X' s-span", "X' v-span", "bang-bang fuel saving"],
+        &[
+            "skip input",
+            "X' s-span",
+            "X' v-span",
+            "bang-bang fuel saving",
+        ],
         &rows,
     ));
 
@@ -165,7 +173,13 @@ mod tests {
 
     #[test]
     fn ablation_runs_and_renders() {
-        let scale = ExperimentScale { cases: 3, steps: 30, train_episodes: 0, seed: 1 };
+        let scale = ExperimentScale {
+            cases: 3,
+            steps: 30,
+            train_episodes: 0,
+            seed: 1,
+            out: None,
+        };
         let out = run(&scale).unwrap();
         assert!(out.contains("Ablation 1"));
         assert!(out.contains("Ablation 2"));

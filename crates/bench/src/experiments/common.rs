@@ -9,7 +9,8 @@ use oic_sim::fuel::Hbefa3Fuel;
 /// Size knobs shared by all experiment binaries.
 ///
 /// Defaults match the paper's protocol (500 cases × 100 steps); pass
-/// `--cases/--steps/--train/--seed` on the command line to scale.
+/// `--cases/--steps/--train/--seed` on the command line to scale, and
+/// `--out report.json` to save the machine-readable report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentScale {
     /// Number of random test cases per experiment.
@@ -20,17 +21,25 @@ pub struct ExperimentScale {
     pub train_episodes: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Optional path for the JSON report.
+    pub out: Option<String>,
 }
 
 impl Default for ExperimentScale {
     fn default() -> Self {
-        Self { cases: 500, steps: 100, train_episodes: 300, seed: 2020 }
+        Self {
+            cases: 500,
+            steps: 100,
+            train_episodes: 300,
+            seed: 2020,
+            out: None,
+        }
     }
 }
 
 impl ExperimentScale {
-    /// Parses `--cases N --steps N --train N --seed N` from an argument
-    /// iterator (unknown arguments are ignored).
+    /// Parses `--cases N --steps N --train N --seed N --out FILE` from an
+    /// argument iterator (unknown arguments are ignored).
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut scale = Self::default();
         let mut args = args.into_iter();
@@ -56,10 +65,39 @@ impl ExperimentScale {
                         scale.seed = v;
                     }
                 }
+                "--out" => {
+                    if let Some(v) = args.next() {
+                        scale.out = Some(v);
+                    }
+                }
                 _ => {}
             }
         }
         scale
+    }
+
+    /// The scale parameters every JSON report carries (so a saved report
+    /// is reproducible from its own header).
+    pub fn json_header(&self, experiment: &str) -> oic_engine::JsonValue {
+        oic_engine::JsonValue::object()
+            .with("experiment", experiment)
+            .with("cases", self.cases)
+            .with("steps", self.steps)
+            .with("train_episodes", self.train_episodes)
+            .with("seed", self.seed.to_string())
+    }
+
+    /// Writes a JSON report to [`Self::out`] when set, logging the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_json(&self, document: &oic_engine::JsonValue) -> std::io::Result<()> {
+        if let Some(path) = &self.out {
+            std::fs::write(path, document.to_json_pretty())?;
+            eprintln!("report written to {path}");
+        }
+        Ok(())
     }
 }
 
@@ -121,7 +159,10 @@ pub fn compare_on_case(
         initial_state,
         oracle_forecast,
     })?;
-    Ok(EpisodeComparison { baseline, policy: policy_outcome })
+    Ok(EpisodeComparison {
+        baseline,
+        policy: policy_outcome,
+    })
 }
 
 #[cfg(test)]
@@ -157,7 +198,10 @@ mod tests {
             },
             stats: RunStats::default(),
         };
-        let cmp = EpisodeComparison { baseline: outcome(10.0), policy: outcome(8.0) };
+        let cmp = EpisodeComparison {
+            baseline: outcome(10.0),
+            policy: outcome(8.0),
+        };
         assert!((cmp.fuel_saving() - 0.2).abs() < 1e-12);
         assert_eq!(cmp.violations(), 0);
     }

@@ -17,8 +17,9 @@ use super::common::{compare_on_case, ExperimentScale};
 use crate::table;
 
 /// Histogram bucket labels (paper x-axis plus a catch-all for regressions).
-pub const BUCKETS: [&str; 7] =
-    ["<0%", "0%-10%", "10%-20%", "20%-30%", "30%-40%", "40%-50%", "50%-60%"];
+pub const BUCKETS: [&str; 7] = [
+    "<0%", "0%-10%", "10%-20%", "20%-30%", "30%-40%", "40%-50%", "50%-60%",
+];
 
 /// Aggregated Fig. 4 results.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +63,13 @@ pub fn run(scale: &ExperimentScale) -> Result<Fig4Report, CoreError> {
     let train_params = params.clone();
     let (mut drl, _stats) = case.train_drl(
         Box::new(move |seed| {
-            Box::new(SinusoidalFront::new(&train_params, 40.0, 9.0, 1.0, 0xD6A0 + seed))
+            Box::new(SinusoidalFront::new(
+                &train_params,
+                40.0,
+                9.0,
+                1.0,
+                0xD6A0 + seed,
+            ))
         }),
         scale.train_episodes,
         scale.steps,
@@ -84,7 +91,7 @@ pub fn run(scale: &ExperimentScale) -> Result<Fig4Report, CoreError> {
     let mut rng = StdRng::seed_from_u64(scale.seed);
     for case_idx in 0..scale.cases {
         let x0 = case.sample_initial_state(&mut rng);
-        let front_seed = scale.seed ^ (0xF19_4 + case_idx as u64);
+        let front_seed = scale.seed ^ (0xF194 + case_idx as u64);
         let mut front_factory = {
             let params = params.clone();
             move || -> Box<dyn oic_sim::front::FrontModel> {
@@ -93,7 +100,8 @@ pub fn run(scale: &ExperimentScale) -> Result<Fig4Report, CoreError> {
         };
 
         let mut bang = BangBangPolicy;
-        let cmp_bang = compare_on_case(&case, &mut bang, &mut front_factory, x0, scale.steps, false)?;
+        let cmp_bang =
+            compare_on_case(&case, &mut bang, &mut front_factory, x0, scale.steps, false)?;
         let cmp_drl = compare_on_case(
             &case,
             &mut drl as &mut dyn SkipPolicy,
@@ -117,6 +125,24 @@ pub fn run(scale: &ExperimentScale) -> Result<Fig4Report, CoreError> {
     report.mean_skip_rate_bang_bang /= n;
     report.mean_skip_rate_drl /= n;
     Ok(report)
+}
+
+/// JSON form of the report (written by the binary's `--out` flag).
+pub fn to_json(report: &Fig4Report, scale: &ExperimentScale) -> oic_engine::JsonValue {
+    use oic_engine::JsonValue;
+    scale
+        .json_header("fig4")
+        .with(
+            "buckets",
+            JsonValue::Array(BUCKETS.iter().map(|b| (*b).into()).collect()),
+        )
+        .with("bang_bang_counts", report.bang_bang_counts.to_vec())
+        .with("drl_counts", report.drl_counts.to_vec())
+        .with("mean_saving_bang_bang", report.mean_saving_bang_bang)
+        .with("mean_saving_drl", report.mean_saving_drl)
+        .with("mean_skip_rate_bang_bang", report.mean_skip_rate_bang_bang)
+        .with("mean_skip_rate_drl", report.mean_skip_rate_drl)
+        .with("total_violations", report.total_violations)
 }
 
 /// Renders the report in the paper's layout (histogram + means).
@@ -179,8 +205,13 @@ mod tests {
 
     #[test]
     fn tiny_fig4_runs_clean() {
-        let scale =
-            ExperimentScale { cases: 2, steps: 40, train_episodes: 2, seed: 7 };
+        let scale = ExperimentScale {
+            cases: 2,
+            steps: 40,
+            train_episodes: 2,
+            seed: 7,
+            out: None,
+        };
         let report = run(&scale).unwrap();
         assert_eq!(report.cases, 2);
         assert_eq!(report.total_violations, 0, "Theorem 1 must hold");

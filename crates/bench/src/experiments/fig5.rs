@@ -17,8 +17,13 @@ use super::common::{compare_on_case, ExperimentScale};
 use crate::table;
 
 /// Table I: the `v_f` range of Ex.1–Ex.5.
-pub const VELOCITY_RANGES: [(f64, f64); 5] =
-    [(30.0, 50.0), (32.5, 47.5), (35.0, 45.0), (38.0, 42.0), (39.0, 41.0)];
+pub const VELOCITY_RANGES: [(f64, f64); 5] = [
+    (30.0, 50.0),
+    (32.5, 47.5),
+    (35.0, 45.0),
+    (38.0, 42.0),
+    (39.0, 41.0),
+];
 
 /// The front-vehicle acceleration bound used in Ex.1–Ex.5.
 pub const ACCEL_RANGE: (f64, f64) = (-20.0, 20.0);
@@ -62,7 +67,12 @@ pub fn run(scale: &ExperimentScale) -> Result<Fig5Report, CoreError> {
         // Train a DRL policy specialized to this range.
         let (mut drl, _) = case.train_drl(
             Box::new(move |seed| {
-                Box::new(SmoothRandomFront::new(range, ACCEL_RANGE, dt, 0xF1_500 + seed))
+                Box::new(SmoothRandomFront::new(
+                    range,
+                    ACCEL_RANGE,
+                    dt,
+                    0xF1_500 + seed,
+                ))
             }),
             scale.train_episodes,
             scale.steps,
@@ -76,7 +86,7 @@ pub fn run(scale: &ExperimentScale) -> Result<Fig5Report, CoreError> {
         let mut violations = 0;
         for case_idx in 0..scale.cases {
             let x0 = case.sample_initial_state(&mut rng);
-            let front_seed = scale.seed ^ (0xAB5_0 + (idx * 10_000 + case_idx) as u64);
+            let front_seed = scale.seed ^ (0xAB50 + (idx * 10_000 + case_idx) as u64);
             let mut front_factory = move || -> Box<dyn oic_sim::front::FrontModel> {
                 Box::new(SmoothRandomFront::new(range, ACCEL_RANGE, dt, front_seed))
             };
@@ -101,7 +111,31 @@ pub fn run(scale: &ExperimentScale) -> Result<Fig5Report, CoreError> {
             violations,
         });
     }
-    Ok(Fig5Report { rows, cases: scale.cases })
+    Ok(Fig5Report {
+        rows,
+        cases: scale.cases,
+    })
+}
+
+/// JSON form of the report (written by the binary's `--out` flag).
+pub fn to_json(report: &Fig5Report, scale: &ExperimentScale) -> oic_engine::JsonValue {
+    use oic_engine::JsonValue;
+    let rows: Vec<JsonValue> = report
+        .rows
+        .iter()
+        .map(|r| {
+            JsonValue::object()
+                .with("label", r.label.as_str())
+                .with("vf_lo", r.vf_range.0)
+                .with("vf_hi", r.vf_range.1)
+                .with("mean_saving_drl", r.mean_saving_drl)
+                .with("mean_skip_rate", r.mean_skip_rate)
+                .with("violations", r.violations)
+        })
+        .collect();
+    scale
+        .json_header("fig5")
+        .with("rows", JsonValue::Array(rows))
 }
 
 /// Renders Table I and the Fig. 5 series.
@@ -110,7 +144,12 @@ pub fn render(report: &Fig5Report) -> String {
     let table_rows: Vec<Vec<String>> = report
         .rows
         .iter()
-        .map(|r| vec![r.label.clone(), format!("[{}, {}]", r.vf_range.0, r.vf_range.1)])
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("[{}, {}]", r.vf_range.0, r.vf_range.1),
+            ]
+        })
         .collect();
     out.push_str(&table::render(&["experiment", "range of v_f"], &table_rows));
 
@@ -156,7 +195,13 @@ mod tests {
 
     #[test]
     fn tiny_fig5_runs_clean() {
-        let scale = ExperimentScale { cases: 1, steps: 30, train_episodes: 1, seed: 3 };
+        let scale = ExperimentScale {
+            cases: 1,
+            steps: 30,
+            train_episodes: 1,
+            seed: 3,
+            out: None,
+        };
         let report = run(&scale).unwrap();
         assert_eq!(report.rows.len(), 5);
         assert!(report.rows.iter().all(|r| r.violations == 0));

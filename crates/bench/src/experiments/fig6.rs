@@ -44,9 +44,27 @@ pub enum Regularity {
 pub const EXPERIMENTS: [(&str, Regularity); 5] = [
     ("Ex.6", Regularity::PureRandom),
     ("Ex.7", Regularity::SmoothRandom),
-    ("Ex.8", Regularity::Sinusoid { af10: 50, noise10: 50 }),
-    ("Ex.9", Regularity::Sinusoid { af10: 80, noise10: 20 }),
-    ("Ex.10", Regularity::Sinusoid { af10: 90, noise10: 10 }),
+    (
+        "Ex.8",
+        Regularity::Sinusoid {
+            af10: 50,
+            noise10: 50,
+        },
+    ),
+    (
+        "Ex.9",
+        Regularity::Sinusoid {
+            af10: 80,
+            noise10: 20,
+        },
+    ),
+    (
+        "Ex.10",
+        Regularity::Sinusoid {
+            af10: 90,
+            noise10: 10,
+        },
+    ),
 ];
 
 impl Regularity {
@@ -149,7 +167,30 @@ pub fn run(scale: &ExperimentScale) -> Result<Fig6Report, CoreError> {
             violations,
         });
     }
-    Ok(Fig6Report { rows, cases: scale.cases })
+    Ok(Fig6Report {
+        rows,
+        cases: scale.cases,
+    })
+}
+
+/// JSON form of the report (written by the binary's `--out` flag).
+pub fn to_json(report: &Fig6Report, scale: &ExperimentScale) -> oic_engine::JsonValue {
+    use oic_engine::JsonValue;
+    let rows: Vec<JsonValue> = report
+        .rows
+        .iter()
+        .map(|r| {
+            JsonValue::object()
+                .with("label", r.label)
+                .with("mean_saving_drl", r.mean_saving_drl)
+                .with("mean_skip_rate", r.mean_skip_rate)
+                .with("mean_baseline_fuel", r.mean_baseline_fuel)
+                .with("violations", r.violations)
+        })
+        .collect();
+    scale
+        .json_header("fig6")
+        .with("rows", JsonValue::Array(rows))
 }
 
 /// Renders the Fig. 6 series.
@@ -178,7 +219,14 @@ pub fn render(report: &Fig6Report) -> String {
         })
         .collect();
     out.push_str(&table::render(
-        &["experiment", "saving", "", "skip rate", "baseline fuel", "violations"],
+        &[
+            "experiment",
+            "saving",
+            "",
+            "skip rate",
+            "baseline fuel",
+            "violations",
+        ],
         &rows,
     ));
     out.push_str(
@@ -195,7 +243,13 @@ mod tests {
     fn experiment_roster_matches_paper() {
         assert_eq!(EXPERIMENTS.len(), 5);
         assert_eq!(EXPERIMENTS[0].1, Regularity::PureRandom);
-        assert_eq!(EXPERIMENTS[4].1, Regularity::Sinusoid { af10: 90, noise10: 10 });
+        assert_eq!(
+            EXPERIMENTS[4].1,
+            Regularity::Sinusoid {
+                af10: 90,
+                noise10: 10
+            }
+        );
     }
 
     #[test]
@@ -212,7 +266,13 @@ mod tests {
 
     #[test]
     fn tiny_fig6_runs_clean() {
-        let scale = ExperimentScale { cases: 1, steps: 30, train_episodes: 1, seed: 5 };
+        let scale = ExperimentScale {
+            cases: 1,
+            steps: 30,
+            train_episodes: 1,
+            seed: 5,
+            out: None,
+        };
         let report = run(&scale).unwrap();
         assert_eq!(report.rows.len(), 5);
         assert!(report.rows.iter().all(|r| r.violations == 0));

@@ -1,6 +1,8 @@
-//! Experiment runners, one module per paper artifact.
+//! Experiment runners, one module per paper artifact, plus the
+//! engine-backed scenario sweep.
 
 pub mod ablation;
+pub mod batch;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

@@ -48,12 +48,16 @@ pub fn run(scale: &ExperimentScale) -> Result<TimingReport, CoreError> {
     let mut rng = StdRng::seed_from_u64(scale.seed);
 
     // --- Time the RMPC solve over representative states. ---
-    let states: Vec<[f64; 2]> =
-        (0..200.min(scale.cases.max(20))).map(|_| case.sample_initial_state(&mut rng)).collect();
+    let states: Vec<[f64; 2]> = (0..200.min(scale.cases.max(20)))
+        .map(|_| case.sample_initial_state(&mut rng))
+        .collect();
     let start = Instant::now();
     let mut solves = 0usize;
     for x in &states {
-        let _ = case.mpc().solve(x).expect("states sampled inside the feasible set");
+        let _ = case
+            .mpc()
+            .solve(x)
+            .expect("states sampled inside the feasible set");
         solves += 1;
     }
     let mpc_solve_seconds = start.elapsed().as_secs_f64() / solves as f64;
@@ -89,7 +93,13 @@ pub fn run(scale: &ExperimentScale) -> Result<TimingReport, CoreError> {
         let front_seed = scale.seed ^ (0x71_31 + i as u64);
         let params_ref = params.clone();
         let mut factory = move || -> Box<dyn oic_sim::front::FrontModel> {
-            Box::new(SinusoidalFront::new(&params_ref, 40.0, 9.0, 1.0, front_seed))
+            Box::new(SinusoidalFront::new(
+                &params_ref,
+                40.0,
+                9.0,
+                1.0,
+                front_seed,
+            ))
         };
         let cmp = compare_on_case(
             &case,
@@ -117,6 +127,21 @@ pub fn run(scale: &ExperimentScale) -> Result<TimingReport, CoreError> {
         computation_saving,
         solves_timed: solves,
     })
+}
+
+/// JSON form of the report (written by the binary's `--out` flag).
+///
+/// Unlike the engine's batch reports, timing output is inherently
+/// machine-dependent — the JSON records measurements, not a reproducible
+/// trajectory.
+pub fn to_json(report: &TimingReport, scale: &ExperimentScale) -> oic_engine::JsonValue {
+    scale
+        .json_header("timing")
+        .with("mpc_solve_seconds", report.mpc_solve_seconds)
+        .with("monitor_nn_seconds", report.monitor_nn_seconds)
+        .with("skipped_per_100", report.skipped_per_100)
+        .with("computation_saving", report.computation_saving)
+        .with("solves_timed", report.solves_timed)
 }
 
 /// Renders the timing table in the paper's terms.
@@ -158,7 +183,13 @@ mod tests {
 
     #[test]
     fn tiny_timing_runs() {
-        let scale = ExperimentScale { cases: 5, steps: 30, train_episodes: 0, seed: 1 };
+        let scale = ExperimentScale {
+            cases: 5,
+            steps: 30,
+            train_episodes: 0,
+            seed: 1,
+            out: None,
+        };
         let report = run(&scale).unwrap();
         assert!(report.mpc_solve_seconds > 0.0);
         assert!(report.monitor_nn_seconds > 0.0);

@@ -10,9 +10,13 @@
 //! | §IV-A timing (0.12 s vs 0.02 s, ≈60 % saving) | `… --bin timing` | [`experiments::timing`] |
 //! | Table I + Fig. 5 (velocity ranges) | `… --bin fig5` | [`experiments::fig5`] |
 //! | Fig. 6 (velocity regularity) | `… --bin fig6` | [`experiments::fig6`] |
+//! | Scenario sweep (all registered plants, via `oic-engine`) | `… --bin batch` | [`experiments::batch`] |
 //!
 //! All binaries accept `--cases N --steps N --train N --seed N` to scale the
-//! experiment (defaults match the paper: 500 cases × 100 steps).
+//! experiment (defaults match the paper: 500 cases × 100 steps), plus
+//! `--out report.json` to save a machine-readable report — batch reports
+//! are seed-stable byte-for-byte, which makes `BENCH_*.json` perf
+//! trajectories reproducible.
 
 pub mod experiments;
 pub mod table;

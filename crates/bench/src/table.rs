@@ -33,7 +33,10 @@ pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
     out.push_str(&"-".repeat(total));
     out.push('\n');
@@ -65,7 +68,10 @@ mod tests {
     fn render_aligns_columns() {
         let out = render(
             &["a", "bbbb"],
-            &[vec!["xxxxx".into(), "1".into()], vec!["y".into(), "22".into()]],
+            &[
+                vec!["xxxxx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

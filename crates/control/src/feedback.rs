@@ -27,6 +27,20 @@ pub trait Controller {
     fn control(&self, x: &[f64]) -> Result<Vec<f64>, ControlError>;
 }
 
+impl<T: Controller + ?Sized> Controller for Box<T> {
+    fn state_dim(&self) -> usize {
+        (**self).state_dim()
+    }
+
+    fn input_dim(&self) -> usize {
+        (**self).input_dim()
+    }
+
+    fn control(&self, x: &[f64]) -> Result<Vec<f64>, ControlError> {
+        (**self).control(x)
+    }
+}
+
 /// The linear feedback law `κ(x) = K x`.
 ///
 /// # Examples
@@ -163,7 +177,11 @@ mod tests {
         let b = Matrix::from_rows(&[&[0.0], &[1.0]]);
         let k = dlqr(&a, &b, &Matrix::identity(2), &Matrix::identity(1)).unwrap();
         let cl = &a + &(&b * &k);
-        assert!(spectral_radius(&cl) < 0.999, "rho = {}", spectral_radius(&cl));
+        assert!(
+            spectral_radius(&cl) < 0.999,
+            "rho = {}",
+            spectral_radius(&cl)
+        );
     }
 
     #[test]
@@ -185,7 +203,11 @@ mod tests {
         // p = (4 + sqrt(16+4))/2 = 2 + sqrt(5); k_raw = 2p/(1+p).
         let p = 2.0 + 5.0f64.sqrt();
         let expect = -2.0 * p / (1.0 + p);
-        assert!((k[(0, 0)] - expect).abs() < 1e-8, "{} vs {expect}", k[(0, 0)]);
+        assert!(
+            (k[(0, 0)] - expect).abs() < 1e-8,
+            "{} vs {expect}",
+            k[(0, 0)]
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub struct InvariantOptions {
 
 impl Default for InvariantOptions {
     fn default() -> Self {
-        Self { max_iterations: 200, set_tolerance: 1e-7, alpha_target: 0.01 }
+        Self {
+            max_iterations: 200,
+            set_tolerance: 1e-7,
+            alpha_target: 0.01,
+        }
     }
 }
 
@@ -100,7 +104,9 @@ pub fn max_rpi<S: SupportFunction>(
         }
         omega = next;
     }
-    Err(ControlError::NotConverged { iterations: options.max_iterations })
+    Err(ControlError::NotConverged {
+        iterations: options.max_iterations,
+    })
 }
 
 /// One-step robust controllable predecessor
@@ -143,7 +149,10 @@ pub fn robust_controllable_pre(
 /// * [`ControlError::EmptySet`] — no control invariant subset of `X` exists.
 /// * [`ControlError::NotConverged`] — iteration budget exhausted.
 /// * [`ControlError::Geometry`] — an LP certificate failed numerically.
-pub fn max_rci(plant: &ConstrainedLti, options: &InvariantOptions) -> Result<Polytope, ControlError> {
+pub fn max_rci(
+    plant: &ConstrainedLti,
+    options: &InvariantOptions,
+) -> Result<Polytope, ControlError> {
     let mut omega = plant.safe_set().remove_redundant();
     for _ in 0..options.max_iterations {
         if omega.is_empty() {
@@ -159,7 +168,9 @@ pub fn max_rci(plant: &ConstrainedLti, options: &InvariantOptions) -> Result<Pol
         }
         omega = next;
     }
-    Err(ControlError::NotConverged { iterations: options.max_iterations })
+    Err(ControlError::NotConverged {
+        iterations: options.max_iterations,
+    })
 }
 
 /// Smallest `α ≥ 0` with `p ∈ α·Z` for a zonotope `Z` centered at the
@@ -244,12 +255,18 @@ pub fn rakovic_rpi(
         }
         if feasible && alpha < options.alpha_target && alpha < 1.0 {
             let set = f.scale(1.0 / (1.0 - alpha));
-            return Ok(RakovicRpi { set, alpha, terms: s });
+            return Ok(RakovicRpi {
+                set,
+                alpha,
+                terms: s,
+            });
         }
         f = f.minkowski_sum(&a_pow_w);
         a_pow_w = a_pow_w.linear_image(a_cl);
     }
-    Err(ControlError::NotConverged { iterations: options.max_iterations })
+    Err(ControlError::NotConverged {
+        iterations: options.max_iterations,
+    })
 }
 
 /// Computes a **certified** RPI outer approximation of the minimal RPI set
@@ -292,7 +309,9 @@ pub fn rakovic_rpi_certified_2d(
         }
         omega = oic_geom::polytope_from_points_2d(&pts)?.remove_redundant();
     }
-    Err(ControlError::NotConverged { iterations: options.max_iterations })
+    Err(ControlError::NotConverged {
+        iterations: options.max_iterations,
+    })
 }
 
 /// Certifies that `set` is RPI for `x⁺ = A_cl x + w`, `w ∈ W`: for every
@@ -414,7 +433,10 @@ mod tests {
         // x⁺ = 0.5 x + w, w ∈ [-1,1]: minimal RPI is [-2, 2].
         let a = Matrix::from_rows(&[&[0.5]]);
         let w = Zonotope::from_box(&[-1.0], &[1.0]);
-        let opts = InvariantOptions { alpha_target: 1e-3, ..Default::default() };
+        let opts = InvariantOptions {
+            alpha_target: 1e-3,
+            ..Default::default()
+        };
         let r = rakovic_rpi(&a, &w, &opts).unwrap();
         let radius = r.set.support(&[1.0]).unwrap();
         assert!((radius - 2.0).abs() < 0.01, "radius {radius}");
@@ -440,7 +462,10 @@ mod tests {
             let c = certified.support(&dir).unwrap();
             let r = raw.set.support(&dir).unwrap();
             assert!(c >= r - 1e-9, "certified must contain raw");
-            assert!(c <= 1.2 * r + 1e-9, "certified should not blow up: {c} vs {r}");
+            assert!(
+                c <= 1.2 * r + 1e-9,
+                "certified should not blow up: {c} vs {r}"
+            );
         }
     }
 

@@ -40,8 +40,7 @@ mod mpc;
 pub use feedback::{dlqr, Controller, LinearFeedback};
 pub use invariant::{
     max_rci, max_rpi, rakovic_rpi, rakovic_rpi_certified_2d, robust_controllable_pre, verify_rci,
-    verify_rpi,
-    InvariantOptions, RakovicRpi,
+    verify_rpi, InvariantOptions, RakovicRpi,
 };
 pub use lti::{ConstrainedLti, Lti};
 pub use mpc::{MpcSolution, TighteningMode, TubeMpc, TubeMpcBuilder};
@@ -79,7 +78,10 @@ impl fmt::Display for ControlError {
                 write!(f, "optimization infeasible at state {state:?}")
             }
             ControlError::NotConverged { iterations } => {
-                write!(f, "fixpoint iteration did not converge after {iterations} steps")
+                write!(
+                    f,
+                    "fixpoint iteration did not converge after {iterations} steps"
+                )
             }
             ControlError::EmptySet => write!(f, "computed set is empty"),
             ControlError::Riccati => write!(f, "riccati iteration failed"),

@@ -128,11 +128,25 @@ impl ConstrainedLti {
     /// # Panics
     ///
     /// Panics if set dimensions do not match the system dimensions.
-    pub fn new(sys: Lti, safe_set: Polytope, input_set: Polytope, disturbance_set: Polytope) -> Self {
+    pub fn new(
+        sys: Lti,
+        safe_set: Polytope,
+        input_set: Polytope,
+        disturbance_set: Polytope,
+    ) -> Self {
         assert_eq!(safe_set.dim(), sys.state_dim(), "X dimension mismatch");
         assert_eq!(input_set.dim(), sys.input_dim(), "U dimension mismatch");
-        assert_eq!(disturbance_set.dim(), sys.state_dim(), "W dimension mismatch");
-        Self { sys, safe_set, input_set, disturbance_set }
+        assert_eq!(
+            disturbance_set.dim(),
+            sys.state_dim(),
+            "W dimension mismatch"
+        );
+        Self {
+            sys,
+            safe_set,
+            input_set,
+            disturbance_set,
+        }
     }
 
     /// The unconstrained dynamics.

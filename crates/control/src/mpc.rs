@@ -16,7 +16,7 @@ use oic_geom::{AffineImage, Halfspace, Polytope};
 use oic_linalg::Matrix;
 use oic_lp::LinearProgram;
 
-use crate::{max_rpi, ConstrainedLti, Controller, ControlError, InvariantOptions};
+use crate::{max_rpi, ConstrainedLti, ControlError, Controller, InvariantOptions};
 
 /// How the state-constraint tightening sequence `X(k)` propagates the
 /// disturbance.
@@ -123,7 +123,10 @@ impl TubeMpcBuilder {
     ///
     /// Panics if either weight is negative.
     pub fn weights(mut self, state_weight: f64, input_weight: f64) -> Self {
-        assert!(state_weight >= 0.0 && input_weight >= 0.0, "weights must be non-negative");
+        assert!(
+            state_weight >= 0.0 && input_weight >= 0.0,
+            "weights must be non-negative"
+        );
         self.state_weights = vec![state_weight; self.state_weights.len()];
         self.input_weight = input_weight;
         self
@@ -138,8 +141,15 @@ impl TubeMpcBuilder {
     /// Panics if the length differs from the state dimension or any weight
     /// is negative.
     pub fn state_weight_vector(mut self, weights: Vec<f64>) -> Self {
-        assert_eq!(weights.len(), self.state_weights.len(), "state weight length mismatch");
-        assert!(weights.iter().all(|w| *w >= 0.0), "weights must be non-negative");
+        assert_eq!(
+            weights.len(),
+            self.state_weights.len(),
+            "state weight length mismatch"
+        );
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "weights must be non-negative"
+        );
         self.state_weights = weights;
         self
     }
@@ -229,9 +239,19 @@ impl TubeMpcBuilder {
                     )?,
                 };
                 let a_cl = sys.closed_loop(&gain);
-                let input_ok = self.plant.input_set().preimage(&gain, &vec![0.0; sys.input_dim()]);
-                let constraint = tightened[horizon].intersection(&input_ok).remove_redundant();
-                max_rpi(&a_cl, self.plant.disturbance_set(), &constraint, &InvariantOptions::default())?
+                let input_ok = self
+                    .plant
+                    .input_set()
+                    .preimage(&gain, &vec![0.0; sys.input_dim()]);
+                let constraint = tightened[horizon]
+                    .intersection(&input_ok)
+                    .remove_redundant();
+                max_rpi(
+                    &a_cl,
+                    self.plant.disturbance_set(),
+                    &constraint,
+                    &InvariantOptions::default(),
+                )?
             }
         };
 
@@ -391,7 +411,8 @@ impl TubeMpc {
                 let (mut row, free) = state_row(k, &e);
                 row[tx_ix(k, i)] = -1.0;
                 lp.add_le(&row, -free);
-                let (mut row_neg, free_neg) = state_row(k, &e.iter().map(|v| -v).collect::<Vec<_>>());
+                let (mut row_neg, free_neg) =
+                    state_row(k, &e.iter().map(|v| -v).collect::<Vec<_>>());
                 row_neg[tx_ix(k, i)] = -1.0;
                 lp.add_le(&row_neg, -free_neg);
             }
@@ -425,7 +446,11 @@ impl TubeMpc {
             xs = sys.step_nominal(&xs, u);
             predicted_states.push(xs.clone());
         }
-        Ok(MpcSolution { u_sequence, predicted_states, cost: sol.objective() })
+        Ok(MpcSolution {
+            u_sequence,
+            predicted_states,
+            cost: sol.objective(),
+        })
     }
 
     /// Computes the feasible set `X_F` of the MPC optimization — by
@@ -442,7 +467,9 @@ impl TubeMpc {
         let sys = self.plant.system();
         let n = sys.state_dim();
         let m = sys.input_dim();
-        let mut f = self.tightened[self.horizon].intersection(&self.terminal).remove_redundant();
+        let mut f = self.tightened[self.horizon]
+            .intersection(&self.terminal)
+            .remove_redundant();
         for k in (0..self.horizon).rev() {
             if f.is_empty() {
                 return Err(ControlError::EmptySet);
@@ -500,7 +527,10 @@ mod tests {
     }
 
     fn acc_mpc() -> TubeMpc {
-        TubeMpcBuilder::new(acc_plant(), 10).weights(1.0, 0.5).build().unwrap()
+        TubeMpcBuilder::new(acc_plant(), 10)
+            .weights(1.0, 0.5)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -509,7 +539,11 @@ mod tests {
         let sets = mpc.tightened_sets();
         assert_eq!(sets.len(), 11);
         for k in 1..sets.len() {
-            assert!(sets[k].is_subset_of(&sets[k - 1], 1e-6).unwrap(), "X({k}) ⊄ X({})", k - 1);
+            assert!(
+                sets[k].is_subset_of(&sets[k - 1], 1e-6).unwrap(),
+                "X({k}) ⊄ X({})",
+                k - 1
+            );
         }
     }
 
@@ -577,7 +611,11 @@ mod tests {
         let mpc = acc_mpc();
         let sol = mpc.solve(&[20.0, 8.0]).unwrap();
         for (k, xs) in sol.predicted_states().iter().enumerate().skip(1) {
-            let set = if k < 10 { &mpc.tightened_sets()[k] } else { mpc.terminal_set() };
+            let set = if k < 10 {
+                &mpc.tightened_sets()[k]
+            } else {
+                mpc.terminal_set()
+            };
             assert!(
                 set.contains_with_tol(xs, 1e-5),
                 "x({k}) = {xs:?} violates its constraint set"

@@ -108,7 +108,12 @@ impl AccCaseStudy {
             .build()?;
         let sets = SafeSets::for_tube_mpc(&mpc, &skip_input)?;
         sets.certify()?;
-        Ok(Self { params, mpc, sets, gain })
+        Ok(Self {
+            params,
+            mpc,
+            sets,
+            gain,
+        })
     }
 
     /// The paper's configuration: default parameters, horizon 10, and
@@ -144,19 +149,11 @@ impl AccCaseStudy {
     }
 
     /// Samples a deviation state uniformly from the strengthened safe set
-    /// (the experiments "randomly pick feasible initial states within X′").
+    /// (the experiments "randomly pick feasible initial states within X′";
+    /// shared [`SafeSets::sample_strengthened`] rejection sampler).
     pub fn sample_initial_state<R: Rng>(&self, rng: &mut R) -> [f64; 2] {
-        let (lo, hi) = self
-            .sets
-            .strengthened()
-            .bounding_box()
-            .expect("strengthened set is bounded");
-        loop {
-            let cand = [rng.gen_range(lo[0]..=hi[0]), rng.gen_range(lo[1]..=hi[1])];
-            if self.sets.strengthened().contains(&cand) {
-                return cand;
-            }
-        }
+        let sample = self.sets.sample_strengthened(rng);
+        [sample[0], sample[1]]
     }
 
     /// Builds the runtime (Algorithm 1) around the case study's MPC.
@@ -182,8 +179,14 @@ impl AccCaseStudy {
     /// * [`CoreError::Control`] — the underlying MPC failed inside its
     ///   certified region (should not happen).
     pub fn run_episode(&self, config: EpisodeConfig<'_>) -> Result<EpisodeOutcome, CoreError> {
-        let EpisodeConfig { policy, mut front, fuel, steps, initial_state, oracle_forecast } =
-            config;
+        let EpisodeConfig {
+            policy,
+            mut front,
+            fuel,
+            steps,
+            initial_state,
+            oracle_forecast,
+        } = config;
         let replay = FixedTraceFront::materialize(front.as_mut(), steps);
         let vf_trace: Vec<f64> = replay.trace().to_vec();
         let (s0, v0) = self.params.from_deviation(&initial_state);
@@ -193,13 +196,10 @@ impl AccCaseStudy {
         // runtime borrows the caller's policy for the episode. The history
         // window is kept larger than any policy's `r` (the encoder takes
         // the most recent entries it needs).
-        let mut ic =
-            IntermittentController::new(self.mpc.clone(), self.sets.clone(), policy, 8);
+        let mut ic = IntermittentController::new(self.mpc.clone(), self.sets.clone(), policy, 8);
 
         for t in 0..steps {
-            let x = self
-                .params
-                .to_deviation(sim.distance(), sim.velocity());
+            let x = self.params.to_deviation(sim.distance(), sim.velocity());
             let forecast: Vec<Vec<f64>> = if oracle_forecast {
                 vf_trace[t..(t + ORACLE_WINDOW).min(vf_trace.len())]
                     .iter()
@@ -212,7 +212,10 @@ impl AccCaseStudy {
             let u_abs = self.params.input_from_deviation(decision.input[0]);
             sim.step_annotated(u_abs, decision.skipped);
         }
-        Ok(EpisodeOutcome { summary: sim.summary(), stats: ic.stats().clone() })
+        Ok(EpisodeOutcome {
+            summary: sim.summary(),
+            stats: ic.stats().clone(),
+        })
     }
 
     /// Trains a DQN skipping policy against a family of front-vehicle
@@ -232,7 +235,10 @@ impl AccCaseStudy {
         let params = self.params.clone();
         let mut factory = front_factory;
         let disturbance_factory = Box::new(move |episode: u64| -> Box<dyn DisturbanceProcess> {
-            Box::new(FrontDisturbance { params: params.clone(), front: factory(episode) })
+            Box::new(FrontDisturbance {
+                params: params.clone(),
+                front: factory(episode),
+            })
         });
         // R₂ meters the same tractive-power fuel the evaluation reports
         // (substitution documented in DESIGN.md: the paper's `‖κ(x)‖₁`
@@ -240,7 +246,10 @@ impl AccCaseStudy {
         // the fuel model the figures use). The energy weight is calibrated
         // so a typical run step costs a few tenths of the X′-exit penalty,
         // the same balance as the paper's (w₁, w₂) with their input ranges.
-        let weights = SkipRewardWeights { leave_strengthened: 0.01, energy: 0.05 };
+        let weights = SkipRewardWeights {
+            leave_strengthened: 0.01,
+            energy: 0.05,
+        };
         let mut env = SkipTrainingEnv::new(
             self.sets.clone(),
             Box::new(self.mpc.clone()),
@@ -366,7 +375,11 @@ mod tests {
         let mut bang = BangBangPolicy;
         let skipping = run(&mut bang);
         assert_eq!(skipping.summary.safety_violations, 0);
-        assert!(skipping.stats.skipped > 30, "skips: {}", skipping.stats.skipped);
+        assert!(
+            skipping.stats.skipped > 30,
+            "skips: {}",
+            skipping.stats.skipped
+        );
         assert!(
             skipping.summary.total_fuel < base.summary.total_fuel,
             "skipping should save fuel: {} vs {}",
@@ -380,9 +393,7 @@ mod tests {
         let c = case();
         let params = c.params().clone();
         let (policy, stats) = c.train_drl(
-            Box::new(move |seed| {
-                Box::new(SinusoidalFront::new(&params, 40.0, 9.0, 1.0, seed))
-            }),
+            Box::new(move |seed| Box::new(SinusoidalFront::new(&params, 40.0, 9.0, 1.0, seed))),
             5,
             50,
             1,
@@ -391,5 +402,4 @@ mod tests {
         assert_eq!(stats.episode_returns.len(), 5);
         assert!(policy.agent().buffer_len() > 0);
     }
-
 }

@@ -10,9 +10,12 @@ use oic_drl::{DoubleDqnAgent, Environment, StepOutcome};
 use oic_geom::Polytope;
 use oic_linalg::vec_ops;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::{PolicyContext, SafeSets, SkipDecision, SkipPolicy};
+
+/// A custom `R₂` energy measure `f(x, u)`.
+pub type EnergyMetric = Box<dyn Fn(&[f64], &[f64]) -> f64>;
 
 /// Reward weights (paper §IV uses `w₁ = 0.01, w₂ = 0.0001`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,7 +28,10 @@ pub struct SkipRewardWeights {
 
 impl Default for SkipRewardWeights {
     fn default() -> Self {
-        Self { leave_strengthened: 0.01, energy: 0.0001 }
+        Self {
+            leave_strengthened: 0.01,
+            energy: 0.0001,
+        }
     }
 }
 
@@ -91,7 +97,11 @@ impl StateEncoder {
             out.extend(std::iter::repeat_n(0.0, self.w_scale.len()));
         }
         for w in &w_history[w_history.len() - have..] {
-            assert_eq!(w.len(), self.w_scale.len(), "disturbance dimension mismatch");
+            assert_eq!(
+                w.len(),
+                self.w_scale.len(),
+                "disturbance dimension mismatch"
+            );
             for (v, s) in w.iter().zip(&self.w_scale) {
                 out.push(v / s);
             }
@@ -114,7 +124,7 @@ pub struct SkipTrainingEnv {
     weights: SkipRewardWeights,
     disturbance_factory: Box<dyn FnMut(u64) -> Box<dyn DisturbanceProcess>>,
     process: Option<Box<dyn DisturbanceProcess>>,
-    energy_metric: Option<Box<dyn Fn(&[f64], &[f64]) -> f64>>,
+    energy_metric: Option<EnergyMetric>,
     x: Vec<f64>,
     w_history: Vec<Vec<f64>>,
     t: usize,
@@ -141,7 +151,11 @@ impl SkipTrainingEnv {
         seed: u64,
     ) -> Self {
         let n = sets.plant().system().state_dim();
-        assert_eq!(controller.state_dim(), n, "controller state dimension mismatch");
+        assert_eq!(
+            controller.state_dim(),
+            n,
+            "controller state dimension mismatch"
+        );
         assert_eq!(
             controller.input_dim(),
             sets.plant().system().input_dim(),
@@ -170,35 +184,14 @@ impl SkipTrainingEnv {
     /// The ACC case study uses this to meter the same tractive-power fuel
     /// model the evaluation reports, so the learned policy optimizes the
     /// quantity the figures measure (see DESIGN.md, substitutions).
-    pub fn set_energy_metric(&mut self, metric: Box<dyn Fn(&[f64], &[f64]) -> f64>) {
+    pub fn set_energy_metric(&mut self, metric: EnergyMetric) {
         self.energy_metric = Some(metric);
     }
 
-    /// Samples a state uniformly from the strengthened safe set by
-    /// rejection from its bounding box.
+    /// Samples a state uniformly from the strengthened safe set (shared
+    /// [`SafeSets::sample_strengthened`] rejection sampler).
     fn sample_strengthened(&mut self) -> Vec<f64> {
-        let (lo, hi) = self
-            .sets
-            .strengthened()
-            .bounding_box()
-            .expect("strengthened set is bounded and non-empty");
-        for _ in 0..10_000 {
-            let cand: Vec<f64> = lo
-                .iter()
-                .zip(&hi)
-                .map(|(l, h)| if h > l { self.rng.gen_range(*l..=*h) } else { *l })
-                .collect();
-            if self.sets.strengthened().contains(&cand) {
-                return cand;
-            }
-        }
-        // A polytope with positive volume inside its own bounding box will
-        // accept long before 10k tries; fall back to the Chebyshev center.
-        self.sets
-            .strengthened()
-            .chebyshev_center()
-            .map(|(c, _)| c)
-            .expect("strengthened set has a center")
+        self.sets.sample_strengthened(&mut self.rng)
     }
 
     /// The actuation-energy measure used in `R₂`: by default the distance
@@ -250,8 +243,16 @@ impl Environment for SkipTrainingEnv {
         let x_next = self.sets.plant().system().step(&self.x, &u, &w);
 
         // Reward per the paper's definition.
-        let r1 = if self.sets.strengthened().contains(&x_next) { 0.0 } else { 1.0 };
-        let r2 = if !z_run && in_strengthened { 0.0 } else { self.energy(&self.x, &u) };
+        let r1 = if self.sets.strengthened().contains(&x_next) {
+            0.0
+        } else {
+            1.0
+        };
+        let r2 = if !z_run && in_strengthened {
+            0.0
+        } else {
+            self.energy(&self.x, &u)
+        };
         let reward = -self.weights.leave_strengthened * r1 - self.weights.energy * r2;
 
         // Leaving XI terminates the episode (cannot happen when the sets
@@ -266,7 +267,11 @@ impl Environment for SkipTrainingEnv {
         }
         self.x = x_next;
         self.t += 1;
-        StepOutcome { next_state: self.encoder.encode(&self.x, &self.w_history), reward, done }
+        StepOutcome {
+            next_state: self.encoder.encode(&self.x, &self.w_history),
+            reward,
+            done,
+        }
     }
 }
 
@@ -369,7 +374,7 @@ mod tests {
         // Move to the origin for a clean check.
         e.x = vec![0.0, 0.0];
         let out = e.step(0); // skip
-        // From the origin a coast step stays in X': r1 = 0, r2 = 0.
+                             // From the origin a coast step stays in X': r1 = 0, r2 = 0.
         assert_eq!(out.reward, 0.0, "skip at origin should be free");
         assert!(!out.done);
     }
@@ -381,7 +386,11 @@ mod tests {
         let _ = e.reset();
         e.x = vec![10.0, 5.0];
         let out = e.step(1); // run the MPC
-        assert!(out.reward < 0.0, "running κ must cost energy: {}", out.reward);
+        assert!(
+            out.reward < 0.0,
+            "running κ must cost energy: {}",
+            out.reward
+        );
     }
 
     #[test]

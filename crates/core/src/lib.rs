@@ -47,13 +47,15 @@ mod policy;
 mod runtime;
 mod safe_sets;
 
-pub use drl_policy::{DisturbanceProcess, DrlPolicy, SkipRewardWeights, SkipTrainingEnv};
+pub use drl_policy::{
+    DisturbanceProcess, DrlPolicy, EnergyMetric, SkipRewardWeights, SkipTrainingEnv,
+};
 pub use error::CoreError;
 pub use model_based::ModelBasedPolicy;
 pub use monitor::{Monitor, Verdict};
 pub use policy::{
-    AlwaysRunPolicy, BangBangPolicy, PeriodicSkipPolicy, PolicyContext, RandomPolicy,
-    SkipDecision, SkipPolicy,
+    AlwaysRunPolicy, BangBangPolicy, PeriodicSkipPolicy, PolicyContext, RandomPolicy, SkipDecision,
+    SkipPolicy,
 };
 pub use runtime::{ControlDecision, IntermittentController, RunStats};
 pub use safe_sets::{SafeSets, SkipInput};

@@ -80,7 +80,9 @@ impl ModelBasedPolicy {
             dir[l] = 0.0;
             let row: Vec<f64> = gain.row(l).to_vec();
             let kx_hi = sets.strengthened().support(&row)?;
-            let kx_lo = -sets.strengthened().support(&row.iter().map(|v| -v).collect::<Vec<_>>())?;
+            let kx_lo = -sets
+                .strengthened()
+                .support(&row.iter().map(|v| -v).collect::<Vec<_>>())?;
             let span = u_hi.abs().max(u_lo.abs()) + kx_hi.abs().max(kx_lo.abs());
             big_m = big_m.max(2.0 * span + sets.skip_input()[l].abs() + 1.0);
         }
@@ -119,9 +121,8 @@ impl ModelBasedPolicy {
         // Effective horizon: limited by the available forecast (missing
         // entries are treated as zero disturbance).
         let h = self.horizon;
-        let w_at = |k: usize| -> Vec<f64> {
-            w_forecast.get(k).cloned().unwrap_or_else(|| vec![0.0; n])
-        };
+        let w_at =
+            |k: usize| -> Vec<f64> { w_forecast.get(k).cloned().unwrap_or_else(|| vec![0.0; n]) };
 
         // Accumulated disturbance part of x(k): cw(k) = Σ_{j<k} A^{k−1−j} w(j).
         let mut cw: Vec<Vec<f64>> = Vec::with_capacity(h + 1);
@@ -285,8 +286,12 @@ mod tests {
     #[test]
     fn missing_forecast_treated_as_zero() {
         let mut p = policy(3);
-        let ctx =
-            PolicyContext { state: &[0.0, 0.0], w_history: &[], w_forecast: &[], time_step: 0 };
+        let ctx = PolicyContext {
+            state: &[0.0, 0.0],
+            w_history: &[],
+            w_forecast: &[],
+            time_step: 0,
+        };
         // Must not panic and must return a decision.
         let _ = p.decide(&ctx);
     }
@@ -298,8 +303,12 @@ mod tests {
         // from a comfortably interior state the first action is skip.
         let mut p = policy(5);
         let w = vec![vec![0.0, 0.0]; 5];
-        let ctx =
-            PolicyContext { state: &[1.0, 2.0], w_history: &[], w_forecast: &w, time_step: 0 };
+        let ctx = PolicyContext {
+            state: &[1.0, 2.0],
+            w_history: &[],
+            w_forecast: &w,
+            time_step: 0,
+        };
         assert_eq!(p.decide(&ctx), SkipDecision::Skip);
     }
 }

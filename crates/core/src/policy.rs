@@ -155,8 +155,14 @@ impl RandomPolicy {
     ///
     /// Panics unless `0 ≤ skip_probability ≤ 1`.
     pub fn new(skip_probability: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&skip_probability), "probability out of range");
-        Self { skip_probability, rng: StdRng::seed_from_u64(seed) }
+        assert!(
+            (0.0..=1.0).contains(&skip_probability),
+            "probability out of range"
+        );
+        Self {
+            skip_probability,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -179,7 +185,12 @@ mod tests {
     use super::*;
 
     fn ctx<'a>(state: &'a [f64]) -> PolicyContext<'a> {
-        PolicyContext { state, w_history: &[], w_forecast: &[], time_step: 0 }
+        PolicyContext {
+            state,
+            w_history: &[],
+            w_forecast: &[],
+            time_step: 0,
+        }
     }
 
     #[test]
@@ -214,7 +225,13 @@ mod tests {
         let pattern: Vec<SkipDecision> = (0..8).map(|_| p.decide(&ctx(&[0.0]))).collect();
         assert_eq!(pattern[0], SkipDecision::Run);
         assert_eq!(pattern[4], SkipDecision::Run);
-        assert_eq!(pattern[1..4].iter().filter(|d| **d == SkipDecision::Skip).count(), 3);
+        assert_eq!(
+            pattern[1..4]
+                .iter()
+                .filter(|d| **d == SkipDecision::Skip)
+                .count(),
+            3
+        );
         // Period 1 never skips.
         let mut p1 = PeriodicSkipPolicy::new(1);
         assert!((0..5).all(|_| p1.decide(&ctx(&[0.0])) == SkipDecision::Run));

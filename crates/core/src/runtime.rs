@@ -92,8 +92,16 @@ impl<C: Controller, P: SkipPolicy> IntermittentController<C, P> {
     /// Panics if the controller dimensions disagree with the plant.
     pub fn new(controller: C, sets: SafeSets, policy: P, memory: usize) -> Self {
         let sys = sets.plant().system();
-        assert_eq!(controller.state_dim(), sys.state_dim(), "controller state dim mismatch");
-        assert_eq!(controller.input_dim(), sys.input_dim(), "controller input dim mismatch");
+        assert_eq!(
+            controller.state_dim(),
+            sys.state_dim(),
+            "controller state dim mismatch"
+        );
+        assert_eq!(
+            controller.input_dim(),
+            sys.input_dim(),
+            "controller input dim mismatch"
+        );
         let skip_input = sets.skip_input().to_vec();
         Self {
             controller,
@@ -155,7 +163,11 @@ impl<C: Controller, P: SkipPolicy> IntermittentController<C, P> {
     ///   in-bound disturbances, by Theorem 1).
     /// * [`CoreError::Control`] — the underlying controller failed at a
     ///   state where the monitor required it.
-    pub fn step(&mut self, x: &[f64], w_forecast: &[Vec<f64>]) -> Result<ControlDecision, CoreError> {
+    pub fn step(
+        &mut self,
+        x: &[f64],
+        w_forecast: &[Vec<f64>],
+    ) -> Result<ControlDecision, CoreError> {
         // Disturbance estimation from the previous transition.
         if let Some((xp, up)) = &self.prev {
             let sys = self.monitor.sets().plant().system();
@@ -205,7 +217,12 @@ impl<C: Controller, P: SkipPolicy> IntermittentController<C, P> {
 
         self.prev = Some((x.to_vec(), input.clone()));
         self.t += 1;
-        Ok(ControlDecision { input, skipped, forced_run, verdict })
+        Ok(ControlDecision {
+            input,
+            skipped,
+            forced_run,
+            verdict,
+        })
     }
 }
 
@@ -285,7 +302,10 @@ mod tests {
         let est = ic.w_history();
         assert_eq!(est.len(), 3);
         for (e, a) in est.iter().rev().zip(applied_w.iter().rev()) {
-            assert!(vec_ops::approx_eq(e, a, 1e-9), "estimated {e:?} vs applied {a:?}");
+            assert!(
+                vec_ops::approx_eq(e, a, 1e-9),
+                "estimated {e:?} vs applied {a:?}"
+            );
         }
     }
 
@@ -329,7 +349,11 @@ mod tests {
                 );
                 let d = ic.step(&x, &[]).unwrap();
                 // Adversarial extreme disturbances.
-                let w = if rng.gen_bool(0.5) { vec![1.0, 0.0] } else { vec![-1.0, 0.0] };
+                let w = if rng.gen_bool(0.5) {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![-1.0, 0.0]
+                };
                 x = sys.step(&x, &d.input, &w);
             }
         }

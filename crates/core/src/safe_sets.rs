@@ -97,7 +97,13 @@ impl SafeSets {
             return Err(CoreError::EmptySet);
         }
         let safe = plant.safe_set().clone();
-        Ok(Self { plant, skip_input: u_skip, safe, invariant, strengthened })
+        Ok(Self {
+            plant,
+            skip_input: u_skip,
+            safe,
+            invariant,
+            strengthened,
+        })
     }
 
     /// Builds the hierarchy for a linear feedback controller `κ(x) = Kx`:
@@ -115,7 +121,9 @@ impl SafeSets {
     ) -> Result<Self, CoreError> {
         let sys = plant.system();
         let a_cl = sys.closed_loop(gain);
-        let input_ok = plant.input_set().preimage(gain, &vec![0.0; sys.input_dim()]);
+        let input_ok = plant
+            .input_set()
+            .preimage(gain, &vec![0.0; sys.input_dim()]);
         let constraint = plant.safe_set().intersection(&input_ok).remove_redundant();
         let invariant = max_rpi(
             &a_cl,
@@ -189,6 +197,33 @@ impl SafeSets {
         &self.strengthened
     }
 
+    /// Samples a state uniformly from the strengthened safe set `X′` by
+    /// rejection from its bounding box (the experiments' "randomly pick
+    /// feasible initial states within X′" protocol), falling back to the
+    /// Chebyshev center for razor-thin sets.
+    pub fn sample_strengthened<R: rand::Rng>(&self, rng: &mut R) -> Vec<f64> {
+        let (lo, hi) = self
+            .strengthened
+            .bounding_box()
+            .expect("strengthened set is bounded and non-empty");
+        for _ in 0..10_000 {
+            let candidate: Vec<f64> = lo
+                .iter()
+                .zip(&hi)
+                .map(|(l, h)| if h > l { rng.gen_range(*l..=*h) } else { *l })
+                .collect();
+            if self.strengthened.contains(&candidate) {
+                return candidate;
+            }
+        }
+        // A polytope with positive volume inside its own bounding box will
+        // accept long before 10k tries; fall back to the Chebyshev center.
+        self.strengthened
+            .chebyshev_center()
+            .map(|(center, _)| center)
+            .expect("strengthened set has an interior point")
+    }
+
     /// Certifies, with per-facet support LPs (no sampling), the premises of
     /// Theorem 1:
     ///
@@ -203,10 +238,14 @@ impl SafeSets {
     pub fn certify(&self) -> Result<(), CoreError> {
         let tol = 1e-6;
         if !self.strengthened.is_subset_of(&self.invariant, tol)? {
-            return Err(CoreError::CertificateFailed { inclusion: "X' ⊆ XI" });
+            return Err(CoreError::CertificateFailed {
+                inclusion: "X' ⊆ XI",
+            });
         }
         if !self.invariant.is_subset_of(&self.safe, tol)? {
-            return Err(CoreError::CertificateFailed { inclusion: "XI ⊆ X" });
+            return Err(CoreError::CertificateFailed {
+                inclusion: "XI ⊆ X",
+            });
         }
         // Skip closure: A·X' + B·u_skip + W ⊆ XI, checked facet-by-facet:
         // sup_{x∈X'} aᵀAx + aᵀB·u_skip + h_W(a) ≤ b for every facet of XI.
@@ -292,7 +331,10 @@ mod tests {
             SafeSets::for_linear_feedback(plant, &gain, &SkipInput::Vector(vec![-8.0])).unwrap();
         // Coasting decelerates, so near the low-velocity edge of XI a skip
         // could exit: X' must exclude some of XI.
-        assert!(!sets.invariant().is_subset_of(sets.strengthened(), 1e-6).unwrap());
+        assert!(!sets
+            .invariant()
+            .is_subset_of(sets.strengthened(), 1e-6)
+            .unwrap());
     }
 
     #[test]

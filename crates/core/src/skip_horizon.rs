@@ -51,8 +51,7 @@ pub fn consecutive_skip_sets(sets: &SafeSets, k_max: usize) -> Result<Vec<Polyto
     let mut chain = Vec::with_capacity(k_max);
     let mut current = sets.invariant().clone();
     for level in 0..k_max {
-        let backward =
-            SafeSets::backward_reachable(sets.plant(), &current, sets.skip_input())?;
+        let backward = SafeSets::backward_reachable(sets.plant(), &current, sets.skip_input())?;
         let next = backward.intersection(sets.invariant()).remove_redundant();
         if next.is_empty() {
             if level == 0 {
@@ -147,7 +146,10 @@ mod tests {
     #[test]
     fn chain_is_nested() {
         let chain = consecutive_skip_sets(case().sets(), 6).unwrap();
-        assert!(chain.len() >= 2, "ACC tolerates at least 2 consecutive skips");
+        assert!(
+            chain.len() >= 2,
+            "ACC tolerates at least 2 consecutive skips"
+        );
         for k in 1..chain.len() {
             assert!(
                 chain[k].is_subset_of(&chain[k - 1], 1e-6).unwrap(),
@@ -201,12 +203,8 @@ mod tests {
         let sys = case.sets().plant().system().clone();
         let policy = MaxSkipPolicy::new(case.sets(), 2).unwrap();
         assert_eq!(policy.budget(), 2);
-        let mut ic = IntermittentController::new(
-            case.mpc().clone(),
-            case.sets().clone(),
-            policy,
-            1,
-        );
+        let mut ic =
+            IntermittentController::new(case.mpc().clone(), case.sets().clone(), policy, 1);
         let mut rng = StdRng::seed_from_u64(8);
         let mut x = vec![0.0, 0.0];
         for _ in 0..200 {
@@ -223,7 +221,10 @@ mod tests {
         let case = case();
         let p1 = MaxSkipPolicy::new(case.sets(), 1).unwrap();
         let p3 = MaxSkipPolicy::new(case.sets(), 3).unwrap();
-        assert!(p3.guarantee_set().is_subset_of(p1.guarantee_set(), 1e-6).unwrap());
+        assert!(p3
+            .guarantee_set()
+            .is_subset_of(p1.guarantee_set(), 1e-6)
+            .unwrap());
     }
 
     #[test]

@@ -122,7 +122,16 @@ impl DoubleDqnAgent {
         let optimizer = Adam::new(config.learning_rate);
         let buffer = ReplayBuffer::new(config.buffer_capacity);
         let epsilon = config.epsilon_start;
-        Self { online, target, optimizer, buffer, config, epsilon, train_steps: 0, rng }
+        Self {
+            online,
+            target,
+            optimizer,
+            buffer,
+            config,
+            epsilon,
+            train_steps: 0,
+            rng,
+        }
     }
 
     /// The agent's configuration.
@@ -181,8 +190,15 @@ impl DoubleDqnAgent {
 
     /// Stores a transition in the replay buffer.
     pub fn remember(&mut self, transition: Transition) {
-        assert_eq!(transition.state.len(), self.config.state_dim, "state dimension mismatch");
-        assert!(transition.action < self.config.num_actions, "action index out of range");
+        assert_eq!(
+            transition.state.len(),
+            self.config.state_dim,
+            "state dimension mismatch"
+        );
+        assert!(
+            transition.action < self.config.num_actions,
+            "action index out of range"
+        );
         self.buffer.push(transition);
     }
 
@@ -225,7 +241,10 @@ impl DoubleDqnAgent {
         self.optimizer.step(&mut self.online, &grads);
 
         self.train_steps += 1;
-        if self.train_steps.is_multiple_of(self.config.target_sync_every) {
+        if self
+            .train_steps
+            .is_multiple_of(self.config.target_sync_every)
+        {
             self.target.copy_params_from(&self.online);
         }
         Some(total_loss / batch.len() as f64)
@@ -251,9 +270,7 @@ impl DoubleDqnAgent {
     /// architecture does not match this agent's configuration.
     pub fn load_weights(&mut self, blob: &[u8]) -> Result<(), String> {
         let net = Mlp::from_bytes(blob).map_err(|e| e.to_string())?;
-        if net.input_dim() != self.config.state_dim
-            || net.output_dim() != self.config.num_actions
-        {
+        if net.input_dim() != self.config.state_dim || net.output_dim() != self.config.num_actions {
             return Err(format!(
                 "architecture mismatch: blob is {}->{}, agent expects {}->{}",
                 net.input_dim(),

@@ -54,7 +54,11 @@ impl ReplayBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        Self { capacity, data: Vec::with_capacity(capacity.min(4096)), next: 0 }
+        Self {
+            capacity,
+            data: Vec::with_capacity(capacity.min(4096)),
+            next: 0,
+        }
     }
 
     /// Number of stored transitions.
@@ -89,7 +93,9 @@ impl ReplayBuffer {
     /// Panics if the buffer is empty.
     pub fn sample<'a, R: Rng>(&'a self, rng: &mut R, count: usize) -> Vec<&'a Transition> {
         assert!(!self.data.is_empty(), "cannot sample from an empty buffer");
-        (0..count).map(|_| &self.data[rng.gen_range(0..self.data.len())]).collect()
+        (0..count)
+            .map(|_| &self.data[rng.gen_range(0..self.data.len())])
+            .collect()
     }
 }
 
@@ -100,7 +106,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(i: usize) -> Transition {
-        Transition { state: vec![i as f64], action: i % 2, reward: i as f64, next_state: vec![0.0], done: false }
+        Transition {
+            state: vec![i as f64],
+            action: i % 2,
+            reward: i as f64,
+            next_state: vec![0.0],
+            done: false,
+        }
     }
 
     #[test]
@@ -127,7 +139,10 @@ mod tests {
         for s in sample {
             seen[s.state[0] as usize] = true;
         }
-        assert!(seen.iter().all(|&b| b), "uniform sampling should hit all slots");
+        assert!(
+            seen.iter().all(|&b| b),
+            "uniform sampling should hit all slots"
+        );
     }
 
     #[test]

@@ -64,8 +64,16 @@ pub fn train(
     episodes: usize,
     max_steps: usize,
 ) -> TrainingStats {
-    assert_eq!(env.state_dim(), agent.config().state_dim, "state dimension mismatch");
-    assert_eq!(env.num_actions(), agent.config().num_actions, "action count mismatch");
+    assert_eq!(
+        env.state_dim(),
+        agent.config().state_dim,
+        "state dimension mismatch"
+    );
+    assert_eq!(
+        env.num_actions(),
+        agent.config().num_actions,
+        "action count mismatch"
+    );
     let mut stats = TrainingStats::default();
     for _ in 0..episodes {
         let mut state = env.reset();
@@ -94,7 +102,11 @@ pub fn train(
             }
         }
         stats.episode_returns.push(ep_return);
-        stats.episode_losses.push(if loss_count > 0 { ep_loss / loss_count as f64 } else { 0.0 });
+        stats.episode_losses.push(if loss_count > 0 {
+            ep_loss / loss_count as f64
+        } else {
+            0.0
+        });
     }
     stats
 }
@@ -123,7 +135,11 @@ mod tests {
             vec![0.0]
         }
         fn step(&mut self, action: usize) -> StepOutcome {
-            self.pos = if action == 1 { self.pos + 1 } else { (self.pos - 1).max(0) };
+            self.pos = if action == 1 {
+                self.pos + 1
+            } else {
+                (self.pos - 1).max(0)
+            };
             let done = self.pos >= 3;
             StepOutcome {
                 next_state: vec![self.pos as f64 / 3.0],

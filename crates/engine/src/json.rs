@@ -1,0 +1,251 @@
+//! A minimal JSON document builder and serializer.
+//!
+//! No serde is available offline, so reports are assembled as explicit
+//! [`JsonValue`] trees and rendered with a deterministic writer: object
+//! keys keep insertion order, floats render via Rust's shortest-roundtrip
+//! formatting, and the output is stable byte-for-byte across runs — which
+//! is what makes `BENCH_*.json` trajectories diffable.
+
+use std::fmt::Write as _;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (rendered shortest-roundtrip; non-finite values render as
+    /// `null` per JSON's lack of IEEE specials). There is deliberately no
+    /// `From<u64>` — a 64-bit seed does not fit in an `f64`; serialize
+    /// such values as strings.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Adds/replaces a key on an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-object.
+    pub fn with(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        match &mut self {
+            JsonValue::Object(entries) => {
+                let value = value.into();
+                if let Some(entry) = entries.iter_mut().find(|(k, _)| k == key) {
+                    entry.1 = value;
+                } else {
+                    entries.push((key.to_string(), value));
+                }
+            }
+            other => panic!("JsonValue::with on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Fetches a key from an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders human-readable JSON with 2-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (pad, nl, sp) = match indent {
+            Some(width) => (" ".repeat(width * (depth + 1)), "\n", " "),
+            None => (String::new(), "", ""),
+        };
+        let close_pad = match indent {
+            Some(width) => " ".repeat(width * depth),
+            None => String::new(),
+        };
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(x) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x:?}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    write_escaped(out, key);
+                    out.push(':');
+                    out.push_str(sp);
+                    value.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Number(x)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(x: usize) -> Self {
+        JsonValue::Number(x as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::String(s)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(items: Vec<T>) -> Self {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let doc = JsonValue::object()
+            .with("name", "batch")
+            .with("count", 3usize)
+            .with("rate", 0.25)
+            .with("ok", true)
+            .with("items", vec![1.0, 2.5]);
+        assert_eq!(
+            doc.to_json(),
+            r#"{"name":"batch","count":3,"rate":0.25,"ok":true,"items":[1,2.5]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = JsonValue::from("a\"b\\c\nd\u{1}");
+        assert_eq!(doc.to_json(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_stable() {
+        let doc = JsonValue::object()
+            .with("a", 1.0)
+            .with("b", JsonValue::Array(vec![]));
+        let pretty = doc.to_json_pretty();
+        assert_eq!(pretty, "{\n  \"a\": 1,\n  \"b\": []\n}\n");
+        assert_eq!(
+            pretty,
+            doc.to_json_pretty(),
+            "rendering must be deterministic"
+        );
+    }
+
+    #[test]
+    fn with_replaces_existing_keys() {
+        let doc = JsonValue::object().with("k", 1.0).with("k", 2.0);
+        assert_eq!(doc.get("k"), Some(&JsonValue::Number(2.0)));
+        assert_eq!(doc.to_json(), r#"{"k":2}"#);
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(JsonValue::Number(f64::INFINITY).to_json(), "null");
+        assert_eq!(JsonValue::Number(f64::NAN).to_json(), "null");
+    }
+}

@@ -1,0 +1,41 @@
+//! Parallel batch evaluation engine for the intermittent-control
+//! framework.
+//!
+//! The paper evaluates 500 episodes per figure; the ROADMAP wants
+//! fleet-scale throughput over many scenarios. This crate is the layer
+//! that gets there:
+//!
+//! * [`run_batch`] executes every `(scenario, policy)` cell of a batch in
+//!   parallel over worker threads, one [`IntermittentController`]
+//!   (Algorithm 1) per episode;
+//! * seeding is deterministic per `(base seed, scenario, policy,
+//!   episode)` — results are byte-identical for any thread count;
+//! * [`BatchReport`] aggregates [`oic_core::RunStats`] per cell (skip
+//!   rate, forced runs, actuation effort, safety violations) and emits
+//!   machine-readable JSON via the dependency-free [`JsonValue`] writer.
+//!
+//! [`IntermittentController`]: oic_core::IntermittentController
+//!
+//! # Examples
+//!
+//! ```
+//! use oic_engine::{run_batch, BatchConfig, PolicySpec};
+//! use oic_scenarios::{DoubleIntegratorScenario, ScenarioRegistry};
+//!
+//! let mut registry = ScenarioRegistry::new();
+//! registry.register(Box::new(DoubleIntegratorScenario));
+//! let config = BatchConfig { episodes: 4, steps: 25, ..Default::default() };
+//! let report = run_batch(&registry, &[PolicySpec::BangBang], &config).unwrap();
+//! assert_eq!(report.total_safety_violations(), 0); // Theorem 1
+//! println!("{}", report.to_json(false).to_json_pretty());
+//! ```
+
+mod json;
+mod report;
+mod runner;
+
+pub use json::JsonValue;
+pub use report::{BatchReport, CellReport, EpisodeRecord};
+pub use runner::{
+    episode_seed, run_batch, run_episode, BatchConfig, EngineError, PolicySpec, PreparedPolicy,
+};

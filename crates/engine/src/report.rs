@@ -1,0 +1,274 @@
+//! Batch results and their aggregation.
+
+use oic_core::RunStats;
+
+use crate::json::JsonValue;
+
+/// The outcome of one episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeRecord {
+    /// Episode index within its (scenario, policy) cell.
+    pub episode: usize,
+    /// The derived per-episode seed (for exact replay; serialized as a
+    /// string — it does not fit losslessly in a JSON number).
+    pub seed: u64,
+    /// Runtime statistics from Algorithm 1.
+    pub stats: RunStats,
+    /// Steps at which the state was outside the safe set `X` (Theorem 1
+    /// demands 0).
+    pub safety_violations: usize,
+    /// Steps at which the state was outside the invariant set `XI`.
+    pub invariant_violations: usize,
+    /// Worst-case slack to the safe-set boundary over the trajectory
+    /// (negative would mean a violation).
+    pub min_safe_slack: f64,
+}
+
+/// Aggregate statistics of one (scenario, policy) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy label.
+    pub policy: String,
+    /// Episodes executed.
+    pub episodes: usize,
+    /// Steps per episode.
+    pub steps_per_episode: usize,
+    /// Total steps across episodes.
+    pub total_steps: usize,
+    /// Mean fraction of steps skipped.
+    pub mean_skip_rate: f64,
+    /// Total skipped steps.
+    pub skipped_steps: usize,
+    /// Total monitor-forced runs.
+    pub forced_runs: usize,
+    /// Total policy-chosen runs.
+    pub policy_runs: usize,
+    /// Mean actuation effort per episode (`Σ‖u − u_skip‖₁`).
+    pub mean_actuation_effort: f64,
+    /// Safety violations across all episodes (must be 0).
+    pub safety_violations: usize,
+    /// Invariant-set violations across all episodes (must be 0).
+    pub invariant_violations: usize,
+    /// Worst slack to the safe-set boundary across all episodes.
+    pub min_safe_slack: f64,
+    /// Per-episode records, in episode order.
+    pub episodes_detail: Vec<EpisodeRecord>,
+}
+
+impl CellReport {
+    /// Folds episode records (already in episode order) into a cell.
+    pub fn from_episodes(
+        scenario: &str,
+        policy: &str,
+        steps_per_episode: usize,
+        episodes: Vec<EpisodeRecord>,
+    ) -> Self {
+        let n = episodes.len().max(1) as f64;
+        let mut report = Self {
+            scenario: scenario.to_string(),
+            policy: policy.to_string(),
+            episodes: episodes.len(),
+            steps_per_episode,
+            total_steps: 0,
+            mean_skip_rate: 0.0,
+            skipped_steps: 0,
+            forced_runs: 0,
+            policy_runs: 0,
+            mean_actuation_effort: 0.0,
+            safety_violations: 0,
+            invariant_violations: 0,
+            min_safe_slack: f64::INFINITY,
+            episodes_detail: Vec::new(),
+        };
+        for record in &episodes {
+            report.total_steps += record.stats.steps;
+            report.mean_skip_rate += record.stats.skip_rate();
+            report.skipped_steps += record.stats.skipped;
+            report.forced_runs += record.stats.forced_runs;
+            report.policy_runs += record.stats.policy_runs;
+            report.mean_actuation_effort += record.stats.actuation_effort;
+            report.safety_violations += record.safety_violations;
+            report.invariant_violations += record.invariant_violations;
+            report.min_safe_slack = report.min_safe_slack.min(record.min_safe_slack);
+        }
+        report.mean_skip_rate /= n;
+        report.mean_actuation_effort /= n;
+        report.episodes_detail = episodes;
+        report
+    }
+
+    /// JSON form (aggregates only; per-episode detail included when
+    /// `detail` is set).
+    pub fn to_json(&self, detail: bool) -> JsonValue {
+        let mut doc = JsonValue::object()
+            .with("scenario", self.scenario.as_str())
+            .with("policy", self.policy.as_str())
+            .with("episodes", self.episodes)
+            .with("steps_per_episode", self.steps_per_episode)
+            .with("total_steps", self.total_steps)
+            .with("mean_skip_rate", self.mean_skip_rate)
+            .with("skipped_steps", self.skipped_steps)
+            .with("forced_runs", self.forced_runs)
+            .with("policy_runs", self.policy_runs)
+            .with("mean_actuation_effort", self.mean_actuation_effort)
+            .with("safety_violations", self.safety_violations)
+            .with("invariant_violations", self.invariant_violations)
+            .with("min_safe_slack", self.min_safe_slack);
+        if detail {
+            let rows: Vec<JsonValue> = self
+                .episodes_detail
+                .iter()
+                .map(|r| {
+                    JsonValue::object()
+                        .with("episode", r.episode)
+                        .with("seed", r.seed.to_string())
+                        .with("steps", r.stats.steps)
+                        .with("skipped", r.stats.skipped)
+                        .with("forced_runs", r.stats.forced_runs)
+                        .with("actuation_effort", r.stats.actuation_effort)
+                        .with("safety_violations", r.safety_violations)
+                        .with("min_safe_slack", r.min_safe_slack)
+                })
+                .collect();
+            doc = doc.with("episodes_detail", JsonValue::Array(rows));
+        }
+        doc
+    }
+}
+
+/// The full result of a batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// The base seed the batch derived everything from.
+    pub seed: u64,
+    /// One cell per (scenario, policy) pair, in scenario-major order.
+    pub cells: Vec<CellReport>,
+}
+
+impl BatchReport {
+    /// Total safety violations across the whole batch.
+    pub fn total_safety_violations(&self) -> usize {
+        self.cells.iter().map(|c| c.safety_violations).sum()
+    }
+
+    /// Looks up one cell.
+    pub fn cell(&self, scenario: &str, policy: &str) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.policy == policy)
+    }
+
+    /// JSON form. `detail` controls per-episode rows.
+    ///
+    /// The output is deterministic for a given seed and configuration —
+    /// wall-clock timing is intentionally excluded.
+    pub fn to_json(&self, detail: bool) -> JsonValue {
+        JsonValue::object()
+            .with("kind", "oic-engine-batch")
+            .with("version", 1usize)
+            .with("seed", self.seed.to_string())
+            .with(
+                "cells",
+                JsonValue::Array(self.cells.iter().map(|c| c.to_json(detail)).collect()),
+            )
+            .with("total_safety_violations", self.total_safety_violations())
+    }
+
+    /// A plain-text summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:<14} {:>9} {:>11} {:>12} {:>12} {:>11}\n",
+            "scenario", "policy", "episodes", "skip rate", "forced runs", "effort/ep", "violations"
+        ));
+        out.push_str(&"-".repeat(95));
+        out.push('\n');
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{:<20} {:<14} {:>9} {:>10.1}% {:>12} {:>12.2} {:>11}\n",
+                cell.scenario,
+                cell.policy,
+                cell.episodes,
+                100.0 * cell.mean_skip_rate,
+                cell.forced_runs,
+                cell.mean_actuation_effort,
+                cell.safety_violations,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(episode: usize, skipped: usize) -> EpisodeRecord {
+        EpisodeRecord {
+            episode,
+            seed: 42 + episode as u64,
+            stats: RunStats {
+                steps: 10,
+                skipped,
+                forced_runs: 1,
+                policy_runs: 10 - skipped - 1,
+                actuation_effort: 5.0,
+            },
+            safety_violations: 0,
+            invariant_violations: 0,
+            min_safe_slack: 1.5 - episode as f64 * 0.25,
+        }
+    }
+
+    #[test]
+    fn aggregation_adds_up() {
+        let cell =
+            CellReport::from_episodes("demo", "bang-bang", 10, vec![record(0, 4), record(1, 6)]);
+        assert_eq!(cell.episodes, 2);
+        assert_eq!(cell.total_steps, 20);
+        assert_eq!(cell.skipped_steps, 10);
+        assert_eq!(cell.forced_runs, 2);
+        assert!((cell.mean_skip_rate - 0.5).abs() < 1e-12);
+        assert!((cell.mean_actuation_effort - 5.0).abs() < 1e-12);
+        assert!((cell.min_safe_slack - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_fields() {
+        let report = BatchReport {
+            seed: 7,
+            cells: vec![CellReport::from_episodes(
+                "demo",
+                "p",
+                10,
+                vec![record(0, 3)],
+            )],
+        };
+        // Episode seeds exceed 2^53; the string form must be exact.
+        let big = u64::MAX - 1;
+        let row = JsonValue::object().with("seed", big.to_string()).to_json();
+        assert!(row.contains(&format!("\"{big}\"")));
+        let json = report.to_json(true).to_json_pretty();
+        assert!(json.contains("\"kind\": \"oic-engine-batch\""));
+        assert!(json.contains("\"seed\": \"7\""));
+        assert!(json.contains("\"episodes_detail\""));
+        let compact = report.to_json(false).to_json();
+        assert!(!compact.contains("episodes_detail"));
+    }
+
+    #[test]
+    fn table_renders_every_cell() {
+        let report = BatchReport {
+            seed: 1,
+            cells: vec![
+                CellReport::from_episodes("a", "p1", 10, vec![record(0, 3)]),
+                CellReport::from_episodes("b", "p2", 10, vec![record(0, 5)]),
+            ],
+        };
+        let table = report.render_table();
+        assert!(table.contains("a") && table.contains("p2"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

@@ -1,0 +1,497 @@
+//! The parallel batch runner.
+//!
+//! Episodes are independent, so the runner shards them across OS threads
+//! with `std::thread::scope`. Determinism is preserved by construction:
+//! every episode derives its own seed from `(base seed, scenario, policy,
+//! episode index)` via a stable hash, workers return `(index, record)`
+//! pairs, and aggregation happens in index order after the join — so the
+//! report is identical for any thread count, including 1.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use oic_core::skip_horizon::MaxSkipPolicy;
+use oic_core::{
+    AlwaysRunPolicy, BangBangPolicy, CoreError, PeriodicSkipPolicy, RandomPolicy, SafeSets,
+    SkipPolicy,
+};
+use oic_scenarios::{Scenario, ScenarioInstance, ScenarioRegistry};
+
+use crate::report::{BatchReport, CellReport, EpisodeRecord};
+
+/// Errors surfaced by the batch engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The configuration is unusable (zero episodes/steps, no policies…).
+    InvalidConfig(&'static str),
+    /// A scenario failed to build or an episode failed; the context names
+    /// the scenario/policy/episode.
+    Episode {
+        /// `scenario/policy#episode` context string.
+        context: String,
+        /// The underlying failure.
+        source: CoreError,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidConfig(what) => write!(f, "invalid batch config: {what}"),
+            EngineError::Episode { context, source } => {
+                write!(f, "batch failed at {context}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A skipping policy the engine can instantiate per episode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// Never skip (the RMPC-only style baseline).
+    AlwaysRun,
+    /// Always skip inside `X′` (paper Eq. (7)).
+    BangBang,
+    /// Run once every `period` decisions.
+    Periodic(usize),
+    /// Skip with the given probability (adversarial stressor).
+    Random(f64),
+    /// Weakly-hard deadline policy with the given consecutive-skip budget.
+    MaxSkip(usize),
+}
+
+impl PolicySpec {
+    /// Display label (doubles as the JSON key).
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::AlwaysRun => "always-run".to_string(),
+            PolicySpec::BangBang => "bang-bang".to_string(),
+            PolicySpec::Periodic(k) => format!("periodic-{k}"),
+            PolicySpec::Random(p) => format!("random-{p:.2}"),
+            PolicySpec::MaxSkip(b) => format!("max-skip-{b}"),
+        }
+    }
+
+    /// Checks the spec's parameters without needing a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Names the offending parameter (the constructors would otherwise
+    /// panic inside a worker thread, bypassing [`EngineError`]).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match self {
+            PolicySpec::Random(p) if !(0.0..=1.0).contains(p) => {
+                Err("random policy probability must be in [0, 1]")
+            }
+            PolicySpec::Periodic(0) => Err("periodic policy period must be at least 1"),
+            PolicySpec::MaxSkip(0) => Err("max-skip budget must be at least 1"),
+            _ => Ok(()),
+        }
+    }
+
+    /// Precomputes whatever the policy needs for one scenario (e.g. the
+    /// consecutive-skip chain), so per-episode instantiation is cheap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain-synthesis failures for [`PolicySpec::MaxSkip`].
+    pub fn prepare(&self, sets: &SafeSets) -> Result<PreparedPolicy, CoreError> {
+        Ok(match self {
+            PolicySpec::MaxSkip(budget) => {
+                PreparedPolicy::MaxSkip(MaxSkipPolicy::new(sets, *budget)?)
+            }
+            other => PreparedPolicy::Spec(other.clone()),
+        })
+    }
+}
+
+/// A policy prototype bound to one scenario.
+#[derive(Debug, Clone)]
+pub enum PreparedPolicy {
+    /// Stateless or per-episode-seeded policies.
+    Spec(PolicySpec),
+    /// The precomputed weakly-hard policy (chain synthesis is expensive).
+    MaxSkip(MaxSkipPolicy),
+}
+
+impl PreparedPolicy {
+    /// Instantiates the policy for one episode.
+    pub fn for_episode(&self, seed: u64) -> Box<dyn SkipPolicy> {
+        match self {
+            PreparedPolicy::Spec(PolicySpec::AlwaysRun) => Box::new(AlwaysRunPolicy),
+            PreparedPolicy::Spec(PolicySpec::BangBang) => Box::new(BangBangPolicy),
+            PreparedPolicy::Spec(PolicySpec::Periodic(k)) => Box::new(PeriodicSkipPolicy::new(*k)),
+            PreparedPolicy::Spec(PolicySpec::Random(p)) => Box::new(RandomPolicy::new(*p, seed)),
+            PreparedPolicy::Spec(PolicySpec::MaxSkip(_)) => {
+                unreachable!("prepare() replaces MaxSkip with the built policy")
+            }
+            PreparedPolicy::MaxSkip(policy) => Box::new(policy.clone()),
+        }
+    }
+}
+
+/// Batch configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Episodes per (scenario, policy) cell.
+    pub episodes: usize,
+    /// Steps per episode.
+    pub steps: usize,
+    /// Base seed; all per-episode seeds derive from it.
+    pub seed: u64,
+    /// Disturbance-history window handed to policies (`r`).
+    pub memory: usize,
+    /// Worker threads (0 = one per available CPU, capped at 8).
+    pub threads: usize,
+    /// Keep per-episode records in the report (`false` drops them after
+    /// aggregation to bound memory on large sweeps).
+    pub detail: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            episodes: 100,
+            steps: 100,
+            seed: 2020,
+            memory: 1,
+            threads: 0,
+            detail: false,
+        }
+    }
+}
+
+impl BatchConfig {
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        }
+    }
+}
+
+/// Stable seed derivation (FNV-1a over the identifying tuple).
+pub fn episode_seed(base: u64, scenario: &str, policy: &str, episode: usize) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= *b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&base.to_le_bytes());
+    eat(scenario.as_bytes());
+    eat(&[0xFF]);
+    eat(policy.as_bytes());
+    eat(&(episode as u64).to_le_bytes());
+    hash
+}
+
+/// Runs one episode against a prebuilt scenario instance.
+///
+/// The engine owns the plant stepping (`x⁺ = Ax + Bu + w`), so episodes
+/// are exact closed-loop rollouts of the model the certificates cover.
+///
+/// # Errors
+///
+/// Propagates runtime failures ([`CoreError::OutsideInvariant`] can only
+/// happen if a disturbance process escapes `W` — a scenario bug).
+pub fn run_episode(
+    instance: &ScenarioInstance,
+    scenario: &dyn Scenario,
+    prepared: &PreparedPolicy,
+    episode: usize,
+    steps: usize,
+    memory: usize,
+    seed: u64,
+) -> Result<EpisodeRecord, CoreError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x0 = instance.sample_initial_state(&mut rng);
+    let mut process = scenario.disturbance_process(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut runtime = instance.runtime(prepared.for_episode(seed), memory);
+    let sys = instance.sets().plant().system().clone();
+    let safe = instance.sets().safe();
+    let invariant = instance.sets().invariant();
+
+    let mut x = x0;
+    let mut safety_violations = 0usize;
+    let mut invariant_violations = 0usize;
+    let mut min_safe_slack = f64::INFINITY;
+    for t in 0..steps {
+        min_safe_slack = min_safe_slack.min(safe.min_slack(&x));
+        if !safe.contains_with_tol(&x, 1e-6) {
+            safety_violations += 1;
+        }
+        if !invariant.contains_with_tol(&x, 1e-6) {
+            invariant_violations += 1;
+        }
+        let decision = runtime.step(&x, &[])?;
+        let w = process.next(t);
+        x = sys.step(&x, &decision.input, &w);
+    }
+    // The final post-step state has no control decision after it but is
+    // still a trajectory point Theorem 1 speaks about — tally it too.
+    min_safe_slack = min_safe_slack.min(safe.min_slack(&x));
+    if !safe.contains_with_tol(&x, 1e-6) {
+        safety_violations += 1;
+    }
+    if !invariant.contains_with_tol(&x, 1e-6) {
+        invariant_violations += 1;
+    }
+
+    Ok(EpisodeRecord {
+        episode,
+        seed,
+        stats: runtime.stats().clone(),
+        safety_violations,
+        invariant_violations,
+        min_safe_slack,
+    })
+}
+
+/// Runs the full batch: every scenario × every policy × `episodes`
+/// episodes, sharded across worker threads.
+///
+/// # Errors
+///
+/// * [`EngineError::InvalidConfig`] on empty configurations.
+/// * [`EngineError::Episode`] naming the first failing cell.
+pub fn run_batch(
+    registry: &ScenarioRegistry,
+    policies: &[PolicySpec],
+    config: &BatchConfig,
+) -> Result<BatchReport, EngineError> {
+    if registry.is_empty() {
+        return Err(EngineError::InvalidConfig("no scenarios registered"));
+    }
+    if policies.is_empty() {
+        return Err(EngineError::InvalidConfig("no policies given"));
+    }
+    if config.episodes == 0 || config.steps == 0 {
+        return Err(EngineError::InvalidConfig(
+            "episodes and steps must be positive",
+        ));
+    }
+    for policy in policies {
+        policy.validate().map_err(EngineError::InvalidConfig)?;
+    }
+
+    let mut cells = Vec::new();
+    for scenario in registry.iter() {
+        let instance = scenario.build().map_err(|source| EngineError::Episode {
+            context: format!("{}/build", scenario.name()),
+            source,
+        })?;
+        for policy in policies {
+            let prepared =
+                policy
+                    .prepare(instance.sets())
+                    .map_err(|source| EngineError::Episode {
+                        context: format!("{}/{}/prepare", scenario.name(), policy.label()),
+                        source,
+                    })?;
+            let records = run_cell(&instance, scenario, policy, &prepared, config)?;
+            let mut cell =
+                CellReport::from_episodes(scenario.name(), &policy.label(), config.steps, records);
+            if !config.detail {
+                cell.episodes_detail = Vec::new();
+            }
+            cells.push(cell);
+        }
+    }
+    Ok(BatchReport {
+        seed: config.seed,
+        cells,
+    })
+}
+
+fn run_cell(
+    instance: &ScenarioInstance,
+    scenario: &dyn Scenario,
+    policy: &PolicySpec,
+    prepared: &PreparedPolicy,
+    config: &BatchConfig,
+) -> Result<Vec<EpisodeRecord>, EngineError> {
+    let label = policy.label();
+    let workers = config.worker_count().min(config.episodes).max(1);
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..config.episodes).collect());
+    let results: Mutex<Vec<(usize, Result<EpisodeRecord, CoreError>)>> =
+        Mutex::new(Vec::with_capacity(config.episodes));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some(episode) = queue.lock().expect("queue lock").pop_front() else {
+                    return;
+                };
+                let seed = episode_seed(config.seed, instance.name(), &label, episode);
+                let outcome = run_episode(
+                    instance,
+                    scenario,
+                    prepared,
+                    episode,
+                    config.steps,
+                    config.memory,
+                    seed,
+                );
+                results
+                    .lock()
+                    .expect("results lock")
+                    .push((episode, outcome));
+            });
+        }
+    });
+
+    let mut indexed = results.into_inner().expect("threads joined");
+    indexed.sort_by_key(|(episode, _)| *episode);
+    let mut records = Vec::with_capacity(indexed.len());
+    for (episode, outcome) in indexed {
+        let record = outcome.map_err(|source| EngineError::Episode {
+            context: format!("{}/{}#{}", instance.name(), label, episode),
+            source,
+        })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_scenarios::DoubleIntegratorScenario;
+
+    fn tiny_registry() -> ScenarioRegistry {
+        let mut registry = ScenarioRegistry::new();
+        registry.register(Box::new(DoubleIntegratorScenario));
+        registry
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = episode_seed(1, "s", "p", 0);
+        assert_eq!(a, episode_seed(1, "s", "p", 0));
+        assert_ne!(a, episode_seed(1, "s", "p", 1));
+        assert_ne!(a, episode_seed(2, "s", "p", 0));
+        assert_ne!(episode_seed(1, "sp", "x", 0), episode_seed(1, "s", "px", 0));
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_thread_counts() {
+        let registry = tiny_registry();
+        let policies = [PolicySpec::BangBang, PolicySpec::Random(0.5)];
+        let serial = BatchConfig {
+            episodes: 12,
+            steps: 40,
+            threads: 1,
+            ..Default::default()
+        };
+        let parallel = BatchConfig {
+            episodes: 12,
+            steps: 40,
+            threads: 4,
+            ..Default::default()
+        };
+        let a = run_batch(&registry, &policies, &serial).unwrap();
+        let b = run_batch(&registry, &policies, &parallel).unwrap();
+        assert_eq!(a, b, "thread count must not change results");
+        assert_eq!(a.to_json(true).to_json(), b.to_json(true).to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let registry = tiny_registry();
+        let policies = [PolicySpec::Random(0.5)];
+        let c1 = BatchConfig {
+            episodes: 4,
+            steps: 30,
+            seed: 1,
+            detail: true,
+            ..Default::default()
+        };
+        let c2 = BatchConfig {
+            episodes: 4,
+            steps: 30,
+            seed: 2,
+            detail: true,
+            ..Default::default()
+        };
+        let a = run_batch(&registry, &policies, &c1).unwrap();
+        let b = run_batch(&registry, &policies, &c2).unwrap();
+        assert_ne!(a.cells[0].episodes_detail, b.cells[0].episodes_detail);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let registry = tiny_registry();
+        let err = run_batch(&registry, &[], &BatchConfig::default()).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+        let err = run_batch(
+            &registry,
+            &[PolicySpec::BangBang],
+            &BatchConfig {
+                episodes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+        let empty = ScenarioRegistry::new();
+        let err = run_batch(&empty, &[PolicySpec::BangBang], &BatchConfig::default()).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn bad_policy_parameters_are_invalid_config_not_panics() {
+        let registry = tiny_registry();
+        for bad in [
+            PolicySpec::Random(1.5),
+            PolicySpec::Random(-0.1),
+            PolicySpec::Periodic(0),
+            PolicySpec::MaxSkip(0),
+        ] {
+            let err = run_batch(&registry, &[bad], &BatchConfig::default()).unwrap_err();
+            assert!(matches!(err, EngineError::InvalidConfig(_)));
+        }
+    }
+
+    #[test]
+    fn detail_false_drops_episode_records() {
+        let registry = tiny_registry();
+        let config = BatchConfig {
+            episodes: 3,
+            steps: 20,
+            detail: false,
+            ..Default::default()
+        };
+        let report = run_batch(&registry, &[PolicySpec::BangBang], &config).unwrap();
+        assert!(report.cells[0].episodes_detail.is_empty());
+        assert_eq!(report.cells[0].episodes, 3, "aggregates survive the drop");
+    }
+
+    #[test]
+    fn policy_labels_are_distinct() {
+        let labels: Vec<String> = [
+            PolicySpec::AlwaysRun,
+            PolicySpec::BangBang,
+            PolicySpec::Periodic(4),
+            PolicySpec::Random(0.25),
+            PolicySpec::MaxSkip(2),
+        ]
+        .iter()
+        .map(PolicySpec::label)
+        .collect();
+        let mut deduped = labels.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), labels.len());
+    }
+}

@@ -93,7 +93,10 @@ impl Halfspace {
     pub fn translated(&self, t: &[f64]) -> Halfspace {
         assert_eq!(t.len(), self.dim(), "translation dimension mismatch");
         let shift: f64 = self.normal.iter().zip(t).map(|(a, v)| a * v).sum();
-        Halfspace { normal: self.normal.clone(), offset: self.offset + shift }
+        Halfspace {
+            normal: self.normal.clone(),
+            offset: self.offset + shift,
+        }
     }
 }
 

@@ -49,7 +49,8 @@ pub fn convex_hull_2d(points: &[[f64; 2]]) -> Vec<[f64; 2]> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 1e-12
+        while hull.len() >= lower_len
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 1e-12
         {
             hull.pop();
         }

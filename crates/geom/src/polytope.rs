@@ -140,7 +140,10 @@ impl Polytope {
         assert_eq!(self.dim, other.dim, "dimension mismatch in intersection");
         let mut halfspaces = self.halfspaces.clone();
         halfspaces.extend(other.halfspaces.iter().cloned());
-        Polytope { dim: self.dim, halfspaces }
+        Polytope {
+            dim: self.dim,
+            halfspaces,
+        }
     }
 
     /// Emptiness test via LP feasibility.
@@ -211,13 +214,20 @@ impl Polytope {
     ///
     /// Panics if the dimensions differ.
     pub fn minkowski_diff<S: SupportFunction>(&self, other: &S) -> Result<Polytope, GeomError> {
-        assert_eq!(self.dim, other.dim(), "dimension mismatch in Minkowski difference");
+        assert_eq!(
+            self.dim,
+            other.dim(),
+            "dimension mismatch in Minkowski difference"
+        );
         let mut halfspaces = Vec::with_capacity(self.halfspaces.len());
         for h in &self.halfspaces {
             let shrink = other.support(h.normal())?;
             halfspaces.push(Halfspace::new(h.normal().to_vec(), h.offset() - shrink));
         }
-        Ok(Polytope { dim: self.dim, halfspaces })
+        Ok(Polytope {
+            dim: self.dim,
+            halfspaces,
+        })
     }
 
     /// Affine pre-image `{ x : M x + shift ∈ self }`.
@@ -230,7 +240,11 @@ impl Polytope {
     /// Panics if `matrix.rows() != self.dim()` or
     /// `shift.len() != self.dim()`.
     pub fn preimage(&self, matrix: &Matrix, shift: &[f64]) -> Polytope {
-        assert_eq!(matrix.rows(), self.dim, "matrix rows must match polytope dimension");
+        assert_eq!(
+            matrix.rows(),
+            self.dim,
+            "matrix rows must match polytope dimension"
+        );
         assert_eq!(shift.len(), self.dim, "shift dimension mismatch");
         let new_dim = matrix.cols();
         let mut halfspaces = Vec::with_capacity(self.halfspaces.len());
@@ -240,7 +254,10 @@ impl Polytope {
             let shift_dot: f64 = h.normal().iter().zip(shift).map(|(a, c)| a * c).sum();
             halfspaces.push(Halfspace::new(normal, h.offset() - shift_dot));
         }
-        Polytope { dim: new_dim, halfspaces }
+        Polytope {
+            dim: new_dim,
+            halfspaces,
+        }
     }
 
     /// Affine image `{ M x + shift : x ∈ self }` for invertible `M`.
@@ -264,7 +281,10 @@ impl Polytope {
             let shift_dot: f64 = normal.iter().zip(shift).map(|(a, c)| a * c).sum();
             halfspaces.push(Halfspace::new(normal, h.offset() + shift_dot));
         }
-        Some(Polytope { dim: self.dim, halfspaces })
+        Some(Polytope {
+            dim: self.dim,
+            halfspaces,
+        })
     }
 
     /// Translate by `t`: `{ x + t : x ∈ self }`.
@@ -412,7 +432,10 @@ impl Polytope {
             .zip(keep)
             .filter_map(|(r, k)| k.then_some(r))
             .collect();
-        Polytope { dim: self.dim, halfspaces }
+        Polytope {
+            dim: self.dim,
+            halfspaces,
+        }
     }
 
     /// An extreme point achieving the support value in direction `d`
@@ -482,7 +505,9 @@ impl Polytope {
                 let y = (a1[0] * b2 - a2[0] * b1) / det;
                 let p = [x, y];
                 if self.contains_with_tol(&p, 1e-6)
-                    && !verts.iter().any(|v| (v[0] - x).abs() < 1e-7 && (v[1] - y).abs() < 1e-7)
+                    && !verts
+                        .iter()
+                        .any(|v| (v[0] - x).abs() < 1e-7 && (v[1] - y).abs() < 1e-7)
                 {
                     verts.push(p);
                 }
@@ -651,7 +676,10 @@ mod tests {
     fn empty_set_is_subset_of_everything() {
         let empty = Polytope::new(
             1,
-            vec![Halfspace::new(vec![1.0], 0.0), Halfspace::new(vec![-1.0], -1.0)],
+            vec![
+                Halfspace::new(vec![1.0], 0.0),
+                Halfspace::new(vec![-1.0], -1.0),
+            ],
         );
         assert!(empty.is_empty());
         let any = Polytope::from_box(&[5.0], &[6.0]);
@@ -684,7 +712,8 @@ mod tests {
         assert_eq!(v.len(), 3);
         for expect in [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]] {
             assert!(
-                v.iter().any(|p| (p[0] - expect[0]).abs() < 1e-7 && (p[1] - expect[1]).abs() < 1e-7),
+                v.iter()
+                    .any(|p| (p[0] - expect[0]).abs() < 1e-7 && (p[1] - expect[1]).abs() < 1e-7),
                 "missing vertex {expect:?} in {v:?}"
             );
         }

@@ -81,7 +81,10 @@ impl Polytope {
     ///
     /// Panics if `keep` is zero or exceeds the dimension.
     pub fn project_to_first(&self, keep: usize) -> Polytope {
-        assert!(keep > 0 && keep <= self.dim(), "invalid projection dimension");
+        assert!(
+            keep > 0 && keep <= self.dim(),
+            "invalid projection dimension"
+        );
         let mut p = self.clone();
         // Track which original coordinate each current column refers to.
         let mut cols: Vec<usize> = (0..self.dim()).collect();
@@ -192,7 +195,10 @@ mod tests {
     fn empty_polytope_projects_to_empty() {
         let p = Polytope::new(
             2,
-            vec![Halfspace::new(vec![1.0, 0.0], -1.0), Halfspace::new(vec![-1.0, 0.0], -1.0)],
+            vec![
+                Halfspace::new(vec![1.0, 0.0], -1.0),
+                Halfspace::new(vec![-1.0, 0.0], -1.0),
+            ],
         );
         assert!(p.is_empty());
         let q = p.eliminate(1);

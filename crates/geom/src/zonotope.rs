@@ -110,8 +110,17 @@ impl Zonotope {
     ///
     /// Panics if the dimensions differ.
     pub fn minkowski_sum(&self, other: &Zonotope) -> Zonotope {
-        assert_eq!(self.dim(), other.dim(), "dimension mismatch in Minkowski sum");
-        let center = self.center.iter().zip(&other.center).map(|(a, b)| a + b).collect();
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dimension mismatch in Minkowski sum"
+        );
+        let center = self
+            .center
+            .iter()
+            .zip(&other.center)
+            .map(|(a, b)| a + b)
+            .collect();
         let mut generators = self.generators.clone();
         generators.extend(other.generators.iter().cloned());
         Zonotope { center, generators }
@@ -179,11 +188,10 @@ impl Zonotope {
                 continue;
             }
             let unit = [n[0] / len, n[1] / len];
-            if !normals
-                .iter()
-                .any(|m| (m[0] - unit[0]).abs() < 1e-10 && (m[1] - unit[1]).abs() < 1e-10
-                    || (m[0] + unit[0]).abs() < 1e-10 && (m[1] + unit[1]).abs() < 1e-10)
-            {
+            if !normals.iter().any(|m| {
+                (m[0] - unit[0]).abs() < 1e-10 && (m[1] - unit[1]).abs() < 1e-10
+                    || (m[0] + unit[0]).abs() < 1e-10 && (m[1] + unit[1]).abs() < 1e-10
+            }) {
                 normals.push(unit);
             }
         }

@@ -2,16 +2,13 @@
 //! must *transport membership* correctly, which is exactly what the safety
 //! machinery relies on.
 
-use oic_geom::{
-    minkowski_sum_2d, polytope_from_points_2d, Polytope, SupportFunction, Zonotope,
-};
+use oic_geom::{minkowski_sum_2d, polytope_from_points_2d, Polytope, SupportFunction, Zonotope};
 use oic_linalg::Matrix;
 use proptest::prelude::*;
 
 fn box2d() -> impl Strategy<Value = Polytope> {
-    ((-5.0f64..0.0), (0.1f64..5.0), (-5.0f64..0.0), (0.1f64..5.0)).prop_map(
-        |(lx, wx, ly, wy)| Polytope::from_box(&[lx, ly], &[lx + wx, ly + wy]),
-    )
+    ((-5.0f64..0.0), (0.1f64..5.0), (-5.0f64..0.0), (0.1f64..5.0))
+        .prop_map(|(lx, wx, ly, wy)| Polytope::from_box(&[lx, ly], &[lx + wx, ly + wy]))
 }
 
 fn point2d() -> impl Strategy<Value = [f64; 2]> {

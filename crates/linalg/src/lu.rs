@@ -110,7 +110,11 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(Self { lu, perm, perm_sign })
+        Ok(Self {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Solves `A x = b` for `x`.
@@ -130,19 +134,21 @@ impl LuDecomposition {
         let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
         // Forward substitution with unit lower-triangular L.
         for i in 1..n {
-            let mut acc = y[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * y[j];
-            }
-            y[i] = acc;
+            let acc: f64 = y[..i]
+                .iter()
+                .enumerate()
+                .map(|(j, yj)| self.lu[(i, j)] * yj)
+                .sum();
+            y[i] -= acc;
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
-            let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * y[j];
-            }
-            y[i] = acc / self.lu[(i, i)];
+            let acc: f64 = y[i + 1..]
+                .iter()
+                .enumerate()
+                .map(|(k, yj)| self.lu[(i, i + 1 + k)] * yj)
+                .sum();
+            y[i] = (y[i] - acc) / self.lu[(i, i)];
         }
         Ok(y)
     }

@@ -39,7 +39,11 @@ pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the lengths differ.
 pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "vector subtraction requires equal lengths");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "vector subtraction requires equal lengths"
+    );
     a.iter().zip(b).map(|(x, y)| x - y).collect()
 }
 

@@ -4,8 +4,7 @@ use oic_linalg::{vec_ops, LuDecomposition, Matrix};
 use proptest::prelude::*;
 
 fn square3() -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0f64..5.0, 9)
-        .prop_map(|data| Matrix::from_vec(3, 3, data))
+    prop::collection::vec(-5.0f64..5.0, 9).prop_map(|data| Matrix::from_vec(3, 3, data))
 }
 
 fn vec3() -> impl Strategy<Value = Vec<f64>> {

@@ -94,7 +94,10 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the smallest bound.
-        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -114,7 +117,10 @@ impl MixedIntegerProgram {
             assert!(!seen[i], "duplicate binary variable index");
             seen[i] = true;
         }
-        Self { lp, binary: binary_vars.to_vec() }
+        Self {
+            lp,
+            binary: binary_vars.to_vec(),
+        }
     }
 
     /// Read access to the underlying relaxation.
@@ -138,18 +144,17 @@ impl MixedIntegerProgram {
     pub fn solve(&self) -> Result<MipSolution, LpError> {
         // Work in minimization orientation: clone and solve relaxations with
         // fixed binary bounds.
-        let solve_relaxation =
-            |fixed: &[(usize, bool)]| -> Result<(Vec<f64>, f64), LpError> {
-                let mut lp = self.lp.clone();
-                for &i in &self.binary {
-                    lp.set_bounds(i, 0.0, 1.0);
-                }
-                for &(i, v) in fixed {
-                    let val = if v { 1.0 } else { 0.0 };
-                    lp.set_bounds(i, val, val);
-                }
-                lp.solve().map(|s| (s.x().to_vec(), s.objective()))
-            };
+        let solve_relaxation = |fixed: &[(usize, bool)]| -> Result<(Vec<f64>, f64), LpError> {
+            let mut lp = self.lp.clone();
+            for &i in &self.binary {
+                lp.set_bounds(i, 0.0, 1.0);
+            }
+            for &(i, v) in fixed {
+                let val = if v { 1.0 } else { 0.0 };
+                lp.set_bounds(i, val, val);
+            }
+            lp.solve().map(|s| (s.x().to_vec(), s.objective()))
+        };
 
         // Objective orientation: LpSolution reports the user's orientation.
         // For bounding we need "lower is better", so flip maximize problems.
@@ -161,7 +166,10 @@ impl MixedIntegerProgram {
         };
 
         let mut heap = BinaryHeap::new();
-        heap.push(Node { bound: root.1, fixed: Vec::new() });
+        heap.push(Node {
+            bound: root.1,
+            fixed: Vec::new(),
+        });
 
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
         let mut nodes = 0usize;
@@ -210,7 +218,10 @@ impl MixedIntegerProgram {
                         fixed.push((i, v));
                         // Use the parent relaxation as an (optimistic) bound;
                         // the child relaxation is solved when popped.
-                        heap.push(Node { bound: obj_min, fixed });
+                        heap.push(Node {
+                            bound: obj_min,
+                            fixed,
+                        });
                     }
                 }
             }
@@ -218,8 +229,16 @@ impl MixedIntegerProgram {
 
         match incumbent {
             Some((x, obj_min)) => {
-                let objective = if self.is_maximize() { -obj_min } else { obj_min };
-                Ok(MipSolution { x, objective, nodes_explored: nodes })
+                let objective = if self.is_maximize() {
+                    -obj_min
+                } else {
+                    obj_min
+                };
+                Ok(MipSolution {
+                    x,
+                    objective,
+                    nodes_explored: nodes,
+                })
             }
             None => Err(LpError::Infeasible),
         }
@@ -278,7 +297,11 @@ mod tests {
             }
             match (sol, best) {
                 (Ok(s), Some(b)) => {
-                    assert!((s.objective() - b).abs() < 1e-6, "case {case}: {} vs {b}", s.objective());
+                    assert!(
+                        (s.objective() - b).abs() < 1e-6,
+                        "case {case}: {} vs {b}",
+                        s.objective()
+                    );
                 }
                 (Err(LpError::Infeasible), None) => {}
                 (s, b) => panic!("case {case}: mismatch {s:?} vs {b:?}"),

@@ -82,7 +82,10 @@ impl LinearProgram {
     ///
     /// Panics if `costs` is empty.
     pub fn minimize(costs: &[f64]) -> Self {
-        assert!(!costs.is_empty(), "objective must have at least one variable");
+        assert!(
+            !costs.is_empty(),
+            "objective must have at least one variable"
+        );
         Self {
             costs: costs.to_vec(),
             maximize: false,
@@ -127,10 +130,17 @@ impl LinearProgram {
     pub fn add_constraint(&mut self, coeffs: &[f64], relation: Relation, rhs: f64) -> &mut Self {
         assert_eq!(coeffs.len(), self.num_vars(), "coefficient length mismatch");
         assert!(
-            coeffs.iter().chain(std::iter::once(&rhs)).all(|v| v.is_finite()),
+            coeffs
+                .iter()
+                .chain(std::iter::once(&rhs))
+                .all(|v| v.is_finite()),
             "constraint entries must be finite"
         );
-        self.constraints.push(Constraint { coeffs: coeffs.to_vec(), relation, rhs });
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            relation,
+            rhs,
+        });
         self
     }
 
@@ -286,7 +296,10 @@ impl LinearProgram {
         }
 
         let m = rows.len();
-        let n_slack: usize = rows.iter().filter(|(_, rel, _)| *rel == Relation::Le).count();
+        let n_slack: usize = rows
+            .iter()
+            .filter(|(_, rel, _)| *rel == Relation::Le)
+            .count();
         let total = n_std + n_slack;
 
         let mut a = Vec::with_capacity(m);

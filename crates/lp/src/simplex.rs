@@ -84,8 +84,8 @@ impl Tableau {
             if factor.abs() <= 1e-13 {
                 continue;
             }
-            for j in 0..w {
-                self.t[i * w + j] -= factor * pivot_row[j];
+            for (t, p) in self.t[i * w..(i + 1) * w].iter_mut().zip(&pivot_row) {
+                *t -= factor * p;
             }
             // Guard against drift: the eliminated entry is exactly zero.
             self.t[i * w + col] = 0.0;
@@ -126,8 +126,7 @@ impl Tableau {
                 match best {
                     None => best = Some((i, ratio)),
                     Some((bi, br)) => {
-                        if ratio < br - EPS
-                            || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                        if ratio < br - EPS || (ratio < br + EPS && self.basis[i] < self.basis[bi])
                         {
                             best = Some((i, ratio));
                         }
@@ -195,7 +194,14 @@ pub(crate) fn solve_standard(
         }
     }
 
-    let mut tab = Tableau { m, n, t, basis, art_start: n0, iters: 0 };
+    let mut tab = Tableau {
+        m,
+        n,
+        t,
+        basis,
+        art_start: n0,
+        iters: 0,
+    };
 
     // ---- Phase 1: minimize the sum of artificial variables. ----
     if n_art > 0 {
@@ -204,8 +210,8 @@ pub(crate) fn solve_standard(
         for j in tab.art_start..tab.n {
             *tab.at_mut(m, j) = 1.0;
         }
-        for i in 0..m {
-            if needs_artificial[i] {
+        for (i, needed) in needs_artificial.iter().enumerate().take(m) {
+            if *needed {
                 for j in 0..w {
                     let v = tab.at(i, j);
                     *tab.at_mut(m, j) -= v;
@@ -306,7 +312,10 @@ mod tests {
             b: vec![1.0, 2.0],
             c: vec![0.0],
         };
-        assert_eq!(solve_standard(&sf, &[None, None]).unwrap_err(), LpError::Infeasible);
+        assert_eq!(
+            solve_standard(&sf, &[None, None]).unwrap_err(),
+            LpError::Infeasible
+        );
     }
 
     #[test]
@@ -317,7 +326,10 @@ mod tests {
             b: vec![1.0],
             c: vec![-1.0, 0.0, 0.0],
         };
-        assert_eq!(solve_standard(&sf, &[Some(2)]).unwrap_err(), LpError::Unbounded);
+        assert_eq!(
+            solve_standard(&sf, &[Some(2)]).unwrap_err(),
+            LpError::Unbounded
+        );
     }
 
     /// Beale's classic cycling example; must terminate via the Bland fallback.

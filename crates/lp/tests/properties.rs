@@ -8,10 +8,7 @@ use proptest::prelude::*;
 /// Not guaranteed — feasibility is checked against the outcome instead.
 fn random_lp(n: usize, m: usize) -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<f64>, f64)>)> {
     let costs = prop::collection::vec(-5.0f64..5.0, n);
-    let rows = prop::collection::vec(
-        (prop::collection::vec(-3.0f64..3.0, n), -2.0f64..6.0),
-        m,
-    );
+    let rows = prop::collection::vec((prop::collection::vec(-3.0f64..3.0, n), -2.0f64..6.0), m);
     (costs, rows)
 }
 

@@ -15,7 +15,11 @@
 /// ```
 pub fn mse_loss(prediction: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
     assert!(!prediction.is_empty(), "loss over empty prediction");
-    assert_eq!(prediction.len(), target.len(), "prediction/target length mismatch");
+    assert_eq!(
+        prediction.len(),
+        target.len(),
+        "prediction/target length mismatch"
+    );
     let n = prediction.len() as f64;
     let mut loss = 0.0;
     let mut grad = Vec::with_capacity(prediction.len());
@@ -47,7 +51,11 @@ pub fn mse_loss(prediction: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
 /// ```
 pub fn huber_loss(prediction: &[f64], target: &[f64], delta: f64) -> (f64, Vec<f64>) {
     assert!(!prediction.is_empty(), "loss over empty prediction");
-    assert_eq!(prediction.len(), target.len(), "prediction/target length mismatch");
+    assert_eq!(
+        prediction.len(),
+        target.len(),
+        "prediction/target length mismatch"
+    );
     assert!(delta > 0.0, "huber delta must be positive");
     let n = prediction.len() as f64;
     let mut loss = 0.0;

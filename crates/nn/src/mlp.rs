@@ -140,8 +140,14 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given or any size is zero.
     pub fn new<R: Rng>(layer_sizes: &[usize], hidden_activation: Activation, rng: &mut R) -> Self {
-        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
-        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        assert!(
+            layer_sizes.len() >= 2,
+            "need at least input and output sizes"
+        );
+        assert!(
+            layer_sizes.iter().all(|&s| s > 0),
+            "layer sizes must be positive"
+        );
         let mut layers = Vec::with_capacity(layer_sizes.len() - 1);
         for w in layer_sizes.windows(2) {
             let (in_dim, out_dim) = (w[0], w[1]);
@@ -160,7 +166,11 @@ impl Mlp {
                 biases: vec![0.0; out_dim],
                 in_dim,
                 out_dim,
-                activation: if is_output { Activation::Linear } else { hidden_activation },
+                activation: if is_output {
+                    Activation::Linear
+                } else {
+                    hidden_activation
+                },
             });
         }
         Self { layers }
@@ -178,7 +188,10 @@ impl Mlp {
 
     /// Total trainable parameter count.
     pub fn num_params(&self) -> usize {
-        self.layers.iter().map(|l| l.weights.len() + l.biases.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
     }
 
     /// Plain forward pass.
@@ -187,7 +200,10 @@ impl Mlp {
     ///
     /// Panics if `input.len()` differs from the input dimension.
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        self.forward_cached(input).post.pop().expect("at least one layer")
+        self.forward_cached(input)
+            .post
+            .pop()
+            .expect("at least one layer")
     }
 
     /// Forward pass retaining intermediate activations for
@@ -209,7 +225,11 @@ impl Mlp {
             pre.push(p);
             post.push(a);
         }
-        ForwardCache { input: input.to_vec(), pre, post }
+        ForwardCache {
+            input: input.to_vec(),
+            pre,
+            post,
+        }
     }
 
     /// Allocates a zeroed gradient accumulator matching this network.
@@ -231,15 +251,27 @@ impl Mlp {
     /// Panics if `output_grad.len()` differs from the output dimension or
     /// `grads` was built for a different architecture.
     pub fn backward(&self, cache: &ForwardCache, output_grad: &[f64], grads: &mut Gradients) {
-        assert_eq!(output_grad.len(), self.output_dim(), "output gradient dimension mismatch");
-        assert_eq!(grads.layers.len(), self.layers.len(), "gradient structure mismatch");
+        assert_eq!(
+            output_grad.len(),
+            self.output_dim(),
+            "output gradient dimension mismatch"
+        );
+        assert_eq!(
+            grads.layers.len(),
+            self.layers.len(),
+            "gradient structure mismatch"
+        );
         let mut delta: Vec<f64> = output_grad.to_vec();
         for (li, layer) in self.layers.iter().enumerate().rev() {
             // δ = ∂loss/∂post ⊙ act'(pre).
             for (d, &p) in delta.iter_mut().zip(&cache.pre[li]) {
                 *d *= layer.activation.derivative(p);
             }
-            let input: &[f64] = if li == 0 { &cache.input } else { &cache.post[li - 1] };
+            let input: &[f64] = if li == 0 {
+                &cache.input
+            } else {
+                &cache.post[li - 1]
+            };
             let (dw, db) = &mut grads.layers[li];
             for o in 0..layer.out_dim {
                 db[o] += delta[o];
@@ -251,10 +283,10 @@ impl Mlp {
             if li > 0 {
                 // Propagate δ to the previous layer: δ_prev = Wᵀ δ.
                 let mut prev = vec![0.0; layer.in_dim];
-                for o in 0..layer.out_dim {
+                for (o, &d) in delta.iter().enumerate() {
                     let row = &layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
                     for (p, &w) in prev.iter_mut().zip(row) {
-                        *p += w * delta[o];
+                        *p += w * d;
                     }
                 }
                 delta = prev;
@@ -268,9 +300,17 @@ impl Mlp {
     ///
     /// Panics if the architectures differ.
     pub fn copy_params_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
-            assert_eq!(dst.weights.len(), src.weights.len(), "architecture mismatch");
+            assert_eq!(
+                dst.weights.len(),
+                src.weights.len(),
+                "architecture mismatch"
+            );
             dst.weights.copy_from_slice(&src.weights);
             dst.biases.copy_from_slice(&src.biases);
         }
@@ -278,7 +318,10 @@ impl Mlp {
 
     /// Layer shapes and activations, in order (for serialization).
     pub(crate) fn layer_specs(&self) -> Vec<(usize, usize, Activation)> {
-        self.layers.iter().map(|l| (l.in_dim, l.out_dim, l.activation)).collect()
+        self.layers
+            .iter()
+            .map(|l| (l.in_dim, l.out_dim, l.activation))
+            .collect()
     }
 
     /// Visits every parameter in serialization order (per layer: weights
@@ -309,7 +352,13 @@ impl Mlp {
             offset += n_w;
             let biases = params[offset..offset + out_dim].to_vec();
             offset += out_dim;
-            layers.push(Dense { weights, biases, in_dim, out_dim, activation });
+            layers.push(Dense {
+                weights,
+                biases,
+                in_dim,
+                out_dim,
+                activation,
+            });
         }
         assert_eq!(offset, params.len(), "parameter buffer length mismatch");
         Mlp { layers }
@@ -320,7 +369,11 @@ impl Mlp {
     /// This is the hook the optimizer uses; `update(param, grad, index)`
     /// must return the new parameter value. `index` is a stable global
     /// parameter index.
-    pub(crate) fn update_params(&mut self, grads: &Gradients, mut update: impl FnMut(f64, f64, usize) -> f64) {
+    pub(crate) fn update_params(
+        &mut self,
+        grads: &Gradients,
+        mut update: impl FnMut(f64, f64, usize) -> f64,
+    ) {
         let mut idx = 0usize;
         for (layer, (dw, db)) in self.layers.iter_mut().zip(&grads.layers) {
             for (w, &g) in layer.weights.iter_mut().zip(dw) {
@@ -389,12 +442,19 @@ mod tests {
 
         let eps = 1e-6;
         let mut probe = net.clone();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..net.num_params() {
             probe.copy_params_from(&net);
-            probe.update_params(&net.zero_gradients(), |p, _, idx| if idx == i { p + eps } else { p });
+            probe.update_params(
+                &net.zero_gradients(),
+                |p, _, idx| if idx == i { p + eps } else { p },
+            );
             let (plus, _) = crate::mse_loss(&probe.forward(&x), &target);
             probe.copy_params_from(&net);
-            probe.update_params(&net.zero_gradients(), |p, _, idx| if idx == i { p - eps } else { p });
+            probe.update_params(
+                &net.zero_gradients(),
+                |p, _, idx| if idx == i { p - eps } else { p },
+            );
             let (minus, _) = crate::mse_loss(&probe.forward(&x), &target);
 
             let numeric = (plus - minus) / (2.0 * eps);

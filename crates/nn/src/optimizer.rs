@@ -42,7 +42,15 @@ impl Adam {
     /// Panics if `learning_rate ≤ 0`.
     pub fn new(learning_rate: f64) -> Self {
         assert!(learning_rate > 0.0, "learning rate must be positive");
-        Self { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Overrides the exponential-decay rates.
@@ -51,7 +59,10 @@ impl Adam {
     ///
     /// Panics unless `0 ≤ β < 1` for both.
     pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0,1)"
+        );
         self.beta1 = beta1;
         self.beta2 = beta2;
         self
@@ -76,7 +87,11 @@ impl Adam {
             self.m = vec![0.0; n];
             self.v = vec![0.0; n];
         }
-        assert_eq!(self.m.len(), n, "optimizer was initialized for a different network");
+        assert_eq!(
+            self.m.len(),
+            n,
+            "optimizer was initialized for a different network"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
@@ -112,7 +127,9 @@ mod tests {
             ([0.5, 0.5], 0.0),
         ];
         let loss_of = |net: &Mlp| -> f64 {
-            data.iter().map(|(x, y)| crate::mse_loss(&net.forward(x), &[*y]).0).sum::<f64>()
+            data.iter()
+                .map(|(x, y)| crate::mse_loss(&net.forward(x), &[*y]).0)
+                .sum::<f64>()
         };
         let initial = loss_of(&net);
         for _ in 0..400 {
@@ -126,7 +143,10 @@ mod tests {
             opt.step(&mut net, &grads);
         }
         let final_loss = loss_of(&net);
-        assert!(final_loss < initial * 0.05, "loss {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial * 0.05,
+            "loss {initial} -> {final_loss}"
+        );
     }
 
     #[test]
@@ -142,7 +162,11 @@ mod tests {
         net.backward(&cache, &dl, &mut grads);
         opt.step(&mut net, &grads);
         let after = net.forward(&[0.0])[0];
-        assert!((after - before - 0.1).abs() < 1e-6, "moved {}", after - before);
+        assert!(
+            (after - before - 0.1).abs() < 1e-6,
+            "moved {}",
+            after - before
+        );
     }
 
     #[test]

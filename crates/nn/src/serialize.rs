@@ -153,14 +153,20 @@ mod tests {
     fn bad_magic_rejected() {
         let mut blob = net().to_bytes().to_vec();
         blob[0] ^= 0xFF;
-        assert_eq!(Mlp::from_bytes(&blob).unwrap_err(), DecodeWeightsError::BadMagic);
+        assert_eq!(
+            Mlp::from_bytes(&blob).unwrap_err(),
+            DecodeWeightsError::BadMagic
+        );
     }
 
     #[test]
     fn truncation_rejected() {
         let blob = net().to_bytes();
         let cut = &blob[..blob.len() - 9];
-        assert_eq!(Mlp::from_bytes(cut).unwrap_err(), DecodeWeightsError::Truncated);
+        assert_eq!(
+            Mlp::from_bytes(cut).unwrap_err(),
+            DecodeWeightsError::Truncated
+        );
     }
 
     #[test]
@@ -176,6 +182,9 @@ mod tests {
 
     #[test]
     fn empty_blob_rejected() {
-        assert_eq!(Mlp::from_bytes(&[]).unwrap_err(), DecodeWeightsError::Truncated);
+        assert_eq!(
+            Mlp::from_bytes(&[]).unwrap_err(),
+            DecodeWeightsError::Truncated
+        );
     }
 }

@@ -1,0 +1,297 @@
+//! Reusable bounded disturbance processes.
+//!
+//! Every process is deterministic per seed and guaranteed to stay inside
+//! the box it was constructed with — the framework's Theorem 1 only covers
+//! disturbances inside the modeled `W`, so the clamp is a correctness
+//! requirement, not a nicety.
+
+use oic_core::DisturbanceProcess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clamp_to_box(w: &mut [f64], lo: &[f64], hi: &[f64]) {
+    for ((v, l), h) in w.iter_mut().zip(lo).zip(hi) {
+        *v = v.clamp(*l, *h);
+    }
+}
+
+/// I.i.d. uniform samples from a box — the harshest memoryless process.
+pub struct UniformBox {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    rng: StdRng,
+}
+
+impl UniformBox {
+    /// Creates the process over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are inverted or have mismatched lengths.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>, seed: u64) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound length mismatch");
+        assert!(lo.iter().zip(&hi).all(|(l, h)| l <= h), "inverted bounds");
+        Self {
+            lo,
+            hi,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DisturbanceProcess for UniformBox {
+    fn next(&mut self, _t: usize) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| {
+                if h > l {
+                    self.rng.gen_range(*l..=*h)
+                } else {
+                    *l
+                }
+            })
+            .collect()
+    }
+}
+
+/// A clamped random walk: each component moves by a uniform increment and
+/// reflects off the box — gusty but correlated (wind, occupancy drift).
+pub struct BoundedWalk {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    step: Vec<f64>,
+    current: Vec<f64>,
+    rng: StdRng,
+}
+
+impl BoundedWalk {
+    /// Creates the walk with per-component maximum increments `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or inverted bounds.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>, step: Vec<f64>, seed: u64) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound length mismatch");
+        assert_eq!(lo.len(), step.len(), "step length mismatch");
+        assert!(lo.iter().zip(&hi).all(|(l, h)| l <= h), "inverted bounds");
+        let current = lo.iter().zip(&hi).map(|(l, h)| 0.5 * (l + h)).collect();
+        Self {
+            lo,
+            hi,
+            step,
+            current,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DisturbanceProcess for BoundedWalk {
+    fn next(&mut self, _t: usize) -> Vec<f64> {
+        for (i, s) in self.step.iter().enumerate() {
+            if *s > 0.0 {
+                self.current[i] += self.rng.gen_range(-*s..=*s);
+            }
+        }
+        clamp_to_box(&mut self.current, &self.lo, &self.hi);
+        self.current.clone()
+    }
+}
+
+/// A sinusoid per component with uniform jitter, clamped to the box —
+/// periodic forcing such as orbital perturbations or daily thermal load.
+pub struct SinusoidBox {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Fraction of the half-width used by the sinusoid (rest is headroom).
+    amplitude_fraction: f64,
+    /// Angular increment per step.
+    omega: f64,
+    /// Uniform jitter half-range as a fraction of the half-width.
+    jitter_fraction: f64,
+    phase: f64,
+    rng: StdRng,
+}
+
+impl SinusoidBox {
+    /// Creates the process; `period_steps` is the sinusoid period.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inverted bounds, zero period, or fractions outside
+    /// `[0, 1]` (their sum must also stay ≤ 1 so the clamp never engages
+    /// except through numeric noise).
+    pub fn new(
+        lo: Vec<f64>,
+        hi: Vec<f64>,
+        period_steps: usize,
+        amplitude_fraction: f64,
+        jitter_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound length mismatch");
+        assert!(lo.iter().zip(&hi).all(|(l, h)| l <= h), "inverted bounds");
+        assert!(period_steps > 0, "period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&amplitude_fraction),
+            "amplitude fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&jitter_fraction),
+            "jitter fraction out of range"
+        );
+        assert!(
+            amplitude_fraction + jitter_fraction <= 1.0 + 1e-12,
+            "fractions exceed the box"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        Self {
+            lo,
+            hi,
+            amplitude_fraction,
+            omega: std::f64::consts::TAU / period_steps as f64,
+            jitter_fraction,
+            phase,
+            rng,
+        }
+    }
+}
+
+impl DisturbanceProcess for SinusoidBox {
+    fn next(&mut self, t: usize) -> Vec<f64> {
+        let wave = (self.phase + self.omega * t as f64).sin();
+        let mut w: Vec<f64> = self
+            .lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| {
+                let center = 0.5 * (l + h);
+                let half = 0.5 * (h - l);
+                let jitter = if self.jitter_fraction > 0.0 && half > 0.0 {
+                    self.rng.gen_range(-1.0..=1.0) * self.jitter_fraction * half
+                } else {
+                    0.0
+                };
+                center + self.amplitude_fraction * half * wave + jitter
+            })
+            .collect();
+        clamp_to_box(&mut w, &self.lo, &self.hi);
+        w
+    }
+}
+
+/// A dwell-based step process: holds a uniformly drawn level for a random
+/// number of steps, then jumps — occupancy changes, stop-and-go fronts.
+pub struct SteppedLevels {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    dwell_range: (usize, usize),
+    current: Vec<f64>,
+    dwell_left: usize,
+    rng: StdRng,
+}
+
+impl SteppedLevels {
+    /// Creates the process holding each level for `dwell_range` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inverted bounds or an inverted/zero dwell range.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>, dwell_range: (usize, usize), seed: u64) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound length mismatch");
+        assert!(lo.iter().zip(&hi).all(|(l, h)| l <= h), "inverted bounds");
+        assert!(
+            dwell_range.0 >= 1 && dwell_range.0 <= dwell_range.1,
+            "bad dwell range"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let current: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(l, h)| if h > l { rng.gen_range(*l..=*h) } else { *l })
+            .collect();
+        let dwell_left = rng.gen_range(dwell_range.0..=dwell_range.1);
+        Self {
+            lo,
+            hi,
+            dwell_range,
+            current,
+            dwell_left,
+            rng,
+        }
+    }
+}
+
+impl DisturbanceProcess for SteppedLevels {
+    fn next(&mut self, _t: usize) -> Vec<f64> {
+        if self.dwell_left == 0 {
+            self.current = self
+                .lo
+                .iter()
+                .zip(&self.hi)
+                .map(|(l, h)| {
+                    if h > l {
+                        self.rng.gen_range(*l..=*h)
+                    } else {
+                        *l
+                    }
+                })
+                .collect();
+            self.dwell_left = self.rng.gen_range(self.dwell_range.0..=self.dwell_range.1);
+        }
+        self.dwell_left -= 1;
+        self.current.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_box(w: &[f64], lo: &[f64], hi: &[f64]) -> bool {
+        w.iter()
+            .zip(lo)
+            .zip(hi)
+            .all(|((v, l), h)| *v >= *l - 1e-12 && *v <= *h + 1e-12)
+    }
+
+    #[test]
+    fn all_processes_respect_their_box() {
+        let lo = vec![-0.5, 0.0];
+        let hi = vec![0.5, 0.0];
+        let mut processes: Vec<Box<dyn DisturbanceProcess>> = vec![
+            Box::new(UniformBox::new(lo.clone(), hi.clone(), 1)),
+            Box::new(BoundedWalk::new(lo.clone(), hi.clone(), vec![0.2, 0.0], 2)),
+            Box::new(SinusoidBox::new(lo.clone(), hi.clone(), 50, 0.8, 0.2, 3)),
+            Box::new(SteppedLevels::new(lo.clone(), hi.clone(), (3, 9), 4)),
+        ];
+        for p in &mut processes {
+            for t in 0..500 {
+                let w = p.next(t);
+                assert!(in_box(&w, &lo, &hi), "{w:?} escaped the box");
+                assert_eq!(w[1], 0.0, "degenerate dimension must stay pinned");
+            }
+        }
+    }
+
+    #[test]
+    fn processes_are_deterministic_per_seed() {
+        let lo = vec![-1.0];
+        let hi = vec![1.0];
+        let mut a = SteppedLevels::new(lo.clone(), hi.clone(), (2, 6), 9);
+        let mut b = SteppedLevels::new(lo, hi, (2, 6), 9);
+        for t in 0..100 {
+            assert_eq!(a.next(t), b.next(t));
+        }
+    }
+
+    #[test]
+    fn sinusoid_actually_oscillates() {
+        let mut p = SinusoidBox::new(vec![-1.0], vec![1.0], 20, 0.9, 0.0, 5);
+        let samples: Vec<f64> = (0..40).map(|t| p.next(t)[0]).collect();
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > 0.5 && min < -0.5, "range [{min}, {max}] too flat");
+    }
+}

@@ -1,0 +1,122 @@
+//! The scenario registry.
+
+use crate::{
+    AccScenario, DoubleIntegratorScenario, LaneKeepingScenario, OrbitHoldScenario, Scenario,
+    ThermalRcScenario,
+};
+
+/// A named collection of scenarios.
+///
+/// # Examples
+///
+/// ```
+/// let registry = oic_scenarios::ScenarioRegistry::standard();
+/// let names = registry.names();
+/// assert!(names.contains(&"acc"));
+/// assert!(names.contains(&"orbit-hold"));
+/// ```
+#[derive(Default)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<Box<dyn Scenario>>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in case studies (ACC plus the four new plants).
+    pub fn standard() -> Self {
+        let mut registry = Self::new();
+        registry.register(Box::new(AccScenario::default()));
+        registry.register(Box::new(DoubleIntegratorScenario));
+        registry.register(Box::new(LaneKeepingScenario::default()));
+        registry.register(Box::new(OrbitHoldScenario::default()));
+        registry.register(Box::new(ThermalRcScenario::default()));
+        registry
+    }
+
+    /// Adds a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scenario with the same name is already registered.
+    pub fn register(&mut self, scenario: Box<dyn Scenario>) {
+        assert!(
+            self.get(scenario.name()).is_none(),
+            "scenario {:?} is already registered",
+            scenario.name()
+        );
+        self.scenarios.push(scenario);
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Scenario> {
+        self.scenarios
+            .iter()
+            .find(|s| s.name() == name)
+            .map(|s| s.as_ref())
+    }
+
+    /// All registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.scenarios.iter().map(|s| s.name()).collect()
+    }
+
+    /// Iterates the scenarios in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Scenario> {
+        self.scenarios.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_five_unique_scenarios() {
+        let registry = ScenarioRegistry::standard();
+        assert_eq!(registry.len(), 5);
+        let names = registry.names();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "names must be unique");
+        assert_eq!(
+            names,
+            vec![
+                "acc",
+                "double-integrator",
+                "lane-keeping",
+                "orbit-hold",
+                "thermal-rc"
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_panics() {
+        let mut registry = ScenarioRegistry::standard();
+        registry.register(Box::new(DoubleIntegratorScenario));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let registry = ScenarioRegistry::standard();
+        assert!(registry.get("thermal-rc").is_some());
+        assert!(registry.get("nonexistent").is_none());
+        assert!(!registry.is_empty());
+    }
+}

@@ -1,7 +1,6 @@
 //! The ACC case-study parameters and coordinate transforms (paper §IV).
 
 use oic_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the adaptive cruise control case study.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// let (s, v) = p.from_deviation(&x);
 /// assert_eq!((s, v), (155.0, 38.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccParams {
     /// Sampling/control period `δ` (seconds).
     pub dt: f64,

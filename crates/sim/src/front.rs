@@ -64,7 +64,11 @@ impl SinusoidalFront {
 impl FrontModel for SinusoidalFront {
     fn velocity(&mut self, t: usize) -> f64 {
         let phase = std::f64::consts::FRAC_PI_2 * self.dt * t as f64;
-        let w = if self.noise > 0.0 { self.rng.gen_range(-self.noise..=self.noise) } else { 0.0 };
+        let w = if self.noise > 0.0 {
+            self.rng.gen_range(-self.noise..=self.noise)
+        } else {
+            0.0
+        };
         (self.ve + self.af * phase.sin() + w).clamp(self.range.0, self.range.1)
     }
 
@@ -95,10 +99,19 @@ impl SmoothRandomFront {
     /// Panics if the ranges are inverted.
     pub fn new(range: (f64, f64), accel_range: (f64, f64), dt: f64, seed: u64) -> Self {
         assert!(range.0 <= range.1, "velocity range inverted");
-        assert!(accel_range.0 <= accel_range.1, "acceleration range inverted");
+        assert!(
+            accel_range.0 <= accel_range.1,
+            "acceleration range inverted"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let current = rng.gen_range(range.0..=range.1);
-        Self { dt, range, accel_range, current, rng }
+        Self {
+            dt,
+            range,
+            accel_range,
+            current,
+            rng,
+        }
     }
 }
 
@@ -130,7 +143,10 @@ impl UniformRandomFront {
     /// Panics if the range is inverted.
     pub fn new(range: (f64, f64), seed: u64) -> Self {
         assert!(range.0 <= range.1, "velocity range inverted");
-        Self { range, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            range,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -182,7 +198,16 @@ impl StopAndGoFront {
         let mut rng = StdRng::seed_from_u64(seed);
         let current = range.1;
         let dwell_left = rng.gen_range(dwell_range.0..=dwell_range.1);
-        Self { dt, range, accel, current, target: range.0, dwell_left, dwell_range, rng }
+        Self {
+            dt,
+            range,
+            accel,
+            current,
+            target: range.0,
+            dwell_left,
+            dwell_range,
+            rng,
+        }
     }
 }
 
@@ -190,7 +215,11 @@ impl FrontModel for StopAndGoFront {
     fn velocity(&mut self, _t: usize) -> f64 {
         if (self.current - self.target).abs() < 1e-9 {
             if self.dwell_left == 0 {
-                self.target = if self.target == self.range.0 { self.range.1 } else { self.range.0 };
+                self.target = if self.target == self.range.0 {
+                    self.range.1
+                } else {
+                    self.range.0
+                };
                 self.dwell_left = self.rng.gen_range(self.dwell_range.0..=self.dwell_range.1);
             } else {
                 self.dwell_left -= 1;
@@ -236,7 +265,15 @@ impl AggressiveFront {
         assert!(max_accel > 0.0, "max acceleration must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let current = rng.gen_range(range.0..=range.1);
-        Self { dt, range, max_accel, current, accel: 0.0, burst_left: 0, rng }
+        Self {
+            dt,
+            range,
+            max_accel,
+            current,
+            accel: 0.0,
+            burst_left: 0,
+            rng,
+        }
     }
 }
 
@@ -382,8 +419,14 @@ mod tests {
     fn stop_and_go_reaches_both_extremes() {
         let mut f = StopAndGoFront::new((30.0, 50.0), 5.0, (5, 10), 0.1, 5);
         let vs: Vec<f64> = (0..2000).map(|t| f.velocity(t)).collect();
-        assert!(vs.iter().any(|v| (v - 30.0).abs() < 1e-9), "reaches the low target");
-        assert!(vs.iter().any(|v| (v - 50.0).abs() < 1e-9), "reaches the high target");
+        assert!(
+            vs.iter().any(|v| (v - 30.0).abs() < 1e-9),
+            "reaches the low target"
+        );
+        assert!(
+            vs.iter().any(|v| (v - 50.0).abs() < 1e-9),
+            "reaches the high target"
+        );
         for w in vs.windows(2) {
             assert!((w[1] - w[0]).abs() <= 0.5 + 1e-9, "bounded accel");
         }
@@ -399,7 +442,10 @@ mod tests {
                 direction_changes += 1;
             }
         }
-        assert!(direction_changes > 10, "only {direction_changes} direction changes");
+        assert!(
+            direction_changes > 10,
+            "only {direction_changes} direction changes"
+        );
         assert!(vs.iter().all(|v| (30.0..=50.0).contains(v)));
     }
 

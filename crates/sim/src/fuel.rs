@@ -9,10 +9,8 @@
 //! trajectories. [`ActuationEnergy`] is the paper's Problem-1 objective
 //! `Σ‖u(t)‖₁` for ablations against the formal cost.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-step context handed to a fuel model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FuelContext {
     /// Ego velocity (m/s).
     pub velocity: f64,
@@ -43,7 +41,7 @@ pub trait FuelModel {
 /// i.e. fuel flow proportional to delivered engine power, with an idle
 /// floor. Coasting (`u = 0`) and braking (`u < 0`) burn the idle rate —
 /// which is exactly why skipping actuation saves fuel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hbefa3Fuel {
     /// Idle floor (ml/s).
     pub idle: f64,
@@ -57,7 +55,11 @@ impl Default for Hbefa3Fuel {
     fn default() -> Self {
         // Passenger-car scale: cruising the §IV equilibrium (u = 8, v = 40,
         // power 320) burns ≈ 0.74 ml/s; idling burns 0.22 ml/s.
-        Self { idle: 0.22, base: 0.1, power: 2.0e-3 }
+        Self {
+            idle: 0.22,
+            base: 0.1,
+            power: 2.0e-3,
+        }
     }
 }
 
@@ -70,7 +72,7 @@ impl FuelModel for Hbefa3Fuel {
 }
 
 /// The paper's formal energy objective: `‖u‖₁ · δ` per step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ActuationEnergy;
 
 impl FuelModel for ActuationEnergy {
@@ -84,7 +86,12 @@ mod tests {
     use super::*;
 
     fn ctx(v: f64, a: f64, u: f64) -> FuelContext {
-        FuelContext { velocity: v, acceleration: a, input: u, dt: 0.1 }
+        FuelContext {
+            velocity: v,
+            acceleration: a,
+            input: u,
+            dt: 0.1,
+        }
     }
 
     #[test]

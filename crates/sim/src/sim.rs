@@ -1,13 +1,11 @@
 //! The two-vehicle closed-loop simulator.
 
-use serde::{Deserialize, Serialize};
-
 use crate::front::FrontModel;
 use crate::fuel::{FuelContext, FuelModel};
 use crate::AccParams;
 
 /// One recorded simulation step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepRecord {
     /// Step index (time is `t·δ`).
     pub t: usize,
@@ -27,7 +25,7 @@ pub struct StepRecord {
 }
 
 /// Aggregate statistics of a finished run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimSummary {
     /// Total fuel over the run.
     pub total_fuel: f64,
@@ -93,8 +91,20 @@ impl TrafficSim {
         s0: f64,
         v0: f64,
     ) -> Self {
-        assert!(s0.is_finite() && v0.is_finite(), "initial state must be finite");
-        Self { params, front, fuel, s: s0, v: v0, t: 0, pending_vf: None, trace: Vec::new() }
+        assert!(
+            s0.is_finite() && v0.is_finite(),
+            "initial state must be finite"
+        );
+        Self {
+            params,
+            front,
+            fuel,
+            s: s0,
+            v: v0,
+            t: 0,
+            pending_vf: None,
+            trace: Vec::new(),
+        }
     }
 
     /// Current relative distance.
@@ -153,7 +163,15 @@ impl TrafficSim {
             input: u,
             dt: self.params.dt,
         });
-        let record = StepRecord { t: self.t, s: self.s, v: self.v, vf, u, fuel, skipped };
+        let record = StepRecord {
+            t: self.t,
+            s: self.s,
+            v: self.v,
+            vf,
+            u,
+            fuel,
+            skipped,
+        };
         let (s_next, v_next) = self.params.step_absolute(self.s, self.v, vf, u);
         self.s = s_next;
         self.v = v_next;
@@ -217,7 +235,13 @@ mod tests {
     fn sim_with(front_seed: u64) -> TrafficSim {
         let p = AccParams::default();
         let front = SinusoidalFront::new(&p, 40.0, 9.0, 1.0, front_seed);
-        TrafficSim::new(p, Box::new(front), Box::new(Hbefa3Fuel::default()), 150.0, 40.0)
+        TrafficSim::new(
+            p,
+            Box::new(front),
+            Box::new(Hbefa3Fuel::default()),
+            150.0,
+            40.0,
+        )
     }
 
     #[test]
@@ -260,8 +284,7 @@ mod tests {
         let p = AccParams::default();
         let front = SinusoidalFront::new(&p, 40.0, 0.0, 0.0, 0);
         // Start outside the safe band.
-        let mut sim =
-            TrafficSim::new(p, Box::new(front), Box::new(ActuationEnergy), 110.0, 40.0);
+        let mut sim = TrafficSim::new(p, Box::new(front), Box::new(ActuationEnergy), 110.0, 40.0);
         sim.step_annotated(0.0, true);
         sim.step_annotated(8.0, false);
         let sum = sim.summary();
@@ -289,8 +312,13 @@ mod tests {
     fn equilibrium_run_is_stationary_without_noise() {
         let p = AccParams::default();
         let front = SinusoidalFront::new(&p, 40.0, 0.0, 0.0, 0);
-        let mut sim =
-            TrafficSim::new(p, Box::new(front), Box::new(Hbefa3Fuel::default()), 150.0, 40.0);
+        let mut sim = TrafficSim::new(
+            p,
+            Box::new(front),
+            Box::new(Hbefa3Fuel::default()),
+            150.0,
+            40.0,
+        );
         for _ in 0..50 {
             sim.step(8.0);
         }

@@ -14,8 +14,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let episodes: usize =
-        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(150);
+    let episodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
 
     let case = AccCaseStudy::build_default()?;
     let params = case.params().clone();
@@ -42,20 +44,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..cases {
         let x0 = case.sample_initial_state(&mut rng);
         let front_seed = 9000 + i as u64;
-        let mut run = |policy: &mut dyn SkipPolicy, idx: usize| -> Result<(), oic::core::CoreError> {
-            let outcome = case.run_episode(EpisodeConfig {
-                policy,
-                front: Box::new(SinusoidalFront::new(&params, 40.0, 9.0, 1.0, front_seed)),
-                fuel: Box::new(Hbefa3Fuel::default()),
-                steps: 100,
-                initial_state: x0,
-                oracle_forecast: false,
-            })?;
-            assert_eq!(outcome.summary.safety_violations, 0, "Theorem 1 must hold");
-            totals[idx] += outcome.summary.total_fuel;
-            skips[idx] += outcome.stats.skipped;
-            Ok(())
-        };
+        let mut run =
+            |policy: &mut dyn SkipPolicy, idx: usize| -> Result<(), oic::core::CoreError> {
+                let outcome = case.run_episode(EpisodeConfig {
+                    policy,
+                    front: Box::new(SinusoidalFront::new(&params, 40.0, 9.0, 1.0, front_seed)),
+                    fuel: Box::new(Hbefa3Fuel::default()),
+                    steps: 100,
+                    initial_state: x0,
+                    oracle_forecast: false,
+                })?;
+                assert_eq!(outcome.summary.safety_violations, 0, "Theorem 1 must hold");
+                totals[idx] += outcome.summary.total_fuel;
+                skips[idx] += outcome.stats.skipped;
+                Ok(())
+            };
         run(&mut AlwaysRunPolicy, 0)?;
         run(&mut BangBangPolicy, 1)?;
         run(&mut drl, 2)?;

@@ -1,56 +1,51 @@
-//! The framework on a *different* plant: a perturbed double integrator
-//! under a linear feedback controller `κ(x) = Kx`, with the **model-based**
-//! skipping policy (paper Eq. (6) as a MILP) deciding when to skip.
+//! The framework on a *different* plant — now served from the scenario
+//! library: `oic_scenarios::DoubleIntegratorScenario` packages the
+//! perturbed double integrator with a linear feedback controller
+//! `κ(x) = Kx` and certified sets, and the **model-based** skipping
+//! policy (paper Eq. (6) as a MILP) decides when to skip.
 //!
 //! This demonstrates the generality claims of the paper: the safe-set
-//! machinery works for any discrete LTI system, and when the controller is
-//! analytic and the disturbance known, skipping can be optimized exactly.
+//! machinery works for any discrete LTI system, and when the controller
+//! is analytic and the disturbance known, skipping can be optimized
+//! exactly.
 //!
 //! Run with: `cargo run --release --example double_integrator`
 
-use oic::control::{dlqr, ConstrainedLti, LinearFeedback, Lti};
-use oic::core::{
-    BangBangPolicy, IntermittentController, ModelBasedPolicy, SafeSets, SkipInput, SkipPolicy,
-};
-use oic::geom::Polytope;
-use oic::linalg::Matrix;
+use oic::core::{BangBangPolicy, IntermittentController, ModelBasedPolicy, SkipPolicy};
+use oic::scenarios::{DoubleIntegratorScenario, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Double integrator: position + velocity, bounded force, box disturbance.
-    let plant = ConstrainedLti::new(
-        Lti::new(
-            Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
-            Matrix::from_rows(&[&[0.5], &[1.0]]),
-        ),
-        Polytope::from_box(&[-5.0, -2.0], &[5.0, 2.0]),
-        Polytope::from_box(&[-1.0], &[1.0]),
-        Polytope::from_box(&[-0.05, -0.05], &[0.05, 0.05]),
-    );
-    let gain = dlqr(
-        plant.system().a(),
-        plant.system().b(),
-        &Matrix::identity(2),
-        &Matrix::identity(1),
-    )?;
+    // The library scenario: plant, LQR gain, and certified sets in one
+    // call (the sets were `certify()`-checked during `build`).
+    let scenario = DoubleIntegratorScenario;
+    let instance = scenario.build()?;
+    let sets = instance.sets().clone();
+    let gain = DoubleIntegratorScenario::gain()?;
+    println!("scenario: {} — {}", scenario.name(), scenario.description());
     println!("LQR gain K = [{:.4}, {:.4}]", gain[(0, 0)], gain[(0, 1)]);
-
-    // Safe sets for the linear feedback, skipping with a literal zero input.
-    let sets = SafeSets::for_linear_feedback(plant.clone(), &gain, &SkipInput::Zero)?;
-    sets.certify()?;
     let (lo, hi) = sets.strengthened().bounding_box()?;
-    println!("X' bounding box: [{:.2},{:.2}] x [{:.2},{:.2}]", lo[0], hi[0], lo[1], hi[1]);
+    println!(
+        "X' bounding box: [{:.2},{:.2}] x [{:.2},{:.2}]",
+        lo[0], hi[0], lo[1], hi[1]
+    );
 
     // Known disturbance over each decision horizon: a slow square wave.
     let w_of = |t: usize| -> Vec<f64> {
-        let sign = if (t / 25).is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if (t / 25).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         vec![0.05 * sign, 0.05 * sign]
     };
 
-    let run = |mut policy: Box<dyn SkipPolicy>, oracle: bool| -> Result<(usize, f64), oic::core::CoreError> {
+    let run = |mut policy: Box<dyn SkipPolicy>,
+               oracle: bool|
+     -> Result<(usize, f64), oic::core::CoreError> {
         let mut ic = IntermittentController::new(
-            LinearFeedback::new(gain.clone()),
+            instance.controller().clone(),
             sets.clone(),
             policy.as_mut(),
             1,
@@ -58,8 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(5);
         let mut x = vec![0.5, 0.0];
         for t in 0..200 {
-            let forecast: Vec<Vec<f64>> =
-                if oracle { (t..t + 5).map(&w_of).collect() } else { Vec::new() };
+            let forecast: Vec<Vec<f64>> = if oracle {
+                (t..t + 5).map(&w_of).collect()
+            } else {
+                Vec::new()
+            };
             let d = ic.step(&x, &forecast)?;
             // True disturbance plus a little in-bound jitter.
             let mut w = w_of(t);
@@ -67,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 *wi = (*wi + rng.gen_range(-0.01..0.01)).clamp(-0.05, 0.05);
             }
             x = sets.plant().system().step(&x, &d.input, &w);
-            assert!(sets.invariant().contains_with_tol(&x, 1e-6), "Theorem 1 violated!");
+            assert!(
+                sets.invariant().contains_with_tol(&x, 1e-6),
+                "Theorem 1 violated!"
+            );
         }
         let stats = ic.stats();
         Ok((stats.skipped, stats.actuation_effort))

@@ -56,11 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oracle_forecast: false,
     })?;
 
-    println!("RMPC-only : fuel {:.3} ml, skipped {}/100, violations {}",
-        baseline.summary.total_fuel, baseline.stats.skipped, baseline.summary.safety_violations);
-    println!("bang-bang : fuel {:.3} ml, skipped {}/100, violations {}",
-        skipping.summary.total_fuel, skipping.stats.skipped, skipping.summary.safety_violations);
+    println!(
+        "RMPC-only : fuel {:.3} ml, skipped {}/100, violations {}",
+        baseline.summary.total_fuel, baseline.stats.skipped, baseline.summary.safety_violations
+    );
+    println!(
+        "bang-bang : fuel {:.3} ml, skipped {}/100, violations {}",
+        skipping.summary.total_fuel, skipping.stats.skipped, skipping.summary.safety_violations
+    );
     let saving = 1.0 - skipping.summary.total_fuel / baseline.summary.total_fuel;
-    println!("fuel saving from opportunistic skipping: {:.1}%", 100.0 * saving);
+    println!(
+        "fuel saving from opportunistic skipping: {:.1}%",
+        100.0 * saving
+    );
     Ok(())
 }

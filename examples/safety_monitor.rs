@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         // Adversarial disturbance: always an extreme vertex of W.
-        let w = if rng.gen_bool(0.5) { vec![1.0, 0.0] } else { vec![-1.0, 0.0] };
+        let w = if rng.gen_bool(0.5) {
+            vec![1.0, 0.0]
+        } else {
+            vec![-1.0, 0.0]
+        };
         x = sys.step(&x, &d.input, &w);
         min_slack_x = min_slack_x.min(case.sets().safe().min_slack(&x));
         assert!(

@@ -18,6 +18,11 @@
 //!   Q-learning.
 //! * [`sim`] ([`oic_sim`]) — the two-vehicle traffic micro-simulator (SUMO
 //!   substitute) with driver and fuel models.
+//! * [`scenarios`] ([`oic_scenarios`]) — the certified case-study library:
+//!   ACC plus double integrator, lane keeping, orbit hold, and RC thermal,
+//!   each with its own invariant-set synthesis and disturbance process.
+//! * [`engine`] ([`oic_engine`]) — the parallel batch evaluation engine:
+//!   deterministic per-episode seeding, per-cell aggregation, JSON reports.
 //!
 //! # Quickstart
 //!
@@ -45,8 +50,10 @@
 pub use oic_control as control;
 pub use oic_core as core;
 pub use oic_drl as drl;
+pub use oic_engine as engine;
 pub use oic_geom as geom;
 pub use oic_linalg as linalg;
 pub use oic_lp as lp;
 pub use oic_nn as nn;
+pub use oic_scenarios as scenarios;
 pub use oic_sim as sim;

@@ -26,7 +26,13 @@ fn run(
     let case = case();
     case.run_episode(EpisodeConfig {
         policy,
-        front: Box::new(SinusoidalFront::new(case.params(), 40.0, 9.0, 1.0, front_seed)),
+        front: Box::new(SinusoidalFront::new(
+            case.params(),
+            40.0,
+            9.0,
+            1.0,
+            front_seed,
+        )),
         fuel: Box::new(Hbefa3Fuel::default()),
         steps: 100,
         initial_state: x0,
@@ -60,8 +66,14 @@ fn skipping_saves_fuel_on_average() {
     let mut bang_total = 0.0;
     for i in 0..5 {
         let x0 = case.sample_initial_state(&mut rng);
-        base_total += run(&mut AlwaysRunPolicy, 500 + i, x0, false).unwrap().summary.total_fuel;
-        bang_total += run(&mut BangBangPolicy, 500 + i, x0, false).unwrap().summary.total_fuel;
+        base_total += run(&mut AlwaysRunPolicy, 500 + i, x0, false)
+            .unwrap()
+            .summary
+            .total_fuel;
+        bang_total += run(&mut BangBangPolicy, 500 + i, x0, false)
+            .unwrap()
+            .summary
+            .total_fuel;
     }
     assert!(
         bang_total < 0.95 * base_total,
@@ -74,7 +86,11 @@ fn bang_bang_skip_accounting_matches_simulator() {
     let outcome = run(&mut BangBangPolicy, 9, [0.0, 0.0], false).unwrap();
     // The simulator's annotated skip count equals the runtime's.
     assert_eq!(outcome.summary.skipped_steps, outcome.stats.skipped);
-    assert!(outcome.stats.skipped > 50, "skips: {}", outcome.stats.skipped);
+    assert!(
+        outcome.stats.skipped > 50,
+        "skips: {}",
+        outcome.stats.skipped
+    );
     assert_eq!(
         outcome.stats.skipped + outcome.stats.forced_runs + outcome.stats.policy_runs,
         100
@@ -87,7 +103,11 @@ fn model_based_policy_with_oracle_is_safe_and_skips() {
     let mut mip = ModelBasedPolicy::new(case.sets(), case.gain().clone(), 5).unwrap();
     let outcome = run(&mut mip, 33, [0.0, 0.0], true).unwrap();
     assert_eq!(outcome.summary.safety_violations, 0);
-    assert!(outcome.stats.skipped > 30, "MIP should skip plenty: {}", outcome.stats.skipped);
+    assert!(
+        outcome.stats.skipped > 30,
+        "MIP should skip plenty: {}",
+        outcome.stats.skipped
+    );
 }
 
 #[test]

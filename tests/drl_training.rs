@@ -59,7 +59,11 @@ fn trained_policy_skips_and_saves() {
     let baseline = run(&mut AlwaysRunPolicy);
     let learned = run(&mut drl);
     assert_eq!(learned.summary.safety_violations, 0);
-    assert!(learned.stats.skipped > 30, "skips: {}", learned.stats.skipped);
+    assert!(
+        learned.stats.skipped > 30,
+        "skips: {}",
+        learned.stats.skipped
+    );
     assert!(
         learned.summary.total_fuel < baseline.summary.total_fuel,
         "trained policy should save fuel: {} vs {}",
@@ -80,7 +84,10 @@ fn training_is_deterministic_per_seed() {
             1,
             21,
         );
-        (policy.agent().q_values(&[0.1, 0.1, 0.0, 0.0]), stats.episode_returns)
+        (
+            policy.agent().q_values(&[0.1, 0.1, 0.0, 0.0]),
+            stats.episode_returns,
+        )
     };
     let (q1, r1) = train();
     let (q2, r2) = train();

@@ -79,7 +79,10 @@ fn tightened_sets_and_terminal_are_consistent() {
     for k in 1..sets.len() {
         assert!(sets[k].is_subset_of(&sets[k - 1], 1e-6).unwrap());
     }
-    assert!(mpc.terminal_set().is_subset_of(&sets[sets.len() - 1], 1e-6).unwrap());
+    assert!(mpc
+        .terminal_set()
+        .is_subset_of(&sets[sets.len() - 1], 1e-6)
+        .unwrap());
 }
 
 #[test]

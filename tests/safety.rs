@@ -153,7 +153,10 @@ fn set_hierarchy_is_strict() {
     let case = acc_case();
     let sets = case.sets();
     // X' ⊊ XI: some invariant state cannot skip safely.
-    assert!(!sets.invariant().is_subset_of(sets.strengthened(), 1e-6).unwrap());
+    assert!(!sets
+        .invariant()
+        .is_subset_of(sets.strengthened(), 1e-6)
+        .unwrap());
     // XI ⊊ X: the safe set is not invariant by itself.
     assert!(!sets.safe().is_subset_of(sets.invariant(), 1e-6).unwrap());
 }
