@@ -1,24 +1,50 @@
 //! The engine-backed scenario sweep: every registered scenario × the
-//! standard policy roster, in parallel, with seed-stable JSON output.
+//! standard policy roster, chunked through the work-stealing pool, with
+//! seed-stable JSON output.
 //!
 //! Usage: `cargo run --release -p oic-bench --bin batch -- [--cases N]
-//! [--steps N] [--seed N] [--out report.json]`
+//! [--steps N] [--seed N] [--threads N] [--chunk N] [--stream|--detail]
+//! [--out report.json]`
+//!
+//! The wall-clock/scheduler summary goes to stderr only — the JSON
+//! report is deterministic byte-for-byte and must stay that way (CI
+//! diffs it against the committed `BENCH_batch.json` baseline).
+
+use std::time::Instant;
 
 use oic_bench::experiments::{batch, ExperimentScale};
 
 fn main() {
     let mut scale = ExperimentScale::from_args(std::env::args().skip(1));
     // The paper-scale default of 500 training episodes is a DRL knob; the
-    // sweep is policy-only, so only cases/steps/seed apply.
+    // sweep is policy-only, so only cases/steps/seed/engine knobs apply.
     scale.train_episodes = 0;
     eprintln!(
-        "batch: full registry x standard policies, {} episodes x {} steps (seed {})",
-        scale.cases, scale.steps, scale.seed
+        "batch: full registry x standard policies, {} episodes x {} steps (seed {}, threads {}, chunk {}, {})",
+        scale.cases,
+        scale.steps,
+        scale.seed,
+        if scale.threads == 0 { "auto".to_string() } else { scale.threads.to_string() },
+        if scale.chunk == 0 { "auto".to_string() } else { scale.chunk.to_string() },
+        if scale.stream { "streaming" } else { "detail" },
     );
-    match batch::run(&scale) {
-        Ok(report) => {
+    let started = Instant::now();
+    match batch::run_with_stats(&scale) {
+        Ok((report, stats)) => {
+            let elapsed = started.elapsed();
             print!("{}", batch::render(&report));
-            if let Err(e) = scale.save_json(&report.to_json(false)) {
+            let episodes: usize = report.cells.iter().map(|c| c.episodes).sum();
+            eprintln!(
+                "wall-clock: {:.3}s for {} episodes in {} cells ({:.0} episodes/s; {} tasks on {} workers, {} steals)",
+                elapsed.as_secs_f64(),
+                episodes,
+                report.cells.len(),
+                episodes as f64 / elapsed.as_secs_f64().max(1e-9),
+                stats.executed,
+                stats.workers,
+                stats.steals,
+            );
+            if let Err(e) = scale.save_json(&report.to_json(!scale.stream)) {
                 eprintln!("failed to write report: {e}");
                 std::process::exit(1);
             }

@@ -178,7 +178,7 @@ mod tests {
             steps: 30,
             train_episodes: 0,
             seed: 1,
-            out: None,
+            ..Default::default()
         };
         let out = run(&scale).unwrap();
         assert!(out.contains("Ablation 1"));

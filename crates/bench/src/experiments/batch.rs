@@ -6,19 +6,38 @@
 //! its fuel model, so adding a scenario to the registry automatically
 //! adds a row here.
 
-use oic_engine::{run_batch, BatchConfig, BatchReport, EngineError, PolicySpec};
+use oic_engine::{
+    run_batch_with_stats, BatchConfig, BatchReport, EngineError, PolicySpec, StealStats,
+};
 use oic_scenarios::ScenarioRegistry;
 
 use super::common::ExperimentScale;
 
-/// The standard policy roster for scenario sweeps.
+/// The standard policy roster for scenario sweeps — one of every
+/// [`PolicySpec`] variant, so the sweep exercises the full policy space.
 pub fn standard_policies() -> Vec<PolicySpec> {
     vec![
         PolicySpec::AlwaysRun,
         PolicySpec::BangBang,
         PolicySpec::Periodic(4),
+        PolicySpec::Random(0.25),
         PolicySpec::MaxSkip(2),
     ]
+}
+
+/// The engine configuration a scale maps to (shared by `run` and the
+/// CI determinism job, which needs byte-identical configs per thread
+/// count).
+pub fn config(scale: &ExperimentScale) -> BatchConfig {
+    BatchConfig {
+        episodes: scale.cases,
+        steps: scale.steps,
+        seed: scale.seed,
+        threads: scale.threads,
+        chunk: scale.chunk,
+        detail: !scale.stream,
+        ..Default::default()
+    }
 }
 
 /// Runs the sweep: `scale.cases` episodes of `scale.steps` steps per
@@ -28,14 +47,18 @@ pub fn standard_policies() -> Vec<PolicySpec> {
 ///
 /// Propagates scenario-build and episode failures from the engine.
 pub fn run(scale: &ExperimentScale) -> Result<BatchReport, EngineError> {
+    run_with_stats(scale).map(|(report, _)| report)
+}
+
+/// [`run`] plus the work-stealing scheduler's counters (for wall-clock
+/// summaries; never serialized into the deterministic report).
+///
+/// # Errors
+///
+/// Propagates scenario-build and episode failures from the engine.
+pub fn run_with_stats(scale: &ExperimentScale) -> Result<(BatchReport, StealStats), EngineError> {
     let registry = ScenarioRegistry::standard();
-    let config = BatchConfig {
-        episodes: scale.cases,
-        steps: scale.steps,
-        seed: scale.seed,
-        ..Default::default()
-    };
-    run_batch(&registry, &standard_policies(), &config)
+    run_batch_with_stats(&registry, &standard_policies(), &config(scale))
 }
 
 /// Renders the sweep as a table plus the Theorem-1 tally.
@@ -61,14 +84,35 @@ mod tests {
             steps: 25,
             train_episodes: 0,
             seed: 9,
-            out: None,
+            ..Default::default()
         };
         let report = run(&scale).unwrap();
-        assert_eq!(report.cells.len(), 5 * standard_policies().len());
+        assert_eq!(report.cells.len(), 8 * standard_policies().len());
         assert_eq!(report.total_safety_violations(), 0);
         let rendered = render(&report);
         assert!(rendered.contains("lane-keeping"));
+        assert!(rendered.contains("pendulum-cart"));
         let json = report.to_json(false).to_json();
         assert!(json.contains("\"seed\":\"9\""));
+    }
+
+    #[test]
+    fn scale_maps_to_engine_config() {
+        let scale = ExperimentScale {
+            cases: 7,
+            steps: 11,
+            seed: 3,
+            threads: 2,
+            chunk: 5,
+            stream: false,
+            ..Default::default()
+        };
+        let config = config(&scale);
+        assert_eq!(config.episodes, 7);
+        assert_eq!(config.steps, 11);
+        assert_eq!(config.seed, 3);
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.chunk, 5);
+        assert!(config.detail, "--detail keeps per-episode rows");
     }
 }

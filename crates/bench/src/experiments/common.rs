@@ -10,7 +10,11 @@ use oic_sim::fuel::Hbefa3Fuel;
 ///
 /// Defaults match the paper's protocol (500 cases × 100 steps); pass
 /// `--cases/--steps/--train/--seed` on the command line to scale, and
-/// `--out report.json` to save the machine-readable report.
+/// `--out report.json` to save the machine-readable report. The
+/// engine-backed sweeps additionally honor `--threads N` (0 = all
+/// cores), `--chunk N` (episodes per work-stealing task, 0 = auto) and
+/// `--stream`/`--detail` (drop or keep per-episode records; streaming is
+/// the default and keeps memory O(cells)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentScale {
     /// Number of random test cases per experiment.
@@ -21,6 +25,13 @@ pub struct ExperimentScale {
     pub train_episodes: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for engine sweeps (0 = one per available CPU).
+    pub threads: usize,
+    /// Episodes per work-stealing task (0 = deterministic auto sizing).
+    pub chunk: usize,
+    /// Stream aggregation only (`true`, the default) vs. keeping
+    /// per-episode detail rows in the report.
+    pub stream: bool,
     /// Optional path for the JSON report.
     pub out: Option<String>,
 }
@@ -32,14 +43,18 @@ impl Default for ExperimentScale {
             steps: 100,
             train_episodes: 300,
             seed: 2020,
+            threads: 0,
+            chunk: 0,
+            stream: true,
             out: None,
         }
     }
 }
 
 impl ExperimentScale {
-    /// Parses `--cases N --steps N --train N --seed N --out FILE` from an
-    /// argument iterator (unknown arguments are ignored).
+    /// Parses `--cases N --steps N --train N --seed N --threads N
+    /// --chunk N --stream --detail --out FILE` from an argument iterator
+    /// (unknown arguments are ignored).
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut scale = Self::default();
         let mut args = args.into_iter();
@@ -65,6 +80,18 @@ impl ExperimentScale {
                         scale.seed = v;
                     }
                 }
+                "--threads" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        scale.threads = v;
+                    }
+                }
+                "--chunk" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        scale.chunk = v;
+                    }
+                }
+                "--stream" => scale.stream = true,
+                "--detail" => scale.stream = false,
                 "--out" => {
                     if let Some(v) = args.next() {
                         scale.out = Some(v);
@@ -180,6 +207,22 @@ mod tests {
         assert_eq!(scale.train_episodes, 5);
         assert_eq!(scale.seed, 7);
         assert_eq!(scale.steps, 100, "untouched default");
+        assert_eq!(scale.threads, 0, "untouched default");
+        assert!(scale.stream, "streaming is the default");
+    }
+
+    #[test]
+    fn scale_parsing_engine_knobs() {
+        let scale = ExperimentScale::from_args(
+            ["--threads", "16", "--chunk", "64", "--detail"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(scale.threads, 16);
+        assert_eq!(scale.chunk, 64);
+        assert!(!scale.stream);
+        let streamed = ExperimentScale::from_args(["--stream".to_string()]);
+        assert!(streamed.stream);
     }
 
     #[test]

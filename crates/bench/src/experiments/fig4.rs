@@ -210,7 +210,7 @@ mod tests {
             steps: 40,
             train_episodes: 2,
             seed: 7,
-            out: None,
+            ..Default::default()
         };
         let report = run(&scale).unwrap();
         assert_eq!(report.cases, 2);

@@ -200,7 +200,7 @@ mod tests {
             steps: 30,
             train_episodes: 1,
             seed: 3,
-            out: None,
+            ..Default::default()
         };
         let report = run(&scale).unwrap();
         assert_eq!(report.rows.len(), 5);

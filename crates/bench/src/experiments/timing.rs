@@ -188,7 +188,7 @@ mod tests {
             steps: 30,
             train_episodes: 0,
             seed: 1,
-            out: None,
+            ..Default::default()
         };
         let report = run(&scale).unwrap();
         assert!(report.mpc_solve_seconds > 0.0);

@@ -1,0 +1,311 @@
+//! Streaming per-cell aggregation.
+//!
+//! The first-cut engine buffered every [`EpisodeRecord`] of a cell and
+//! folded them after the join — O(episodes) memory, which caps
+//! million-episode sweeps. The [`CellAccumulator`] replaces that buffer:
+//! it folds records *as they finish* into constant-size state (Welford
+//! moments for the means/variances, saturating integer tallies for the
+//! safety counters, running min/max for the slack), so a sweep's memory
+//! is O(cells) regardless of episode count.
+//!
+//! Determinism contract: [`CellAccumulator::push`] in episode order is the
+//! canonical fold ([`crate::CellReport::from_episodes`] uses exactly it),
+//! and [`CellAccumulator::merge`] combines chunk accumulators with Chan's
+//! parallel-moments formula. The scheduler merges chunks in ascending
+//! chunk index, and chunk boundaries depend only on the configuration —
+//! never on the thread count — so reports are byte-identical for any
+//! number of workers.
+
+use crate::report::EpisodeRecord;
+
+/// Running mean/variance via Welford's online algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    /// Folds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator (Chan et al.'s pairwise formula).
+    ///
+    /// Merging an empty side is exact (the other side is returned
+    /// verbatim), so zero-length chunks cannot perturb the fold.
+    pub fn merge(&mut self, other: &Moments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.count as f64, other.count as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.count += other.count;
+    }
+
+    /// Number of observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean (0 when empty, matching the report convention).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            // Guard the tiny negative values floating-point cancellation
+            // can leave in m2.
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+}
+
+/// Constant-size streaming aggregate of one (scenario, policy) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellAccumulator {
+    /// Episodes folded so far.
+    pub episodes: usize,
+    /// Total closed-loop steps (saturating).
+    pub total_steps: usize,
+    /// Total skipped steps (saturating).
+    pub skipped_steps: usize,
+    /// Total monitor-forced runs (saturating).
+    pub forced_runs: usize,
+    /// Total policy-chosen runs (saturating).
+    pub policy_runs: usize,
+    /// Safety violations across episodes (saturating; Theorem 1 demands
+    /// this stays 0, so saturation is a reporting nicety, not a loophole).
+    pub safety_violations: usize,
+    /// Invariant-set violations across episodes (saturating).
+    pub invariant_violations: usize,
+    /// Per-episode skip-rate moments.
+    pub skip_rate: Moments,
+    /// Per-episode actuation-effort moments.
+    pub actuation_effort: Moments,
+    /// Worst (smallest) safe-set slack over all episodes.
+    pub min_safe_slack: f64,
+    /// Best (largest) per-episode worst-case slack — together with the min
+    /// this brackets how close trajectories get to the boundary.
+    pub max_safe_slack: f64,
+}
+
+impl Default for CellAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CellAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            episodes: 0,
+            total_steps: 0,
+            skipped_steps: 0,
+            forced_runs: 0,
+            policy_runs: 0,
+            safety_violations: 0,
+            invariant_violations: 0,
+            skip_rate: Moments::default(),
+            actuation_effort: Moments::default(),
+            min_safe_slack: f64::INFINITY,
+            max_safe_slack: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one episode record. This is the canonical (sequential) fold
+    /// order: chunks push records in ascending episode index.
+    pub fn push(&mut self, record: &EpisodeRecord) {
+        self.episodes = self.episodes.saturating_add(1);
+        self.total_steps = self.total_steps.saturating_add(record.stats.steps);
+        self.skipped_steps = self.skipped_steps.saturating_add(record.stats.skipped);
+        self.forced_runs = self.forced_runs.saturating_add(record.stats.forced_runs);
+        self.policy_runs = self.policy_runs.saturating_add(record.stats.policy_runs);
+        self.safety_violations = self
+            .safety_violations
+            .saturating_add(record.safety_violations);
+        self.invariant_violations = self
+            .invariant_violations
+            .saturating_add(record.invariant_violations);
+        self.skip_rate.push(record.stats.skip_rate());
+        self.actuation_effort.push(record.stats.actuation_effort);
+        self.min_safe_slack = self.min_safe_slack.min(record.min_safe_slack);
+        self.max_safe_slack = self.max_safe_slack.max(record.min_safe_slack);
+    }
+
+    /// Merges a later chunk's accumulator into this one.
+    ///
+    /// Callers must merge in ascending chunk order — the scheduler's
+    /// per-cell merge state guarantees it — so the result is independent
+    /// of which worker finished which chunk first.
+    pub fn merge(&mut self, other: &CellAccumulator) {
+        self.episodes = self.episodes.saturating_add(other.episodes);
+        self.total_steps = self.total_steps.saturating_add(other.total_steps);
+        self.skipped_steps = self.skipped_steps.saturating_add(other.skipped_steps);
+        self.forced_runs = self.forced_runs.saturating_add(other.forced_runs);
+        self.policy_runs = self.policy_runs.saturating_add(other.policy_runs);
+        self.safety_violations = self
+            .safety_violations
+            .saturating_add(other.safety_violations);
+        self.invariant_violations = self
+            .invariant_violations
+            .saturating_add(other.invariant_violations);
+        self.skip_rate.merge(&other.skip_rate);
+        self.actuation_effort.merge(&other.actuation_effort);
+        self.min_safe_slack = self.min_safe_slack.min(other.min_safe_slack);
+        self.max_safe_slack = self.max_safe_slack.max(other.max_safe_slack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_core::RunStats;
+
+    fn record(episode: usize, skipped: usize, effort: f64, slack: f64) -> EpisodeRecord {
+        EpisodeRecord {
+            episode,
+            seed: episode as u64,
+            stats: RunStats {
+                steps: 10,
+                skipped,
+                forced_runs: 1,
+                policy_runs: 9 - skipped,
+                actuation_effort: effort,
+            },
+            safety_violations: 0,
+            invariant_violations: 0,
+            min_safe_slack: slack,
+        }
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass() {
+        let xs = [0.3, 0.7, 0.1, 0.9, 0.5, 0.2];
+        let mut m = Moments::default();
+        for x in xs {
+            m.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_moments_are_zero() {
+        let m = Moments::default();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_exact_identity() {
+        let mut m = Moments::default();
+        for x in [1.0, 2.0, 4.0] {
+            m.push(x);
+        }
+        let before = m;
+        m.merge(&Moments::default());
+        assert_eq!(m, before, "empty right side must not perturb");
+        let mut empty = Moments::default();
+        empty.merge(&before);
+        assert_eq!(empty, before, "empty left side must copy verbatim");
+    }
+
+    #[test]
+    fn chunked_merge_is_chunking_deterministic() {
+        // The same chunk boundaries must give the same floats no matter
+        // which order the chunks *finished* in — merge order is what the
+        // scheduler fixes, and this is the property it relies on.
+        let records: Vec<EpisodeRecord> = (0..30)
+            .map(|i| record(i, i % 7, 0.37 * i as f64, 1.0 - 0.01 * i as f64))
+            .collect();
+        let chunk = |range: std::ops::Range<usize>| {
+            let mut acc = CellAccumulator::new();
+            for r in &records[range] {
+                acc.push(r);
+            }
+            acc
+        };
+        let (a, b, c) = (chunk(0..10), chunk(10..20), chunk(20..30));
+        let mut merged = CellAccumulator::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        merged.merge(&c);
+        let mut again = CellAccumulator::new();
+        again.merge(&a);
+        again.merge(&b);
+        again.merge(&c);
+        assert_eq!(merged, again);
+        assert_eq!(merged.episodes, 30);
+        assert_eq!(
+            merged.skipped_steps,
+            records.iter().map(|r| r.stats.skipped).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn merged_moments_track_sequential_closely() {
+        let records: Vec<EpisodeRecord> = (0..50)
+            .map(|i| record(i, i % 5, (i as f64).sin().abs() * 10.0, 2.0))
+            .collect();
+        let mut sequential = CellAccumulator::new();
+        for r in &records {
+            sequential.push(r);
+        }
+        let mut chunked = CellAccumulator::new();
+        for chunk in records.chunks(7) {
+            let mut acc = CellAccumulator::new();
+            for r in chunk {
+                acc.push(r);
+            }
+            chunked.merge(&acc);
+        }
+        assert_eq!(chunked.episodes, sequential.episodes);
+        assert_eq!(chunked.skipped_steps, sequential.skipped_steps);
+        assert!((chunked.skip_rate.mean() - sequential.skip_rate.mean()).abs() < 1e-12);
+        assert!((chunked.skip_rate.variance() - sequential.skip_rate.variance()).abs() < 1e-12);
+        assert!(
+            (chunked.actuation_effort.mean() - sequential.actuation_effort.mean()).abs() < 1e-9
+        );
+        assert_eq!(chunked.min_safe_slack, sequential.min_safe_slack);
+        assert_eq!(chunked.max_safe_slack, sequential.max_safe_slack);
+    }
+
+    #[test]
+    fn tallies_saturate_instead_of_overflowing() {
+        let mut acc = CellAccumulator::new();
+        acc.safety_violations = usize::MAX - 1;
+        let mut r = record(0, 3, 1.0, 0.5);
+        r.safety_violations = 10;
+        acc.push(&r);
+        assert_eq!(acc.safety_violations, usize::MAX);
+        let mut other = CellAccumulator::new();
+        other.total_steps = usize::MAX;
+        acc.merge(&other);
+        assert_eq!(acc.total_steps, usize::MAX);
+    }
+}

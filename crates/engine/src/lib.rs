@@ -5,11 +5,18 @@
 //! fleet-scale throughput over many scenarios. This crate is the layer
 //! that gets there:
 //!
-//! * [`run_batch`] executes every `(scenario, policy)` cell of a batch in
-//!   parallel over worker threads, one [`IntermittentController`]
-//!   (Algorithm 1) per episode;
+//! * [`run_batch`] chunks every `(scenario, policy)` cell into
+//!   episode-range tasks and drains them all through one work-stealing
+//!   pool ([`run_work_stealing`]: global injector + per-worker deques,
+//!   pure `std`), one [`IntermittentController`] (Algorithm 1) per
+//!   episode;
+//! * aggregation streams: each chunk folds its episodes into a
+//!   [`CellAccumulator`] (Welford means/variances, saturating safety
+//!   tallies) and chunks merge in deterministic chunk order — memory is
+//!   O(cells), not O(episodes);
 //! * seeding is deterministic per `(base seed, scenario, policy,
-//!   episode)` — results are byte-identical for any thread count;
+//!   episode)` and chunk boundaries never depend on the thread count —
+//!   results are byte-identical for any number of workers;
 //! * [`BatchReport`] aggregates [`oic_core::RunStats`] per cell (skip
 //!   rate, forced runs, actuation effort, safety violations) and emits
 //!   machine-readable JSON via the dependency-free [`JsonValue`] writer.
@@ -30,12 +37,17 @@
 //! println!("{}", report.to_json(false).to_json_pretty());
 //! ```
 
+mod accumulator;
 mod json;
 mod report;
 mod runner;
+mod steal;
 
+pub use accumulator::{CellAccumulator, Moments};
 pub use json::JsonValue;
 pub use report::{BatchReport, CellReport, EpisodeRecord};
 pub use runner::{
-    episode_seed, run_batch, run_episode, BatchConfig, EngineError, PolicySpec, PreparedPolicy,
+    episode_seed, run_batch, run_batch_with_stats, run_episode, BatchConfig, EngineError,
+    PolicySpec, PreparedPolicy,
 };
+pub use steal::{run_work_stealing, StealStats};

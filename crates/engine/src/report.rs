@@ -2,6 +2,7 @@
 
 use oic_core::RunStats;
 
+use crate::accumulator::CellAccumulator;
 use crate::json::JsonValue;
 
 /// The outcome of one episode.
@@ -39,6 +40,8 @@ pub struct CellReport {
     pub total_steps: usize,
     /// Mean fraction of steps skipped.
     pub mean_skip_rate: f64,
+    /// Population variance of the per-episode skip rate.
+    pub var_skip_rate: f64,
     /// Total skipped steps.
     pub skipped_steps: usize,
     /// Total monitor-forced runs.
@@ -47,54 +50,68 @@ pub struct CellReport {
     pub policy_runs: usize,
     /// Mean actuation effort per episode (`Σ‖u − u_skip‖₁`).
     pub mean_actuation_effort: f64,
+    /// Population variance of the per-episode actuation effort.
+    pub var_actuation_effort: f64,
     /// Safety violations across all episodes (must be 0).
     pub safety_violations: usize,
     /// Invariant-set violations across all episodes (must be 0).
     pub invariant_violations: usize,
     /// Worst slack to the safe-set boundary across all episodes.
     pub min_safe_slack: f64,
+    /// Largest per-episode worst-case slack (brackets the boundary
+    /// approach together with `min_safe_slack`).
+    pub max_safe_slack: f64,
     /// Per-episode records, in episode order.
     pub episodes_detail: Vec<EpisodeRecord>,
 }
 
 impl CellReport {
+    /// Finalizes a streaming accumulator into a cell report (no
+    /// per-episode detail — the whole point of streaming is not having
+    /// the records; attach detail separately if it was kept).
+    pub fn from_accumulator(
+        scenario: &str,
+        policy: &str,
+        steps_per_episode: usize,
+        acc: &CellAccumulator,
+    ) -> Self {
+        Self {
+            scenario: scenario.to_string(),
+            policy: policy.to_string(),
+            episodes: acc.episodes,
+            steps_per_episode,
+            total_steps: acc.total_steps,
+            mean_skip_rate: acc.skip_rate.mean(),
+            var_skip_rate: acc.skip_rate.variance(),
+            skipped_steps: acc.skipped_steps,
+            forced_runs: acc.forced_runs,
+            policy_runs: acc.policy_runs,
+            mean_actuation_effort: acc.actuation_effort.mean(),
+            var_actuation_effort: acc.actuation_effort.variance(),
+            safety_violations: acc.safety_violations,
+            invariant_violations: acc.invariant_violations,
+            min_safe_slack: acc.min_safe_slack,
+            max_safe_slack: acc.max_safe_slack,
+            episodes_detail: Vec::new(),
+        }
+    }
+
     /// Folds episode records (already in episode order) into a cell.
+    ///
+    /// This is definitionally the one-at-a-time [`CellAccumulator`] fold:
+    /// the streaming engine and this batch constructor agree exactly on
+    /// every aggregate (the accumulator property test pins that down).
     pub fn from_episodes(
         scenario: &str,
         policy: &str,
         steps_per_episode: usize,
         episodes: Vec<EpisodeRecord>,
     ) -> Self {
-        let n = episodes.len().max(1) as f64;
-        let mut report = Self {
-            scenario: scenario.to_string(),
-            policy: policy.to_string(),
-            episodes: episodes.len(),
-            steps_per_episode,
-            total_steps: 0,
-            mean_skip_rate: 0.0,
-            skipped_steps: 0,
-            forced_runs: 0,
-            policy_runs: 0,
-            mean_actuation_effort: 0.0,
-            safety_violations: 0,
-            invariant_violations: 0,
-            min_safe_slack: f64::INFINITY,
-            episodes_detail: Vec::new(),
-        };
+        let mut acc = CellAccumulator::new();
         for record in &episodes {
-            report.total_steps += record.stats.steps;
-            report.mean_skip_rate += record.stats.skip_rate();
-            report.skipped_steps += record.stats.skipped;
-            report.forced_runs += record.stats.forced_runs;
-            report.policy_runs += record.stats.policy_runs;
-            report.mean_actuation_effort += record.stats.actuation_effort;
-            report.safety_violations += record.safety_violations;
-            report.invariant_violations += record.invariant_violations;
-            report.min_safe_slack = report.min_safe_slack.min(record.min_safe_slack);
+            acc.push(record);
         }
-        report.mean_skip_rate /= n;
-        report.mean_actuation_effort /= n;
+        let mut report = Self::from_accumulator(scenario, policy, steps_per_episode, &acc);
         report.episodes_detail = episodes;
         report
     }
@@ -109,13 +126,16 @@ impl CellReport {
             .with("steps_per_episode", self.steps_per_episode)
             .with("total_steps", self.total_steps)
             .with("mean_skip_rate", self.mean_skip_rate)
+            .with("var_skip_rate", self.var_skip_rate)
             .with("skipped_steps", self.skipped_steps)
             .with("forced_runs", self.forced_runs)
             .with("policy_runs", self.policy_runs)
             .with("mean_actuation_effort", self.mean_actuation_effort)
+            .with("var_actuation_effort", self.var_actuation_effort)
             .with("safety_violations", self.safety_violations)
             .with("invariant_violations", self.invariant_violations)
-            .with("min_safe_slack", self.min_safe_slack);
+            .with("min_safe_slack", self.min_safe_slack)
+            .with("max_safe_slack", self.max_safe_slack);
         if detail {
             let rows: Vec<JsonValue> = self
                 .episodes_detail
@@ -167,7 +187,7 @@ impl BatchReport {
     pub fn to_json(&self, detail: bool) -> JsonValue {
         JsonValue::object()
             .with("kind", "oic-engine-batch")
-            .with("version", 1usize)
+            .with("version", 2usize)
             .with("seed", self.seed.to_string())
             .with(
                 "cells",
@@ -231,8 +251,12 @@ mod tests {
         assert_eq!(cell.skipped_steps, 10);
         assert_eq!(cell.forced_runs, 2);
         assert!((cell.mean_skip_rate - 0.5).abs() < 1e-12);
+        // Rates 0.4 and 0.6: population variance 0.01.
+        assert!((cell.var_skip_rate - 0.01).abs() < 1e-12);
         assert!((cell.mean_actuation_effort - 5.0).abs() < 1e-12);
+        assert!(cell.var_actuation_effort.abs() < 1e-12);
         assert!((cell.min_safe_slack - 1.25).abs() < 1e-12);
+        assert!((cell.max_safe_slack - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! The parallel batch runner.
 //!
-//! Episodes are independent, so the runner shards them across OS threads
-//! with `std::thread::scope`. Determinism is preserved by construction:
-//! every episode derives its own seed from `(base seed, scenario, policy,
-//! episode index)` via a stable hash, workers return `(index, record)`
-//! pairs, and aggregation happens in index order after the join — so the
-//! report is identical for any thread count, including 1.
+//! The unit of scheduling is the `(scenario, policy, episode-chunk)`
+//! task: one work-stealing pool (global injector + per-worker deques,
+//! see [`crate::steal`]) drains chunks from *all* cells concurrently, so
+//! a slow tube-MPC cell no longer serializes the sweep behind it.
+//! Each chunk folds its episodes into a [`CellAccumulator`] as they
+//! finish and the per-cell merge state combines chunk accumulators in
+//! ascending chunk order — memory is O(cells), not O(episodes).
+//!
+//! Determinism is preserved by construction: every episode derives its
+//! own seed from `(base seed, scenario, policy, episode index)` via a
+//! stable hash, chunk boundaries depend only on the configuration (never
+//! the thread count), and chunks merge in index order — so the report is
+//! byte-identical for any worker count, including 1.
 
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use oic_core::skip_horizon::MaxSkipPolicy;
@@ -17,7 +24,9 @@ use oic_core::{
 };
 use oic_scenarios::{Scenario, ScenarioInstance, ScenarioRegistry};
 
+use crate::accumulator::CellAccumulator;
 use crate::report::{BatchReport, CellReport, EpisodeRecord};
+use crate::steal::{run_work_stealing, StealStats};
 
 /// Errors surfaced by the batch engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,10 +152,19 @@ pub struct BatchConfig {
     pub seed: u64,
     /// Disturbance-history window handed to policies (`r`).
     pub memory: usize,
-    /// Worker threads (0 = one per available CPU, capped at 8).
+    /// Worker threads. `0` (the default) uses one worker per available
+    /// CPU — the full `available_parallelism()`, uncapped; earlier
+    /// versions silently clamped this to 8, which starved large hosts.
     pub threads: usize,
-    /// Keep per-episode records in the report (`false` drops them after
-    /// aggregation to bound memory on large sweeps).
+    /// Episodes per work-stealing task. `0` (the default) picks
+    /// `ceil(episodes / 64)` clamped to `[16, 1024]` — a pure function of
+    /// the episode count, *never* of the thread count, because chunk
+    /// boundaries shape the floating-point merge tree and must not change
+    /// between `--threads 1` and `--threads N`.
+    pub chunk: usize,
+    /// Keep per-episode records in the report (`false`, the default,
+    /// streams records into the accumulator and drops them — memory stays
+    /// O(cells) no matter how many episodes run).
     pub detail: bool,
 }
 
@@ -158,6 +176,7 @@ impl Default for BatchConfig {
             seed: 2020,
             memory: 1,
             threads: 0,
+            chunk: 0,
             detail: false,
         }
     }
@@ -171,7 +190,16 @@ impl BatchConfig {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-                .min(8)
+        }
+    }
+
+    /// Episodes per scheduling task (deterministic: depends on the
+    /// configured chunk size and episode count only).
+    pub fn chunk_size(&self) -> usize {
+        if self.chunk > 0 {
+            self.chunk
+        } else {
+            self.episodes.div_ceil(64).clamp(16, 1024)
         }
     }
 }
@@ -258,18 +286,94 @@ pub fn run_episode(
     })
 }
 
+/// One fully prepared (scenario, policy) cell, shared read-only by all
+/// workers.
+struct CellJob<'a> {
+    scenario: &'a dyn Scenario,
+    instance: ScenarioInstance,
+    prepared: PreparedPolicy,
+    label: String,
+}
+
+/// The scheduling unit: one episode chunk of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ChunkTask {
+    cell: usize,
+    chunk: usize,
+}
+
+/// The streamed output of one chunk.
+struct ChunkOutput {
+    acc: CellAccumulator,
+    detail: Vec<EpisodeRecord>,
+}
+
+/// Per-cell streaming merge state: chunk accumulators are folded into
+/// `acc` strictly in ascending chunk order; finished-out-of-order chunks
+/// park in `pending` until their turn. Entries are constant-size in
+/// stream mode, so even the worst case — a stalled early chunk parking
+/// every later chunk of its cell, up to (chunks per cell − 1) entries —
+/// keeps streamed sweeps O(cells) in *records*; typically `pending`
+/// holds only the few chunks in flight on other workers.
+struct CellMerge {
+    next: usize,
+    acc: CellAccumulator,
+    pending: BTreeMap<usize, ChunkOutput>,
+    detail: Vec<EpisodeRecord>,
+}
+
+impl CellMerge {
+    fn new() -> Self {
+        Self {
+            next: 0,
+            acc: CellAccumulator::new(),
+            pending: BTreeMap::new(),
+            detail: Vec::new(),
+        }
+    }
+
+    fn submit(&mut self, chunk: usize, output: ChunkOutput) {
+        self.pending.insert(chunk, output);
+        while let Some(output) = self.pending.remove(&self.next) {
+            self.acc.merge(&output.acc);
+            self.detail.extend(output.detail);
+            self.next += 1;
+        }
+    }
+}
+
 /// Runs the full batch: every scenario × every policy × `episodes`
-/// episodes, sharded across worker threads.
+/// episodes, chunked and drained by one work-stealing pool across all
+/// cells at once.
 ///
 /// # Errors
 ///
 /// * [`EngineError::InvalidConfig`] on empty configurations.
-/// * [`EngineError::Episode`] naming the first failing cell.
+/// * [`EngineError::Episode`] naming a failing cell. When several chunks
+///   fail before the cooperative abort lands, the lowest-indexed failure
+///   *observed* is reported; which failures race in at all can vary with
+///   thread interleaving (the successful-report contract is the
+///   deterministic one — errors indicate a broken scenario either way).
 pub fn run_batch(
     registry: &ScenarioRegistry,
     policies: &[PolicySpec],
     config: &BatchConfig,
 ) -> Result<BatchReport, EngineError> {
+    run_batch_with_stats(registry, policies, config).map(|(report, _)| report)
+}
+
+/// [`run_batch`] plus the scheduler's [`StealStats`] (task counts, steal
+/// counts — wall-clock diagnostics that deliberately stay out of the
+/// deterministic report).
+///
+/// # Errors
+///
+/// Same contract as [`run_batch`].
+pub fn run_batch_with_stats(
+    registry: &ScenarioRegistry,
+    policies: &[PolicySpec],
+    config: &BatchConfig,
+) -> Result<(BatchReport, StealStats), EngineError> {
     if registry.is_empty() {
         return Err(EngineError::InvalidConfig("no scenarios registered"));
     }
@@ -285,7 +389,10 @@ pub fn run_batch(
         policy.validate().map_err(EngineError::InvalidConfig)?;
     }
 
-    let mut cells = Vec::new();
+    // Build every cell up front (instance construction — invariant-set
+    // synthesis — is the expensive, non-parallel part and is shared by
+    // all of the cell's chunks).
+    let mut jobs = Vec::with_capacity(registry.len() * policies.len());
     for scenario in registry.iter() {
         let instance = scenario.build().map_err(|source| EngineError::Episode {
             context: format!("{}/build", scenario.name()),
@@ -299,69 +406,96 @@ pub fn run_batch(
                         context: format!("{}/{}/prepare", scenario.name(), policy.label()),
                         source,
                     })?;
-            let records = run_cell(&instance, scenario, policy, &prepared, config)?;
-            let mut cell =
-                CellReport::from_episodes(scenario.name(), &policy.label(), config.steps, records);
-            if !config.detail {
-                cell.episodes_detail = Vec::new();
-            }
-            cells.push(cell);
-        }
-    }
-    Ok(BatchReport {
-        seed: config.seed,
-        cells,
-    })
-}
-
-fn run_cell(
-    instance: &ScenarioInstance,
-    scenario: &dyn Scenario,
-    policy: &PolicySpec,
-    prepared: &PreparedPolicy,
-    config: &BatchConfig,
-) -> Result<Vec<EpisodeRecord>, EngineError> {
-    let label = policy.label();
-    let workers = config.worker_count().min(config.episodes).max(1);
-    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..config.episodes).collect());
-    let results: Mutex<Vec<(usize, Result<EpisodeRecord, CoreError>)>> =
-        Mutex::new(Vec::with_capacity(config.episodes));
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let Some(episode) = queue.lock().expect("queue lock").pop_front() else {
-                    return;
-                };
-                let seed = episode_seed(config.seed, instance.name(), &label, episode);
-                let outcome = run_episode(
-                    instance,
-                    scenario,
-                    prepared,
-                    episode,
-                    config.steps,
-                    config.memory,
-                    seed,
-                );
-                results
-                    .lock()
-                    .expect("results lock")
-                    .push((episode, outcome));
+            jobs.push(CellJob {
+                scenario,
+                instance: instance.clone(),
+                prepared,
+                label: policy.label(),
             });
         }
+    }
+
+    let chunk_size = config.chunk_size();
+    let chunks_per_cell = config.episodes.div_ceil(chunk_size);
+    let mut tasks = Vec::with_capacity(jobs.len() * chunks_per_cell);
+    for cell in 0..jobs.len() {
+        for chunk in 0..chunks_per_cell {
+            tasks.push(ChunkTask { cell, chunk });
+        }
+    }
+
+    let merges: Vec<Mutex<CellMerge>> = jobs.iter().map(|_| Mutex::new(CellMerge::new())).collect();
+    // Lowest (cell, chunk, episode) failure among those observed before
+    // the abort landed (the abort is cooperative, so the observed set —
+    // not the selection rule — can vary with interleaving).
+    let failure: Mutex<Option<(ChunkTask, usize, CoreError)>> = Mutex::new(None);
+
+    let stats = run_work_stealing(tasks, config.worker_count(), |_, task: ChunkTask| {
+        let job = &jobs[task.cell];
+        let start = task.chunk * chunk_size;
+        let end = (start + chunk_size).min(config.episodes);
+        let mut acc = CellAccumulator::new();
+        let mut detail = Vec::with_capacity(if config.detail { end - start } else { 0 });
+        for episode in start..end {
+            let seed = episode_seed(config.seed, job.instance.name(), &job.label, episode);
+            match run_episode(
+                &job.instance,
+                job.scenario,
+                &job.prepared,
+                episode,
+                config.steps,
+                config.memory,
+                seed,
+            ) {
+                Ok(record) => {
+                    acc.push(&record);
+                    if config.detail {
+                        detail.push(record);
+                    }
+                }
+                Err(source) => {
+                    let mut slot = failure.lock().expect("failure lock");
+                    if slot
+                        .as_ref()
+                        .is_none_or(|(t, e, _)| (task, episode) < (*t, *e))
+                    {
+                        *slot = Some((task, episode, source));
+                    }
+                    return false;
+                }
+            }
+        }
+        merges[task.cell]
+            .lock()
+            .expect("cell merge lock")
+            .submit(task.chunk, ChunkOutput { acc, detail });
+        true
     });
 
-    let mut indexed = results.into_inner().expect("threads joined");
-    indexed.sort_by_key(|(episode, _)| *episode);
-    let mut records = Vec::with_capacity(indexed.len());
-    for (episode, outcome) in indexed {
-        let record = outcome.map_err(|source| EngineError::Episode {
-            context: format!("{}/{}#{}", instance.name(), label, episode),
+    if let Some((task, episode, source)) = failure.into_inner().expect("workers joined") {
+        let job = &jobs[task.cell];
+        return Err(EngineError::Episode {
+            context: format!("{}/{}#{}", job.instance.name(), job.label, episode),
             source,
-        })?;
-        records.push(record);
+        });
     }
-    Ok(records)
+
+    let mut cells = Vec::with_capacity(jobs.len());
+    for (job, merge) in jobs.iter().zip(merges) {
+        let merge = merge.into_inner().expect("workers joined");
+        debug_assert_eq!(merge.next, chunks_per_cell, "all chunks merged in order");
+        let mut cell =
+            CellReport::from_accumulator(job.instance.name(), &job.label, config.steps, &merge.acc);
+        cell.episodes_detail = merge.detail;
+        cells.push(cell);
+    }
+    Ok((
+        BatchReport {
+            seed: config.seed,
+            cells,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -404,6 +538,90 @@ mod tests {
         let b = run_batch(&registry, &policies, &parallel).unwrap();
         assert_eq!(a, b, "thread count must not change results");
         assert_eq!(a.to_json(true).to_json(), b.to_json(true).to_json());
+    }
+
+    #[test]
+    fn small_chunks_exercise_out_of_order_merge_deterministically() {
+        // chunk 2 over 30 episodes → 15 chunks per cell: plenty of
+        // out-of-order completion for the per-cell merge state to reorder.
+        let registry = tiny_registry();
+        let policies = [PolicySpec::Random(0.3)];
+        let base = BatchConfig {
+            episodes: 30,
+            steps: 25,
+            chunk: 2,
+            detail: true,
+            ..Default::default()
+        };
+        let serial = run_batch(
+            &registry,
+            &policies,
+            &BatchConfig {
+                threads: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let parallel =
+            run_batch(&registry, &policies, &BatchConfig { threads: 8, ..base }).unwrap();
+        assert_eq!(serial, parallel);
+        // Detail survives chunked streaming, in episode order.
+        let detail = &serial.cells[0].episodes_detail;
+        assert_eq!(detail.len(), 30);
+        assert!(detail.windows(2).all(|w| w[0].episode + 1 == w[1].episode));
+    }
+
+    #[test]
+    fn auto_chunk_size_ignores_thread_count() {
+        for (episodes, expected) in [(1usize, 16), (100, 16), (5_000, 79), (1_000_000, 1024)] {
+            let config = BatchConfig {
+                episodes,
+                ..Default::default()
+            };
+            assert_eq!(config.chunk_size(), expected, "episodes = {episodes}");
+            let more_threads = BatchConfig {
+                threads: 32,
+                ..config
+            };
+            assert_eq!(more_threads.chunk_size(), expected);
+        }
+        let explicit = BatchConfig {
+            episodes: 100,
+            chunk: 7,
+            ..Default::default()
+        };
+        assert_eq!(explicit.chunk_size(), 7);
+    }
+
+    #[test]
+    fn worker_count_is_no_longer_capped_at_eight() {
+        let config = BatchConfig {
+            threads: 48,
+            ..Default::default()
+        };
+        assert_eq!(config.worker_count(), 48, "explicit thread counts win");
+        let auto = BatchConfig::default();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(auto.worker_count(), cores, "auto means every core");
+    }
+
+    #[test]
+    fn scheduler_stats_cover_every_chunk() {
+        let registry = tiny_registry();
+        let config = BatchConfig {
+            episodes: 40,
+            steps: 10,
+            chunk: 4,
+            threads: 4,
+            ..Default::default()
+        };
+        let (report, stats) =
+            run_batch_with_stats(&registry, &[PolicySpec::BangBang], &config).unwrap();
+        assert_eq!(report.cells[0].episodes, 40);
+        assert_eq!(stats.executed, 10, "40 episodes / chunk 4 = 10 tasks");
+        assert!(stats.workers >= 1 && stats.workers <= 4);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! | `lane-keeping` | lateral lane-keeping dynamics | tube MPC | hold heading |
 //! | `orbit-hold` | radial orbit-hold (Hill/CW, à la Ong et al.) | LQR feedback | thrusters off |
 //! | `thermal-rc` | RC building-thermal zone | LQR feedback | nominal duty |
+//! | `quadrotor-alt` | quadrotor altitude hold | LQR feedback | hover thrust |
+//! | `pendulum-cart` | inverted pendulum cart (unstable) | LQR feedback | zero torque |
+//! | `dc-motor` | DC-motor position servo | LQR feedback | de-energized |
 //!
 //! Every scenario's sets pass [`oic_core::SafeSets::certify`] (exact LP
 //! inclusion certificates), so Theorem 1 holds for *any* skipping policy
@@ -26,7 +29,7 @@
 //! use oic_scenarios::ScenarioRegistry;
 //!
 //! let registry = ScenarioRegistry::standard();
-//! assert!(registry.len() >= 5);
+//! assert!(registry.len() >= 8);
 //! let scenario = registry.get("double-integrator").expect("registered");
 //! let instance = scenario.build().expect("builds and certifies");
 //! instance.sets().certify().expect("certificates hold");
@@ -39,16 +42,22 @@ use rand::rngs::StdRng;
 pub mod disturbance;
 
 mod acc;
+mod dc_motor;
 mod double_integrator;
 mod lane_keeping;
 mod orbit_hold;
+mod pendulum;
+mod quadrotor;
 mod registry;
 mod thermal;
 
 pub use acc::AccScenario;
+pub use dc_motor::DcMotorScenario;
 pub use double_integrator::DoubleIntegratorScenario;
 pub use lane_keeping::LaneKeepingScenario;
 pub use orbit_hold::OrbitHoldScenario;
+pub use pendulum::PendulumCartScenario;
+pub use quadrotor::QuadrotorAltScenario;
 pub use registry::ScenarioRegistry;
 pub use thermal::ThermalRcScenario;
 

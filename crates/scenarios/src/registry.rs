@@ -1,8 +1,8 @@
 //! The scenario registry.
 
 use crate::{
-    AccScenario, DoubleIntegratorScenario, LaneKeepingScenario, OrbitHoldScenario, Scenario,
-    ThermalRcScenario,
+    AccScenario, DcMotorScenario, DoubleIntegratorScenario, LaneKeepingScenario, OrbitHoldScenario,
+    PendulumCartScenario, QuadrotorAltScenario, Scenario, ThermalRcScenario,
 };
 
 /// A named collection of scenarios.
@@ -26,7 +26,8 @@ impl ScenarioRegistry {
         Self::default()
     }
 
-    /// The built-in case studies (ACC plus the four new plants).
+    /// The built-in case studies (the paper's ACC plus seven more
+    /// plants, in registration = report order).
     pub fn standard() -> Self {
         let mut registry = Self::new();
         registry.register(Box::new(AccScenario::default()));
@@ -34,6 +35,9 @@ impl ScenarioRegistry {
         registry.register(Box::new(LaneKeepingScenario::default()));
         registry.register(Box::new(OrbitHoldScenario::default()));
         registry.register(Box::new(ThermalRcScenario::default()));
+        registry.register(Box::new(QuadrotorAltScenario::default()));
+        registry.register(Box::new(PendulumCartScenario::default()));
+        registry.register(Box::new(DcMotorScenario::default()));
         registry
     }
 
@@ -85,9 +89,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_registry_has_five_unique_scenarios() {
+    fn standard_registry_has_eight_unique_scenarios() {
         let registry = ScenarioRegistry::standard();
-        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.len(), 8);
         let names = registry.names();
         let mut deduped = names.clone();
         deduped.sort_unstable();
@@ -100,7 +104,10 @@ mod tests {
                 "double-integrator",
                 "lane-keeping",
                 "orbit-hold",
-                "thermal-rc"
+                "thermal-rc",
+                "quadrotor-alt",
+                "pendulum-cart",
+                "dc-motor"
             ]
         );
     }

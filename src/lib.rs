@@ -19,10 +19,13 @@
 //! * [`sim`] ([`oic_sim`]) — the two-vehicle traffic micro-simulator (SUMO
 //!   substitute) with driver and fuel models.
 //! * [`scenarios`] ([`oic_scenarios`]) — the certified case-study library:
-//!   ACC plus double integrator, lane keeping, orbit hold, and RC thermal,
-//!   each with its own invariant-set synthesis and disturbance process.
-//! * [`engine`] ([`oic_engine`]) — the parallel batch evaluation engine:
-//!   deterministic per-episode seeding, per-cell aggregation, JSON reports.
+//!   ACC plus double integrator, lane keeping, orbit hold, RC thermal,
+//!   quadrotor altitude, inverted pendulum cart, and DC-motor servo, each
+//!   with its own invariant-set synthesis and disturbance process.
+//! * [`engine`] ([`oic_engine`]) — the work-stealing batch evaluation
+//!   engine: deterministic per-episode seeding, streaming per-cell
+//!   aggregation (O(cells) memory), JSON reports byte-identical for any
+//!   thread count.
 //!
 //! # Quickstart
 //!

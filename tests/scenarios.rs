@@ -32,8 +32,8 @@ fn instances() -> &'static Vec<ScenarioInstance> {
 }
 
 #[test]
-fn registry_has_at_least_five_scenarios() {
-    assert!(registry().len() >= 5, "names: {:?}", registry().names());
+fn registry_has_eight_scenarios() {
+    assert!(registry().len() >= 8, "names: {:?}", registry().names());
 }
 
 /// Every registered scenario passes the LP inclusion certificates:
