@@ -6,13 +6,14 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use oic_control::{dlqr, max_rpi, InvariantOptions};
+use oic_bench::fixtures::{acc_closed_loop_states, drifting_rhs_sequence, tall_lp};
+use oic_control::{dlqr, max_rpi, InvariantOptions, MpcWarmState};
 use oic_core::acc::AccCaseStudy;
 use oic_core::{ModelBasedPolicy, Monitor, PolicyContext, SkipPolicy};
 use oic_drl::{DoubleDqnAgent, DqnConfig};
 use oic_geom::{Polytope, SupportFunction};
 use oic_linalg::Matrix;
-use oic_lp::LinearProgram;
+use oic_lp::{Backend, LinearProgram, WarmStart};
 use oic_sim::front::SinusoidalFront;
 use oic_sim::fuel::Hbefa3Fuel;
 use oic_sim::{AccParams, TrafficSim};
@@ -44,6 +45,55 @@ fn bench_lp(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+}
+
+fn bench_lp_backends(c: &mut Criterion) {
+    // Warm-started resolve vs cold resolve over the same RHS sequence —
+    // the speedup every templated MPC step inherits. The fixtures are
+    // shared with the `kernels` snapshot bin so `BENCH_kernels.json`
+    // records exactly this workload.
+    let lp = tall_lp(20, 80, Backend::Revised);
+    let seq = drifting_rhs_sequence(&lp, 16);
+    c.bench_function("lp/warm_vs_cold_resolve/cold", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for rhs in &seq {
+                acc += lp.solve_with_rhs(rhs).expect("feasible").objective();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("lp/warm_vs_cold_resolve/warm", |b| {
+        b.iter(|| {
+            let mut warm = WarmStart::new();
+            let mut acc = 0.0;
+            for rhs in &seq {
+                acc += lp
+                    .solve_warm_with_rhs(rhs, &mut warm)
+                    .expect("feasible")
+                    .objective();
+            }
+            black_box(acc)
+        })
+    });
+    // Revised vs tableau cold solves across problem shapes.
+    for (vars, rows, label) in [
+        (5usize, 10usize, "small_5x10"),
+        (20, 40, "square_20x40"),
+        (20, 160, "tall_20x160"),
+    ] {
+        for backend in [Backend::Tableau, Backend::Revised] {
+            let tag = if backend == Backend::Tableau {
+                "tableau"
+            } else {
+                "revised"
+            };
+            let lp = tall_lp(vars, rows, backend);
+            c.bench_function(&format!("lp/backend_sweep/{label}/{tag}"), |b| {
+                b.iter(|| black_box(lp.solve().expect("feasible")))
+            });
+        }
+    }
 }
 
 fn bench_geometry(c: &mut Criterion) {
@@ -86,6 +136,48 @@ fn bench_controllers(c: &mut Criterion) {
     let case = case();
     c.bench_function("mpc/tube_solve", |b| {
         b.iter(|| black_box(case.mpc().solve(black_box(&[5.0, 2.0])).expect("feasible")))
+    });
+    // The perf trajectory of the template refactor, one step at a time:
+    // rebuild-everything (the seed's solver) vs templated cold vs
+    // templated + warm-started basis carried across the resolve sequence.
+    // The states are an actual closed-loop rollout under adversarial
+    // disturbances — the pattern every MPC-heavy engine episode produces.
+    let states = acc_closed_loop_states(case.mpc(), 20);
+    c.bench_function("mpc/step_rebuild", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for x in &states {
+                acc += case
+                    .mpc()
+                    .solve_rebuild_reference(x)
+                    .expect("feasible")
+                    .cost();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("mpc/step_templated", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for x in &states {
+                acc += case.mpc().solve(x).expect("feasible").cost();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("mpc/step_templated_warm", |b| {
+        b.iter(|| {
+            let mut warm = MpcWarmState::new();
+            let mut acc = 0.0;
+            for x in &states {
+                acc += case
+                    .mpc()
+                    .solve_warm(x, &mut warm)
+                    .expect("feasible")
+                    .cost();
+            }
+            black_box(acc)
+        })
     });
     let monitor = Monitor::new(case.sets().clone());
     c.bench_function("monitor/check", |b| {
@@ -134,6 +226,7 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_lp, bench_geometry, bench_invariants, bench_controllers, bench_simulator
+    targets = bench_lp, bench_lp_backends, bench_geometry, bench_invariants, bench_controllers,
+        bench_simulator
 }
 criterion_main!(kernels);

@@ -1,0 +1,154 @@
+//! Kernel timing snapshot: measures the LP/MPC hot-path kernels and
+//! writes `BENCH_kernels.json` alongside the batch baseline.
+//!
+//! Usage: `cargo run --release -p oic-bench --bin kernels -- [--out FILE]
+//! [--samples N]`
+//!
+//! Unlike `BENCH_batch.json` (bit-exact, CI-diffed) these numbers are
+//! wall-clock and machine-dependent: the committed file is a recorded
+//! perf *trajectory* for the ROADMAP, not a byte-compared baseline. The
+//! ratios (`speedup_*`) are the stable, machine-portable part — the
+//! templated warm-started MPC step is required to stay ≥ 2× faster than
+//! the seed's rebuild-every-step path.
+
+use std::time::Instant;
+
+use oic_bench::fixtures::{acc_closed_loop_states, drifting_rhs_sequence, tall_lp};
+use oic_control::MpcWarmState;
+use oic_core::acc::AccCaseStudy;
+use oic_engine::JsonValue;
+use oic_lp::{Backend, WarmStart};
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs (2 warm-ups).
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    for _ in 0..2 {
+        f();
+    }
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut out = "BENCH_kernels.json".to_string();
+    let mut samples = 30usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                if let Some(v) = args.next() {
+                    out = v;
+                }
+            }
+            "--samples" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    samples = v;
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+
+    eprintln!("kernels: building ACC case study (tube MPC, horizon 10)…");
+    let case = AccCaseStudy::build_default().expect("case study builds");
+    let mpc = case.mpc();
+    // A real closed-loop rollout under adversarial disturbances — the
+    // resolve pattern every MPC-heavy engine episode produces (shared
+    // fixture with the criterion benches).
+    let states = acc_closed_loop_states(mpc, 20);
+
+    // --- Tube-MPC step: rebuild vs templated vs templated + warm. ---
+    let step_rebuild = median_ns(samples, || {
+        for x in &states {
+            mpc.solve_rebuild_reference(x).expect("feasible");
+        }
+    }) / states.len() as u64;
+    let step_templated = median_ns(samples, || {
+        for x in &states {
+            mpc.solve(x).expect("feasible");
+        }
+    }) / states.len() as u64;
+    let step_warm = median_ns(samples, || {
+        let mut warm = MpcWarmState::new();
+        for x in &states {
+            mpc.solve_warm(x, &mut warm).expect("feasible");
+        }
+    }) / states.len() as u64;
+
+    // --- LP resolve sequence: warm vs cold on an MPC-shaped program. ---
+    let lp = tall_lp(20, 80, Backend::Revised);
+    let seq = drifting_rhs_sequence(&lp, 16);
+    let resolve_cold = median_ns(samples, || {
+        for rhs in &seq {
+            lp.solve_with_rhs(rhs).expect("feasible");
+        }
+    }) / seq.len() as u64;
+    let resolve_warm = median_ns(samples, || {
+        let mut warm = WarmStart::new();
+        for rhs in &seq {
+            lp.solve_warm_with_rhs(rhs, &mut warm).expect("feasible");
+        }
+    }) / seq.len() as u64;
+
+    // --- Backend sweep: cold tableau vs cold revised across shapes. ---
+    let mut sweep = JsonValue::object();
+    for (vars, rows, label) in [
+        (5usize, 10usize, "small_5x10"),
+        (20, 40, "square_20x40"),
+        (20, 160, "tall_20x160"),
+    ] {
+        let tableau = tall_lp(vars, rows, Backend::Tableau);
+        let revised = tall_lp(vars, rows, Backend::Revised);
+        let t_ns = median_ns(samples, || {
+            tableau.solve().expect("feasible");
+        });
+        let r_ns = median_ns(samples, || {
+            revised.solve().expect("feasible");
+        });
+        sweep = sweep.with(
+            label,
+            JsonValue::object()
+                .with("tableau_ns", t_ns as f64)
+                .with("revised_ns", r_ns as f64),
+        );
+    }
+
+    let ratio = |slow: u64, fast: u64| slow as f64 / fast.max(1) as f64;
+    let doc = JsonValue::object()
+        .with("schema", 1.0)
+        .with(
+            "mpc_step",
+            JsonValue::object()
+                .with("rebuild_ns", step_rebuild as f64)
+                .with("templated_ns", step_templated as f64)
+                .with("templated_warm_ns", step_warm as f64)
+                .with("speedup_templated", ratio(step_rebuild, step_templated))
+                .with("speedup_warm", ratio(step_rebuild, step_warm)),
+        )
+        .with(
+            "lp_resolve",
+            JsonValue::object()
+                .with("cold_ns", resolve_cold as f64)
+                .with("warm_ns", resolve_warm as f64)
+                .with("speedup_warm", ratio(resolve_cold, resolve_warm)),
+        )
+        .with("backend_sweep", sweep);
+
+    println!("{}", doc.to_json_pretty());
+    eprintln!(
+        "mpc step: rebuild {step_rebuild} ns, templated {step_templated} ns, warm {step_warm} ns \
+         (warm speedup {:.2}x)",
+        ratio(step_rebuild, step_warm)
+    );
+    if let Err(e) = std::fs::write(&out, doc.to_json_pretty()) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("snapshot written to {out}");
+}

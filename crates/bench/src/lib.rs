@@ -19,4 +19,5 @@
 //! trajectories reproducible.
 
 pub mod experiments;
+pub mod fixtures;
 pub mod table;

@@ -25,6 +25,55 @@ pub trait Controller {
     /// optimization has no solution at `x` (possible for MPC outside its
     /// feasible set); analytic controllers never fail.
     fn control(&self, x: &[f64]) -> Result<Vec<f64>, ControlError>;
+
+    /// [`control`](Self::control) with an episode-scoped scratch cache.
+    ///
+    /// Stateful runtimes (the intermittent-control loop in `oic-core`)
+    /// pass the same [`ControlCache`] at every step of an episode, which
+    /// lets optimization-backed controllers carry warm-start state —
+    /// [`crate::TubeMpc`] keeps its LP basis in it when the warm path is
+    /// enabled. Analytic controllers ignore the cache (the default).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`control`](Self::control).
+    fn control_with_cache(
+        &self,
+        x: &[f64],
+        cache: &mut ControlCache,
+    ) -> Result<Vec<f64>, ControlError> {
+        let _ = cache;
+        self.control(x)
+    }
+}
+
+/// Episode-scoped controller scratch state.
+///
+/// One `ControlCache` lives for one closed-loop episode and is threaded
+/// through every [`Controller::control_with_cache`] call; controllers store
+/// whatever cross-step state they benefit from (today: the tube MPC's
+/// warm-start basis). Reset it (or make a fresh one) when the episode ends.
+#[derive(Debug, Clone, Default)]
+pub struct ControlCache {
+    /// Tube-MPC warm-start state, lazily created on first use.
+    pub(crate) mpc_warm: Option<crate::MpcWarmState>,
+}
+
+impl ControlCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all carried state (the next solve runs cold).
+    pub fn reset(&mut self) {
+        self.mpc_warm = None;
+    }
+
+    /// The tube-MPC warm-start state, if a warm solve populated it.
+    pub fn mpc_warm(&self) -> Option<&crate::MpcWarmState> {
+        self.mpc_warm.as_ref()
+    }
 }
 
 impl<T: Controller + ?Sized> Controller for Box<T> {
@@ -38,6 +87,14 @@ impl<T: Controller + ?Sized> Controller for Box<T> {
 
     fn control(&self, x: &[f64]) -> Result<Vec<f64>, ControlError> {
         (**self).control(x)
+    }
+
+    fn control_with_cache(
+        &self,
+        x: &[f64],
+        cache: &mut ControlCache,
+    ) -> Result<Vec<f64>, ControlError> {
+        (**self).control_with_cache(x, cache)
     }
 }
 

@@ -173,33 +173,62 @@ pub fn max_rci(
     })
 }
 
-/// Smallest `α ≥ 0` with `p ∈ α·Z` for a zonotope `Z` centered at the
-/// origin, via one LP; `None` if `p` is outside the range of the generators.
-fn min_scale_for_point(p: &[f64], z: &Zonotope) -> Option<f64> {
-    let k = z.generators().len();
-    let n = z.dim();
-    if k == 0 {
-        return p.iter().all(|v| v.abs() < 1e-9).then_some(0.0);
+/// The LP behind [`MinScaleLp::min_scale`], built **once** per zonotope
+/// and re-solved with an overridden RHS for every queried point — the
+/// Raković iteration asks the same question for all `2^k` extreme points
+/// of `A^s W`, and rebuilding the rows (one `Vec` per constraint) per
+/// point dominated the loop.
+struct MinScaleLp {
+    lp: LinearProgram,
+    /// RHS buffer: the first `n` entries carry the query point, the
+    /// remaining `2k` (the `|ξᵢ| ≤ α` links) stay zero.
+    rhs: Vec<f64>,
+    dim: usize,
+}
+
+impl MinScaleLp {
+    /// Compiles the LP for `z` (`None` when `z` has no generators — the
+    /// degenerate case is answered directly in [`min_scale`](Self::min_scale)).
+    fn new(z: &Zonotope) -> Option<Self> {
+        let k = z.generators().len();
+        let n = z.dim();
+        if k == 0 {
+            return None;
+        }
+        // Variables (ξ₁..ξ_k, α): minimize α s.t. G ξ = p, |ξᵢ| ≤ α.
+        let mut costs = vec![0.0; k + 1];
+        costs[k] = 1.0;
+        let mut lp = LinearProgram::minimize(&costs);
+        lp.set_lower_bound(k, 0.0);
+        for d in 0..n {
+            let mut row: Vec<f64> = z.generators().iter().map(|g| g[d]).collect();
+            row.push(0.0);
+            lp.add_eq(&row, 0.0);
+        }
+        for i in 0..k {
+            let mut row = vec![0.0; k + 1];
+            row[i] = 1.0;
+            row[k] = -1.0;
+            lp.add_le(&row, 0.0);
+            row[i] = -1.0;
+            lp.add_le(&row, 0.0);
+        }
+        Some(Self {
+            lp,
+            rhs: vec![0.0; n + 2 * k],
+            dim: n,
+        })
     }
-    // Variables (ξ₁..ξ_k, α): minimize α s.t. G ξ = p, |ξᵢ| ≤ α.
-    let mut costs = vec![0.0; k + 1];
-    costs[k] = 1.0;
-    let mut lp = LinearProgram::minimize(&costs);
-    lp.set_lower_bound(k, 0.0);
-    for d in 0..n {
-        let mut row: Vec<f64> = z.generators().iter().map(|g| g[d]).collect();
-        row.push(0.0);
-        lp.add_eq(&row, p[d]);
+
+    /// Smallest `α ≥ 0` with `p ∈ α·Z`; `None` if `p` is outside the range
+    /// of the generators.
+    fn min_scale(&mut self, p: &[f64]) -> Option<f64> {
+        self.rhs[..self.dim].copy_from_slice(p);
+        self.lp
+            .solve_with_rhs(&self.rhs)
+            .ok()
+            .map(|s| s.objective())
     }
-    for i in 0..k {
-        let mut row = vec![0.0; k + 1];
-        row[i] = 1.0;
-        row[k] = -1.0;
-        lp.add_le(&row, 0.0);
-        row[i] = -1.0;
-        lp.add_le(&row, 0.0);
-    }
-    lp.solve().ok().map(|s| s.objective())
 }
 
 /// Raković et al. outer approximation of the minimal RPI set of
@@ -237,15 +266,23 @@ pub fn rakovic_rpi(
         let k = a_pow_w.generators().len();
         let mut alpha: f64 = 0.0;
         let mut feasible = true;
+        // One compiled LP serves all 2^k corner queries of this term; only
+        // the RHS (the corner point) changes between solves.
+        let mut scale_lp = MinScaleLp::new(&f);
+        let mut p = vec![0.0; a_pow_w.dim()];
         'points: for mask in 0..(1u32 << k) {
-            let mut p = a_pow_w.center().to_vec();
+            p.copy_from_slice(a_pow_w.center());
             for (i, g) in a_pow_w.generators().iter().enumerate() {
                 let sign = if mask >> i & 1 == 1 { 1.0 } else { -1.0 };
                 for (pd, gd) in p.iter_mut().zip(g) {
                     *pd += sign * gd;
                 }
             }
-            match min_scale_for_point(&p, &f) {
+            let scale = match &mut scale_lp {
+                Some(lp) => lp.min_scale(&p),
+                None => p.iter().all(|v| v.abs() < 1e-9).then_some(0.0),
+            };
+            match scale {
                 Some(a) => alpha = alpha.max(a),
                 None => {
                     feasible = false;

@@ -37,13 +37,15 @@ mod invariant;
 mod lti;
 mod mpc;
 
-pub use feedback::{dlqr, Controller, LinearFeedback};
+pub use feedback::{dlqr, ControlCache, Controller, LinearFeedback};
 pub use invariant::{
     max_rci, max_rpi, rakovic_rpi, rakovic_rpi_certified_2d, robust_controllable_pre, verify_rci,
     verify_rpi, InvariantOptions, RakovicRpi,
 };
 pub use lti::{ConstrainedLti, Lti};
-pub use mpc::{MpcSolution, TighteningMode, TubeMpc, TubeMpcBuilder};
+pub use mpc::{
+    warm_mpc_enabled, MpcSolution, MpcWarmState, TighteningMode, TubeMpc, TubeMpcBuilder,
+};
 
 use std::error::Error;
 use std::fmt;

@@ -14,9 +14,100 @@
 
 use oic_geom::{AffineImage, Halfspace, Polytope};
 use oic_linalg::Matrix;
-use oic_lp::LinearProgram;
+use oic_lp::{LinearProgram, WarmStart};
 
-use crate::{max_rpi, ConstrainedLti, ControlError, Controller, InvariantOptions};
+use crate::{max_rpi, ConstrainedLti, ControlCache, ControlError, Controller, InvariantOptions};
+
+/// Whether the intermittent-control runtime routes tube-MPC steps through
+/// the warm-started solver ([`TubeMpc::solve_warm`]) instead of the
+/// bit-stable cold reference path.
+///
+/// Enabled (read once per process) by `OIC_MPC_WARM=1`/`true`, or
+/// implicitly by forcing the revised LP backend with
+/// `OIC_LP_BACKEND=revised`. Off by default so closed-loop trajectories —
+/// and the committed `BENCH_batch.json` baseline — stay byte-identical to
+/// the pre-template solver; explicit [`TubeMpc::solve_warm`] callers are
+/// unaffected by this switch.
+pub fn warm_mpc_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        matches!(
+            std::env::var("OIC_MPC_WARM").ok().as_deref(),
+            Some("1" | "true")
+        ) || oic_lp::forced_backend() == Some(oic_lp::Backend::Revised)
+    })
+}
+
+/// Warm-start state carried across a sequence of [`TubeMpc::solve_warm`]
+/// calls (one per episode; the LP basis from step `t` seeds step `t + 1`).
+#[derive(Debug, Clone, Default)]
+pub struct MpcWarmState {
+    warm: WarmStart,
+}
+
+impl MpcWarmState {
+    /// Fresh state; the first solve through it runs cold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the carried basis.
+    pub fn invalidate(&mut self) {
+        self.warm.invalidate();
+    }
+
+    /// Solves routed through this state.
+    pub fn solves(&self) -> u64 {
+        self.warm.solves()
+    }
+
+    /// Solves that reused the carried basis (skipped phase 1).
+    pub fn warm_hits(&self) -> u64 {
+        self.warm.warm_hits()
+    }
+
+    /// Warm attempts that fell back to a cold solve.
+    pub fn fallbacks(&self) -> u64 {
+        self.warm.fallbacks()
+    }
+
+    /// Total simplex pivots across the sequence (the quantity warm
+    /// starting minimizes).
+    pub fn pivots(&self) -> u64 {
+        self.warm.pivots()
+    }
+}
+
+/// How one constraint's RHS depends on the current state `x`: the row
+/// coefficients never change, only these offsets are recomputed per solve.
+///
+/// The arithmetic mirrors the row-building code of
+/// [`TubeMpc::solve_rebuild_reference`] *exactly* (`offset − a·(Aᵏx)` vs
+/// the reference's `h.offset() − free`, and a literal `−free` for the
+/// absolute-value links), so the templated path is bit-identical to it.
+#[derive(Debug, Clone)]
+enum RhsSpec {
+    /// RHS is a constant (input constraints, `|u|` links).
+    Constant(f64),
+    /// `offset − normal·(Aᵏ x)` (state and terminal constraints).
+    StateOffset {
+        k: usize,
+        normal: Vec<f64>,
+        offset: f64,
+    },
+    /// `−(normal·(Aᵏ x))` (absolute-value links on predicted states).
+    StateNeg { k: usize, normal: Vec<f64> },
+}
+
+/// The tube-MPC optimization compiled once at construction: variable
+/// layout, every constraint row, and the cost vector live in `lp`; per
+/// step only the RHS vector is recomputed from `rhs_spec` and the LP is
+/// re-solved (warm-started when the caller carries an [`MpcWarmState`]).
+#[derive(Debug, Clone)]
+struct MpcTemplate {
+    lp: LinearProgram,
+    rhs_spec: Vec<RhsSpec>,
+}
 
 /// How the state-constraint tightening sequence `X(k)` propagates the
 /// disturbance.
@@ -264,6 +355,16 @@ impl TubeMpcBuilder {
         }
         let impulse: Vec<Matrix> = (0..horizon).map(|j| &a_pow[j] * sys.b()).collect();
 
+        let template = build_template(
+            &self.plant,
+            horizon,
+            &self.state_weights,
+            self.input_weight,
+            &tightened,
+            &terminal,
+            &impulse,
+        );
+
         Ok(TubeMpc {
             plant: self.plant,
             horizon,
@@ -273,8 +374,133 @@ impl TubeMpcBuilder {
             terminal,
             a_pow,
             impulse,
+            template,
         })
     }
+}
+
+/// Compiles the tube-MPC LP once: same variable layout, constraint order,
+/// and coefficient arithmetic as [`TubeMpc::solve_rebuild_reference`], with
+/// the `x`-dependent RHS parts recorded as [`RhsSpec`]s instead of values.
+fn build_template(
+    plant: &ConstrainedLti,
+    horizon: usize,
+    state_weights: &[f64],
+    input_weight: f64,
+    tightened: &[Polytope],
+    terminal: &Polytope,
+    impulse: &[Matrix],
+) -> MpcTemplate {
+    let sys = plant.system();
+    let n = sys.state_dim();
+    let m = sys.input_dim();
+    let big_n = horizon;
+
+    // Variable layout: [u(0..N) | tx(1..N) | tu(0..N)] — identical to the
+    // reference solver.
+    let n_u = big_n * m;
+    let n_tx = big_n.saturating_sub(1) * n;
+    let n_tu = big_n * m;
+    let total = n_u + n_tx + n_tu;
+    let u_ix = |k: usize, l: usize| k * m + l;
+    let tx_ix = |k: usize, i: usize| n_u + (k - 1) * n + i; // k = 1..N−1
+    let tu_ix = |k: usize, l: usize| n_u + n_tx + k * m + l;
+
+    let mut costs = vec![0.0; total];
+    for k in 1..big_n {
+        for i in 0..n {
+            costs[tx_ix(k, i)] = state_weights[i];
+        }
+    }
+    for k in 0..big_n {
+        for l in 0..m {
+            costs[tu_ix(k, l)] = input_weight;
+        }
+    }
+    let mut lp = LinearProgram::minimize(&costs);
+    let mut rhs_spec = Vec::new();
+
+    // Row coefficients of a·x(k) over the u variables — exactly the
+    // reference's `state_row`, minus the x-dependent free response.
+    let mut row_buf = vec![0.0; total];
+    let state_row = |k: usize, normal: &[f64], row: &mut Vec<f64>| {
+        row.clear();
+        row.resize(total, 0.0);
+        for j in 0..k {
+            let coef = impulse[k - 1 - j].vec_mul(normal); // aᵀ A^{k−1−j} B
+            for l in 0..m {
+                row[u_ix(j, l)] = coef[l];
+            }
+        }
+    };
+
+    // State constraints x(k) ∈ X(k) for k = 1..N and x(N) ∈ X_t.
+    for (k, set) in tightened.iter().enumerate().take(big_n + 1).skip(1) {
+        for h in set.halfspaces() {
+            state_row(k, h.normal(), &mut row_buf);
+            lp.add_le(&row_buf, 0.0);
+            rhs_spec.push(RhsSpec::StateOffset {
+                k,
+                normal: h.normal().to_vec(),
+                offset: h.offset(),
+            });
+        }
+    }
+    for h in terminal.halfspaces() {
+        state_row(big_n, h.normal(), &mut row_buf);
+        lp.add_le(&row_buf, 0.0);
+        rhs_spec.push(RhsSpec::StateOffset {
+            k: big_n,
+            normal: h.normal().to_vec(),
+            offset: h.offset(),
+        });
+    }
+
+    // Input constraints u(k) ∈ U.
+    for k in 0..big_n {
+        for h in plant.input_set().halfspaces() {
+            row_buf.iter_mut().for_each(|v| *v = 0.0);
+            for l in 0..m {
+                row_buf[u_ix(k, l)] = h.normal()[l];
+            }
+            lp.add_le(&row_buf, h.offset());
+            rhs_spec.push(RhsSpec::Constant(h.offset()));
+        }
+    }
+
+    // Absolute-value linking: ±x_i(k) ≤ tx(k,i), ±u_l(k) ≤ tu(k,l).
+    for k in 1..big_n {
+        for i in 0..n {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            state_row(k, &e, &mut row_buf);
+            row_buf[tx_ix(k, i)] = -1.0;
+            lp.add_le(&row_buf, 0.0);
+            rhs_spec.push(RhsSpec::StateNeg {
+                k,
+                normal: e.clone(),
+            });
+            let e_neg: Vec<f64> = e.iter().map(|v| -v).collect();
+            state_row(k, &e_neg, &mut row_buf);
+            row_buf[tx_ix(k, i)] = -1.0;
+            lp.add_le(&row_buf, 0.0);
+            rhs_spec.push(RhsSpec::StateNeg { k, normal: e_neg });
+        }
+    }
+    for k in 0..big_n {
+        for l in 0..m {
+            row_buf.iter_mut().for_each(|v| *v = 0.0);
+            row_buf[u_ix(k, l)] = 1.0;
+            row_buf[tu_ix(k, l)] = -1.0;
+            lp.add_le(&row_buf, 0.0);
+            rhs_spec.push(RhsSpec::Constant(0.0));
+            row_buf[u_ix(k, l)] = -1.0;
+            lp.add_le(&row_buf, 0.0);
+            rhs_spec.push(RhsSpec::Constant(0.0));
+        }
+    }
+
+    MpcTemplate { lp, rhs_spec }
 }
 
 /// The tube MPC controller (paper Eq. (5)).
@@ -296,6 +522,8 @@ pub struct TubeMpc {
     /// `impulse[j] = A^j B`; the coefficient of `u(j)` in `x(k)` is
     /// `impulse[k−1−j]`.
     impulse: Vec<Matrix>,
+    /// The LP compiled once at construction; per step only the RHS moves.
+    template: MpcTemplate,
 }
 
 impl TubeMpc {
@@ -319,7 +547,11 @@ impl TubeMpc {
         &self.terminal
     }
 
-    /// Solves the tube-MPC LP at state `x`.
+    /// Solves the tube-MPC LP at state `x` through the precompiled
+    /// template: only the RHS vector is rebuilt (one dot product per
+    /// state-dependent row), then the LP re-solves cold on the reference
+    /// backend — bit-identical to
+    /// [`solve_rebuild_reference`](Self::solve_rebuild_reference).
     ///
     /// # Errors
     ///
@@ -331,6 +563,115 @@ impl TubeMpc {
     ///
     /// Panics if `x.len()` differs from the state dimension.
     pub fn solve(&self, x: &[f64]) -> Result<MpcSolution, ControlError> {
+        self.solve_templated(x, None)
+    }
+
+    /// [`solve`](Self::solve) with warm-start carry: the optimal LP basis
+    /// of this solve seeds the next solve through the same
+    /// [`MpcWarmState`]. Because only the RHS changes between the steps of
+    /// an episode, the carried basis stays dual feasible and each re-solve
+    /// is a few dual-simplex pivots on the revised backend instead of a
+    /// full two-phase solve.
+    ///
+    /// Calling this is the explicit opt-in to the revised engine (under
+    /// [`oic_lp::Backend::Auto`]); results agree with [`solve`](Self::solve)
+    /// to solver tolerance (~1e-7) but are not bit-identical to it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Self::solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the state dimension.
+    pub fn solve_warm(
+        &self,
+        x: &[f64],
+        warm: &mut MpcWarmState,
+    ) -> Result<MpcSolution, ControlError> {
+        self.solve_templated(x, Some(warm))
+    }
+
+    fn solve_templated(
+        &self,
+        x: &[f64],
+        warm: Option<&mut MpcWarmState>,
+    ) -> Result<MpcSolution, ControlError> {
+        let sys = self.plant.system();
+        let n = sys.state_dim();
+        let m = sys.input_dim();
+        let big_n = self.horizon;
+        assert_eq!(x.len(), n, "state dimension mismatch");
+
+        if !self.tightened[0].contains_with_tol(x, 1e-6) {
+            return Err(ControlError::Infeasible { state: x.to_vec() });
+        }
+
+        // x_free(k) = A^k x — the only state-dependent quantities.
+        let x_free: Vec<Vec<f64>> = (0..=big_n).map(|k| self.a_pow[k].mul_vec(x)).collect();
+        let rhs: Vec<f64> = self
+            .template
+            .rhs_spec
+            .iter()
+            .map(|spec| match spec {
+                RhsSpec::Constant(b) => *b,
+                RhsSpec::StateOffset { k, normal, offset } => {
+                    let free: f64 = normal.iter().zip(&x_free[*k]).map(|(a, v)| a * v).sum();
+                    offset - free
+                }
+                RhsSpec::StateNeg { k, normal } => {
+                    let free: f64 = normal.iter().zip(&x_free[*k]).map(|(a, v)| a * v).sum();
+                    -free
+                }
+            })
+            .collect();
+
+        let solved = match warm {
+            Some(state) => self.template.lp.solve_warm_with_rhs(&rhs, &mut state.warm),
+            None => self.template.lp.solve_with_rhs(&rhs),
+        };
+        let sol = match solved {
+            Ok(s) => s,
+            Err(oic_lp::LpError::Infeasible) => {
+                return Err(ControlError::Infeasible { state: x.to_vec() })
+            }
+            Err(e) => return Err(ControlError::Lp(e)),
+        };
+
+        let u_ix = |k: usize, l: usize| k * m + l;
+        let u_sequence: Vec<Vec<f64>> = (0..big_n)
+            .map(|k| (0..m).map(|l| sol.x()[u_ix(k, l)]).collect())
+            .collect();
+        let mut predicted_states = Vec::with_capacity(big_n + 1);
+        let mut xs = x.to_vec();
+        predicted_states.push(xs.clone());
+        for u in &u_sequence {
+            xs = sys.step_nominal(&xs, u);
+            predicted_states.push(xs.clone());
+        }
+        Ok(MpcSolution {
+            u_sequence,
+            predicted_states,
+            cost: sol.objective(),
+        })
+    }
+
+    /// The pre-template reference solver: rebuilds the entire LP — costs,
+    /// rows, per-row buffers — from scratch at every call, exactly as the
+    /// controller did before the template refactor.
+    ///
+    /// Kept (a) as the equivalence oracle the templated path is tested
+    /// bit-identical against, and (b) as the baseline the
+    /// `mpc/step_templated` benchmarks quantify the speedup over.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Self::solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the state dimension.
+    pub fn solve_rebuild_reference(&self, x: &[f64]) -> Result<MpcSolution, ControlError> {
         let sys = self.plant.system();
         let n = sys.state_dim();
         let m = sys.input_dim();
@@ -507,6 +848,22 @@ impl Controller for TubeMpc {
     fn control(&self, x: &[f64]) -> Result<Vec<f64>, ControlError> {
         Ok(self.solve(x)?.first_input().to_vec())
     }
+
+    /// Routes through [`TubeMpc::solve_warm`] with the basis carried in
+    /// `cache` when [`warm_mpc_enabled`] is on; otherwise identical to
+    /// [`control`](Controller::control) (the bit-stable reference path).
+    fn control_with_cache(
+        &self,
+        x: &[f64],
+        cache: &mut ControlCache,
+    ) -> Result<Vec<f64>, ControlError> {
+        if warm_mpc_enabled() {
+            let warm = cache.mpc_warm.get_or_insert_with(MpcWarmState::new);
+            Ok(self.solve_warm(x, warm)?.first_input().to_vec())
+        } else {
+            self.control(x)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -682,6 +1039,102 @@ mod tests {
             .build()
             .unwrap();
         assert!(mpc.solve(&[5.0, 2.0]).is_ok());
+    }
+
+    /// The templated path must be **bit-identical** to the rebuild
+    /// reference: same rows, same RHS arithmetic, same pivot sequence —
+    /// this is the invariant that keeps `BENCH_batch.json` stable.
+    #[test]
+    fn templated_solve_is_bit_identical_to_rebuild_reference() {
+        let mpc = acc_mpc();
+        for x in [
+            [0.0, 0.0],
+            [5.0, 2.0],
+            [20.0, 8.0],
+            [-15.0, -3.5],
+            [0.25, -12.0],
+            [19.375, 0.125],
+        ] {
+            let templated = mpc.solve(&x).unwrap();
+            let reference = mpc.solve_rebuild_reference(&x).unwrap();
+            assert_eq!(
+                templated, reference,
+                "bitwise divergence at {x:?} (PartialEq on f64 is exact)"
+            );
+        }
+        // Infeasible verdicts agree too.
+        assert!(matches!(
+            mpc.solve(&[25.0, -10.0]),
+            Err(ControlError::Infeasible { .. })
+        ));
+        assert!(matches!(
+            mpc.solve_rebuild_reference(&[25.0, -10.0]),
+            Err(ControlError::Infeasible { .. })
+        ));
+    }
+
+    /// Warm-started trajectory solves agree with cold solves to solver
+    /// tolerance along a closed-loop rollout, and actually reuse the basis.
+    #[test]
+    fn warm_solve_tracks_cold_along_trajectory() {
+        let mpc = acc_mpc();
+        let sys = mpc.plant().system().clone();
+        let mut warm = MpcWarmState::new();
+        let mut x = vec![18.0, 6.0];
+        for step in 0..15 {
+            let warm_sol = mpc.solve_warm(&x, &mut warm).unwrap();
+            let cold_sol = mpc.solve(&x).unwrap();
+            assert!(
+                (warm_sol.cost() - cold_sol.cost()).abs() < 1e-6,
+                "step {step}: warm {} vs cold {}",
+                warm_sol.cost(),
+                cold_sol.cost()
+            );
+            for (w, c) in warm_sol.first_input().iter().zip(cold_sol.first_input()) {
+                assert!((w - c).abs() < 1e-5, "step {step}: u {w} vs {c}");
+            }
+            let w_dist = if step % 2 == 0 { 1.0 } else { -1.0 };
+            x = sys.step(&x, warm_sol.first_input(), &[w_dist, 0.0]);
+        }
+        assert_eq!(warm.solves(), 15);
+        if oic_lp::forced_backend() != Some(oic_lp::Backend::Tableau) {
+            assert!(
+                warm.warm_hits() >= 13,
+                "warm hits: {} of {}",
+                warm.warm_hits(),
+                warm.solves()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_state_survives_infeasible_queries() {
+        let mpc = acc_mpc();
+        let mut warm = MpcWarmState::new();
+        assert!(mpc.solve_warm(&[5.0, 2.0], &mut warm).is_ok());
+        assert!(matches!(
+            mpc.solve_warm(&[25.0, -10.0], &mut warm),
+            Err(ControlError::Infeasible { .. })
+        ));
+        let sol = mpc.solve_warm(&[5.0, 2.0], &mut warm).unwrap();
+        let cold = mpc.solve(&[5.0, 2.0]).unwrap();
+        assert!((sol.cost() - cold.cost()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn control_with_cache_matches_control_by_default() {
+        // Without OIC_MPC_WARM / a forced revised backend the cached entry
+        // point must stay on the bit-stable path.
+        let mpc = acc_mpc();
+        let mut cache = ControlCache::new();
+        let cached = mpc.control_with_cache(&[5.0, 2.0], &mut cache).unwrap();
+        let plain = mpc.control(&[5.0, 2.0]).unwrap();
+        if warm_mpc_enabled() {
+            assert!((cached[0] - plain[0]).abs() < 1e-5);
+        } else {
+            assert_eq!(cached, plain, "default path must be bit-identical");
+            assert!(cache.mpc_warm().is_none(), "no warm state without opt-in");
+        }
     }
 
     #[test]

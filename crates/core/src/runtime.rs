@@ -1,6 +1,6 @@
 //! Algorithm 1: the online intermittent-control loop.
 
-use oic_control::Controller;
+use oic_control::{ControlCache, Controller};
 use oic_linalg::vec_ops;
 
 use crate::{CoreError, Monitor, PolicyContext, SafeSets, SkipDecision, SkipPolicy, Verdict};
@@ -80,6 +80,11 @@ pub struct IntermittentController<C: Controller, P: SkipPolicy = Box<dyn SkipPol
     prev: Option<(Vec<f64>, Vec<f64>)>,
     stats: RunStats,
     t: usize,
+    /// Episode-scoped controller scratch: carries the tube MPC's LP
+    /// warm-start basis from step to step (engine episodes own one
+    /// runtime each, so the basis follows the episode, never leaks
+    /// across episodes). Cleared by [`reset`](Self::reset).
+    cache: ControlCache,
 }
 
 impl<C: Controller, P: SkipPolicy> IntermittentController<C, P> {
@@ -113,6 +118,7 @@ impl<C: Controller, P: SkipPolicy> IntermittentController<C, P> {
             prev: None,
             stats: RunStats::default(),
             t: 0,
+            cache: ControlCache::new(),
         }
     }
 
@@ -137,12 +143,14 @@ impl<C: Controller, P: SkipPolicy> IntermittentController<C, P> {
         &self.stats
     }
 
-    /// Clears history and statistics for a fresh episode.
+    /// Clears history, statistics, and controller scratch (warm-start
+    /// state) for a fresh episode.
     pub fn reset(&mut self) {
         self.w_history.clear();
         self.prev = None;
         self.stats = RunStats::default();
         self.t = 0;
+        self.cache.reset();
     }
 
     /// Estimated disturbance history (most recent last), from the exact
@@ -199,7 +207,7 @@ impl<C: Controller, P: SkipPolicy> IntermittentController<C, P> {
 
         let (input, skipped, forced_run) = match decision {
             SkipDecision::Run => {
-                let u = self.controller.control(x)?;
+                let u = self.controller.control_with_cache(x, &mut self.cache)?;
                 (u, false, verdict == Verdict::InvariantOnly)
             }
             SkipDecision::Skip => (self.skip_input.clone(), true, false),

@@ -219,11 +219,17 @@ impl Polytope {
             other.dim(),
             "dimension mismatch in Minkowski difference"
         );
-        let mut halfspaces = Vec::with_capacity(self.halfspaces.len());
-        for h in &self.halfspaces {
-            let shrink = other.support(h.normal())?;
-            halfspaces.push(Halfspace::new(h.normal().to_vec(), h.offset() - shrink));
-        }
+        // One batched support query over all facet normals: when `other`
+        // is LP-backed and the revised backend is active, the whole loop
+        // reuses a single warm-started program.
+        let normals: Vec<&[f64]> = self.halfspaces.iter().map(|h| h.normal()).collect();
+        let shrinks = other.support_batch(&normals)?;
+        let halfspaces = self
+            .halfspaces
+            .iter()
+            .zip(shrinks)
+            .map(|(h, shrink)| Halfspace::new(h.normal().to_vec(), h.offset() - shrink))
+            .collect();
         Ok(Polytope {
             dim: self.dim,
             halfspaces,
@@ -556,6 +562,38 @@ impl SupportFunction for Polytope {
         let sol = lp.solve().map_err(GeomError::from)?;
         Ok(sol.objective())
     }
+
+    /// Batched support: one LP over the polytope's constraints, re-targeted
+    /// per direction and re-solved **warm** (the feasible region never
+    /// changes, so the previous optimal basis stays primal feasible and
+    /// each re-solve is a handful of pivots).
+    ///
+    /// The warm path only engages when the revised LP backend is forced
+    /// process-wide (`OIC_LP_BACKEND=revised`): under the default backend
+    /// selection every solve must stay bit-identical to the one-shot
+    /// [`support`](SupportFunction::support) calls that the committed
+    /// baselines were recorded with.
+    fn support_batch(&self, directions: &[&[f64]]) -> Result<Vec<f64>, GeomError> {
+        if directions.len() < 2
+            || self.halfspaces.is_empty()
+            || oic_lp::forced_backend() != Some(oic_lp::Backend::Revised)
+        {
+            return directions.iter().map(|d| self.support(d)).collect();
+        }
+        let mut lp = LinearProgram::maximize(directions[0]);
+        for h in &self.halfspaces {
+            lp.add_le(h.normal(), h.offset());
+        }
+        let mut warm = oic_lp::WarmStart::new();
+        let mut out = Vec::with_capacity(directions.len());
+        for d in directions {
+            assert_eq!(d.len(), self.dim, "direction dimension mismatch");
+            lp.set_objective(d);
+            let sol = lp.solve_warm(&mut warm).map_err(GeomError::from)?;
+            out.push(sol.objective());
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -761,6 +799,34 @@ mod tests {
     fn area_of_degenerate_box_is_zero() {
         let flat = Polytope::from_box(&[-1.0, 0.0], &[1.0, 0.0]);
         assert!(flat.area_2d().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn support_batch_matches_single_queries() {
+        let p = Polytope::new(
+            2,
+            vec![
+                Halfspace::new(vec![1.0, 0.3], 2.0),
+                Halfspace::new(vec![-1.0, 0.2], 1.5),
+                Halfspace::new(vec![0.1, 1.0], 1.0),
+                Halfspace::new(vec![-0.2, -1.0], 2.5),
+            ],
+        );
+        let dirs: Vec<Vec<f64>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![-1.0, 2.0],
+            vec![3.0, -0.5],
+        ];
+        let views: Vec<&[f64]> = dirs.iter().map(Vec::as_slice).collect();
+        let batch = p.support_batch(&views).unwrap();
+        for (d, b) in dirs.iter().zip(&batch) {
+            let single = p.support(d).unwrap();
+            assert!(
+                (single - b).abs() < 1e-9,
+                "batch {b} vs single {single} in {d:?}"
+            );
+        }
     }
 
     #[test]

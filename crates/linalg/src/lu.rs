@@ -72,9 +72,46 @@ impl LuDecomposition {
     pub fn new(a: &Matrix) -> Result<Self, SingularMatrixError> {
         assert!(a.is_square(), "LU factorization requires a square matrix");
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
+        let mut lu = Self {
+            lu: a.clone(),
+            perm: (0..n).collect(),
+            perm_sign: 1.0,
+        };
+        lu.factorize_in_place()?;
+        Ok(lu)
+    }
+
+    /// Re-factorizes `a` **in place**, reusing this decomposition's storage.
+    ///
+    /// This is the refactorization hook for iterative callers (the revised
+    /// simplex re-factorizes its basis every few dozen pivots): no fresh
+    /// allocation happens when `a` has the same dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the matrix is singular; the
+    /// decomposition is left in an unspecified (but safely re-usable via
+    /// another `refactor`) state in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square or differs in dimension.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<(), SingularMatrixError> {
+        assert!(a.is_square(), "LU factorization requires a square matrix");
+        assert_eq!(a.rows(), self.lu.rows(), "refactor dimension mismatch");
+        self.lu.clone_from(a);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.perm_sign = 1.0;
+        self.factorize_in_place()
+    }
+
+    fn factorize_in_place(&mut self) -> Result<(), SingularMatrixError> {
+        let n = self.lu.rows();
+        let lu = &mut self.lu;
+        let perm = &mut self.perm;
+        let perm_sign = &mut self.perm_sign;
 
         for k in 0..n {
             // Partial pivoting: find the largest entry in column k at or
@@ -98,10 +135,16 @@ impl LuDecomposition {
                     lu[(pivot_row, j)] = tmp;
                 }
                 perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
+                *perm_sign = -*perm_sign;
             }
             let pivot = lu[(k, k)];
             for i in (k + 1)..n {
+                // Skip structural zeros: basis matrices from simplex solves
+                // are mostly unit/slack columns, and eliminating exact
+                // zeros is the bulk of an O(n³) dense sweep there.
+                if lu[(i, k)] == 0.0 {
+                    continue;
+                }
                 let factor = lu[(i, k)] / pivot;
                 lu[(i, k)] = factor;
                 for j in (k + 1)..n {
@@ -110,11 +153,12 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(Self {
-            lu,
-            perm,
-            perm_sign,
-        })
+        Ok(())
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
     }
 
     /// Solves `A x = b` for `x`.
@@ -130,27 +174,101 @@ impl LuDecomposition {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
         let n = self.lu.rows();
         assert_eq!(b.len(), n, "right-hand side length must match dimension");
+        let mut y = vec![0.0; n];
+        self.solve_into(b, &mut y);
+        Ok(y)
+    }
+
+    /// Solves `A x = b`, writing `x` into `out` — the allocation-free
+    /// variant for hot loops (the revised simplex FTRAN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `out.len()` differ from the dimension.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "right-hand side length must match dimension");
+        assert_eq!(out.len(), n, "output length must match dimension");
         // Apply permutation.
-        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
-        // Forward substitution with unit lower-triangular L.
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = b[self.perm[i]];
+        }
+        // Forward substitution with unit lower-triangular L, dotting each
+        // contiguous row slice (indexed `(i, j)` access in these O(n²)
+        // loops dominated simplex FTRAN cost).
         for i in 1..n {
-            let acc: f64 = y[..i]
-                .iter()
-                .enumerate()
-                .map(|(j, yj)| self.lu[(i, j)] * yj)
-                .sum();
-            y[i] -= acc;
+            let row = self.lu.row(i);
+            let acc: f64 = row[..i].iter().zip(out.iter()).map(|(l, y)| l * y).sum();
+            out[i] -= acc;
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
-            let acc: f64 = y[i + 1..]
+            let row = self.lu.row(i);
+            let acc: f64 = row[i + 1..]
                 .iter()
-                .enumerate()
-                .map(|(k, yj)| self.lu[(i, i + 1 + k)] * yj)
+                .zip(out[i + 1..].iter())
+                .map(|(u, y)| u * y)
                 .sum();
-            y[i] = (y[i] - acc) / self.lu[(i, i)];
+            out[i] = (out[i] - acc) / row[i];
         }
-        Ok(y)
+    }
+
+    /// Solves the transposed system `Aᵀ x = c`, writing `x` into `out` —
+    /// the revised simplex BTRAN (`Bᵀ y = c_B` pricing solve).
+    ///
+    /// With `PA = LU`: `Aᵀ = Uᵀ Lᵀ P`, so solve `Uᵀ z = c` (forward),
+    /// `Lᵀ w = z` (backward), then un-permute `x[perm[i]] = w[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len()` or `out.len()` differ from the dimension.
+    pub fn solve_transposed_into(&self, c: &[f64], out: &mut [f64]) {
+        let n = self.lu.rows();
+        assert_eq!(c.len(), n, "right-hand side length must match dimension");
+        assert_eq!(out.len(), n, "output length must match dimension");
+        // Column-sweep substitutions: naive Uᵀ/Lᵀ forward/backward loops
+        // walk *columns* of the row-major storage (strided); sweeping with
+        // the finished component instead touches each row slice
+        // contiguously and skips zero multipliers.
+        let mut w = c.to_vec();
+        // Uᵀ w' = c (Uᵀ is lower-triangular): once w[j] is final, subtract
+        // its contribution U[j][i]·w[j] from every later component.
+        for j in 0..n {
+            let row = self.lu.row(j);
+            let wj = w[j] / row[j];
+            w[j] = wj;
+            if wj != 0.0 {
+                for (wi, u) in w[j + 1..].iter_mut().zip(&row[j + 1..]) {
+                    *wi -= u * wj;
+                }
+            }
+        }
+        // Lᵀ z = w (Lᵀ is unit upper-triangular): sweep from the end.
+        for j in (0..n).rev() {
+            let zj = w[j];
+            if zj != 0.0 {
+                let row = self.lu.row(j);
+                for (zi, l) in w[..j].iter_mut().zip(&row[..j]) {
+                    *zi -= l * zj;
+                }
+            }
+        }
+        // x = Pᵀ w.
+        for (i, wi) in w.iter().enumerate() {
+            out[self.perm[i]] = *wi;
+        }
+    }
+
+    /// Solves `Aᵀ x = c` (allocating convenience wrapper over
+    /// [`solve_transposed_into`](Self::solve_transposed_into)).
+    ///
+    /// # Errors
+    ///
+    /// Never fails after a successful factorization (see [`Self::solve`]).
+    pub fn solve_transposed(&self, c: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+        let mut out = vec![0.0; self.lu.rows()];
+        self.solve_transposed_into(c, &mut out);
+        Ok(out)
     }
 
     /// Computes the matrix inverse.
@@ -226,6 +344,46 @@ mod tests {
     fn singular_matrix_detected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         assert_eq!(LuDecomposition::new(&a).unwrap_err(), SingularMatrixError);
+    }
+
+    #[test]
+    fn transpose_solve_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        let c = [1.0, -2.0, 0.5];
+        let x = lu.solve_transposed(&c).unwrap();
+        // Check Aᵀ x = c directly.
+        for j in 0..3 {
+            let acc: f64 = (0..3).map(|i| a[(i, j)] * x[i]).sum();
+            assert!((acc - c[j]).abs() < 1e-10, "col {j}: {acc} vs {}", c[j]);
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_solves() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let mut lu = LuDecomposition::new(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        lu.refactor(&b).unwrap();
+        let x = lu.solve(&[5.0, 11.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+        // Refactoring onto a singular matrix fails but stays reusable.
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(lu.refactor(&s).is_err());
+        lu.refactor(&a).unwrap();
+        let x = lu.solve(&[10.0, 12.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = lu.solve(&b).unwrap();
+        let mut y = vec![0.0; 3];
+        lu.solve_into(&b, &mut y);
+        assert_eq!(x, y);
     }
 
     #[test]

@@ -6,9 +6,15 @@
 //! solver for the model-based skipping policy (paper Eq. (6)). No solver
 //! crates are available offline, so this crate implements both from scratch:
 //!
-//! * [`LinearProgram`] — a dense, two-phase primal simplex with Bland's rule
-//!   as an anti-cycling fallback. Variables are **free by default** (the
-//!   geometry code works with unconstrained coordinates); bounds and
+//! * [`LinearProgram`] — a multi-backend simplex. The default engine is a
+//!   dense, two-phase primal tableau with Bland's rule as an anti-cycling
+//!   fallback (the bit-stable reference every committed baseline is
+//!   recorded against); a **revised** simplex (LU-factorized basis +
+//!   product-form eta file, primal and dual iterations) serves
+//!   warm-started resolve sequences via [`LinearProgram::solve_warm`] —
+//!   see [`Backend`] for the selection rules and the `OIC_LP_BACKEND`
+//!   process override. Variables are **free by default** (the geometry
+//!   code works with unconstrained coordinates); bounds and
 //!   equality/inequality constraints are added explicitly.
 //! * [`MixedIntegerProgram`] — best-first branch-and-bound over binary
 //!   variables with LP relaxations.
@@ -33,10 +39,11 @@
 
 mod mip;
 mod problem;
+mod revised;
 mod simplex;
 
 pub use mip::{MipSolution, MixedIntegerProgram};
-pub use problem::{LinearProgram, LpSolution, Relation};
+pub use problem::{forced_backend, Backend, LinearProgram, LpSolution, Relation, WarmStart};
 
 use std::error::Error;
 use std::fmt;

@@ -1,6 +1,9 @@
-//! User-facing linear-program builder.
+//! User-facing linear-program builder with pluggable solve backends.
 
-use crate::simplex::{solve_standard, StandardForm};
+use std::sync::OnceLock;
+
+use crate::revised::{solve_revised, solve_revised_warm, WarmCarry, WarmOutcome};
+use crate::simplex::{solve_standard, StandardForm, StandardSolution};
 use crate::LpError;
 
 /// Direction of a linear constraint.
@@ -14,11 +17,236 @@ pub enum Relation {
     Ge,
 }
 
+/// Which simplex engine executes a solve.
+///
+/// | Backend | Cold [`solve`](LinearProgram::solve) | Warm [`solve_warm`](LinearProgram::solve_warm) |
+/// |---|---|---|
+/// | `Auto` (default) | dense tableau (bit-stable reference) | revised from the carried basis once the problem is tall enough (≥ 8 rows), tableau otherwise |
+/// | `Tableau` | dense tableau | dense tableau every time (warm state ignored) |
+/// | `Revised` | revised two-phase | revised from the carried basis |
+///
+/// The `OIC_LP_BACKEND` environment variable (`tableau` or `revised`,
+/// read once per process) overrides every program's configured backend —
+/// CI uses it to run the whole suite under each engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Per-shape selection: the dense tableau for one-shot solves (its
+    /// pivot sequence is the deterministic reference all baselines are
+    /// recorded against), the revised engine for warm-started sequences on
+    /// MPC-shaped (tall) problems.
+    #[default]
+    Auto,
+    /// Force the dense two-phase tableau everywhere.
+    Tableau,
+    /// Force the revised (factorized-basis) engine everywhere.
+    Revised,
+}
+
+/// Minimum row count for `Backend::Auto` to route a warm solve to the
+/// revised engine; below this the tableau's cache behavior wins.
+const AUTO_WARM_MIN_ROWS: usize = 8;
+
+/// The process-wide backend override from `OIC_LP_BACKEND`, if any.
+///
+/// Parsed once (first call) and cached: `"tableau"` and `"revised"` force
+/// the respective engine for every [`LinearProgram`] in the process; any
+/// other value (or an unset variable) leaves per-program selection alone.
+pub fn forced_backend() -> Option<Backend> {
+    static FORCED: OnceLock<Option<Backend>> = OnceLock::new();
+    *FORCED.get_or_init(|| match std::env::var("OIC_LP_BACKEND").ok().as_deref() {
+        Some("tableau") => Some(Backend::Tableau),
+        Some("revised") => Some(Backend::Revised),
+        _ => None,
+    })
+}
+
+/// Basis state carried between [`LinearProgram::solve_warm`] calls.
+///
+/// A warm start is only reused when the problem shape (row and column
+/// counts of the internal standard form) matches the shape it was recorded
+/// for; anything else falls back to a cold solve transparently. The
+/// counters expose how often the fast path actually ran.
+///
+/// # Examples
+///
+/// ```
+/// use oic_lp::{Backend, LinearProgram, WarmStart};
+///
+/// # fn main() -> Result<(), oic_lp::LpError> {
+/// let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
+/// lp.set_backend(Backend::Revised);
+/// for i in 0..10 {
+///     lp.add_le(&[1.0, (i % 3) as f64 + 1.0], 4.0 + i as f64);
+/// }
+/// lp.set_lower_bound(0, 0.0);
+/// lp.set_lower_bound(1, 0.0);
+/// let mut warm = WarmStart::new();
+/// let cold = lp.solve_warm(&mut warm)?; // cold: records the basis
+/// let again = lp.solve_warm(&mut warm)?; // warm: zero-pivot resolve
+/// assert!((cold.objective() - again.objective()).abs() < 1e-9);
+/// if oic_lp::forced_backend() != Some(Backend::Tableau) {
+///     assert!(warm.warm_hits() >= 1);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// The shape-stable standard form, compiled once per constraint-matrix
+    /// fingerprint (rebuilding it per solve would cost as much as a cold
+    /// tableau setup).
+    compiled: Option<CompiledForm>,
+    /// The carried basis and its live factorization.
+    carry: WarmCarry,
+    solves: u64,
+    warm_hits: u64,
+    fallbacks: u64,
+    pivots: u64,
+    last_fallback_reason: Option<&'static str>,
+}
+
+impl WarmStart {
+    /// An empty warm start (the first solve through it runs cold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the carried basis and compiled form; the next solve runs
+    /// cold. Structural mutations (constraints, bounds) are detected
+    /// automatically via the program's revision counter, so this is only
+    /// needed to force a cold re-solve explicitly.
+    pub fn invalidate(&mut self) {
+        self.compiled = None;
+        self.carry.clear();
+    }
+
+    /// Whether a basis is currently carried.
+    pub fn has_basis(&self) -> bool {
+        !self.carry.is_empty()
+    }
+
+    /// Total solves routed through this warm start.
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Solves that reused the carried basis.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits
+    }
+
+    /// Warm attempts that had to fall back to a cold solve (stale or
+    /// unusable basis).
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Total simplex pivots across all solves routed through this warm
+    /// start (cold and warm) — the number a warm sequence is minimizing.
+    pub fn pivots(&self) -> u64 {
+        self.pivots
+    }
+
+    /// Why the most recent fallback happened (`"singular-basis"` or
+    /// `"not-restorable"`), if any occurred.
+    pub fn last_fallback_reason(&self) -> Option<&'static str> {
+        self.last_fallback_reason
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Constraint {
     coeffs: Vec<f64>,
     relation: Relation,
     rhs: f64,
+}
+
+/// How each user variable maps to non-negative standard variables.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x_i = l + y_j`
+    Shifted(usize, f64),
+    /// `x_i = u − y_j`
+    Mirrored(usize, f64),
+    /// `x_i = y_jp − y_jm`
+    Split(usize, usize),
+}
+
+/// A standardized problem plus everything needed to map solutions back.
+struct Standardized {
+    sf: StandardForm,
+    hints: Vec<Option<usize>>,
+    var_map: Vec<VarMap>,
+    obj_constant: f64,
+    /// Structural + slack column count (basis indices below this are
+    /// warm-start reusable).
+    total: usize,
+}
+
+/// The shape-stable (unflipped) standard form compiled once per
+/// constraint-matrix fingerprint and cached inside a [`WarmStart`]: across
+/// an RHS/objective-perturbed resolve sequence only the `b` and `c`
+/// vectors are reassembled per solve — the row matrix is shared.
+#[derive(Debug, Clone)]
+struct CompiledForm {
+    /// The structure revision of the program this form was compiled from;
+    /// cost and RHS mutations deliberately do not advance it (they may
+    /// change freely between warm solves).
+    revision: u64,
+    rows: Vec<Vec<f64>>,
+    var_map: Vec<VarMap>,
+    total: usize,
+    /// Per user constraint: row orientation (−1 for `Ge` rows).
+    sign: Vec<f64>,
+    /// Per user constraint: substitution constant subtracted from the RHS.
+    constant: Vec<f64>,
+    /// RHS of the appended two-sided-bound range rows (fixed per shape).
+    range_rhs: Vec<f64>,
+}
+
+impl CompiledForm {
+    /// Assembles the standard-form RHS for the current (possibly
+    /// overridden) user RHS values — the only per-solve work besides the
+    /// cost vector.
+    fn rhs_vector(&self, lp: &LinearProgram, rhs_override: Option<&[f64]>) -> Vec<f64> {
+        let mut b = Vec::with_capacity(self.rows.len());
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let user = rhs_override.map_or(c.rhs, |r| r[i]);
+            let mut rhs = user - self.constant[i];
+            if self.sign[i] < 0.0 {
+                rhs = -rhs;
+            }
+            b.push(rhs);
+        }
+        b.extend_from_slice(&self.range_rhs);
+        b
+    }
+
+    /// Substitutes the current costs into standard variables.
+    fn cost_vector(&self, lp: &LinearProgram) -> (Vec<f64>, f64) {
+        let mut c = vec![0.0; self.total];
+        let mut constant = 0.0;
+        for (i, &ci) in lp.costs.iter().enumerate() {
+            if ci == 0.0 {
+                continue;
+            }
+            match self.var_map[i] {
+                VarMap::Shifted(j, l) => {
+                    c[j] += ci;
+                    constant += ci * l;
+                }
+                VarMap::Mirrored(j, u) => {
+                    c[j] -= ci;
+                    constant += ci * u;
+                }
+                VarMap::Split(jp, jm) => {
+                    c[jp] += ci;
+                    c[jm] -= ci;
+                }
+            }
+        }
+        (c, constant)
+    }
 }
 
 /// A linear program over real variables.
@@ -27,7 +255,9 @@ struct Constraint {
 /// [`set_lower_bound`](Self::set_lower_bound) /
 /// [`set_upper_bound`](Self::set_upper_bound) to bound them. The builder is
 /// non-consuming: configure, then call [`solve`](Self::solve) as many times
-/// as needed (e.g. after adding constraints).
+/// as needed (e.g. after adding constraints). Repeated solves that differ
+/// only in right-hand sides or objective should go through
+/// [`solve_warm`](Self::solve_warm) with a carried [`WarmStart`].
 ///
 /// # Examples
 ///
@@ -52,6 +282,19 @@ pub struct LinearProgram {
     constraints: Vec<Constraint>,
     lower: Vec<Option<f64>>,
     upper: Vec<Option<f64>>,
+    backend: Backend,
+    /// Process-unique structure revision: advanced by every mutation that
+    /// changes the constraint matrix or bound structure (not by RHS or
+    /// cost updates). Guards the compiled form cached in a [`WarmStart`].
+    structure_rev: u64,
+}
+
+/// Draws a process-unique structure revision (uniqueness across program
+/// instances is what makes the O(1) compiled-form guard sound).
+fn next_revision() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Solution of a [`LinearProgram`].
@@ -92,6 +335,8 @@ impl LinearProgram {
             constraints: Vec::new(),
             lower: vec![None; costs.len()],
             upper: vec![None; costs.len()],
+            backend: Backend::Auto,
+            structure_rev: next_revision(),
         }
     }
 
@@ -121,6 +366,24 @@ impl LinearProgram {
         self.constraints.len()
     }
 
+    /// Selects the solve backend (default [`Backend::Auto`]).
+    ///
+    /// The `OIC_LP_BACKEND` environment variable overrides this setting
+    /// process-wide; see [`forced_backend`].
+    pub fn set_backend(&mut self, backend: Backend) -> &mut Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured backend (before any environment override).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    fn effective_backend(&self) -> Backend {
+        forced_backend().unwrap_or(self.backend)
+    }
+
     /// Adds a general constraint `coeffs · x REL rhs`.
     ///
     /// # Panics
@@ -141,6 +404,7 @@ impl LinearProgram {
             relation,
             rhs,
         });
+        self.structure_rev = next_revision();
         self
     }
 
@@ -159,6 +423,42 @@ impl LinearProgram {
         self.add_constraint(coeffs, Relation::Eq, rhs)
     }
 
+    /// Replaces the right-hand side of constraint `i` (in insertion order).
+    ///
+    /// Together with [`solve_warm`](Self::solve_warm) this is the cheap
+    /// path for RHS-perturbed resolve sequences: the constraint matrix is
+    /// left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `rhs` is not finite.
+    pub fn set_rhs(&mut self, i: usize, rhs: f64) -> &mut Self {
+        assert!(i < self.constraints.len(), "constraint index out of range");
+        assert!(rhs.is_finite(), "rhs must be finite");
+        self.constraints[i].rhs = rhs;
+        self
+    }
+
+    /// Replaces the objective coefficients, keeping the orientation the
+    /// program was built with (`costs` is interpreted exactly like the
+    /// constructor argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the variable count or any entry is
+    /// non-finite.
+    pub fn set_objective(&mut self, costs: &[f64]) -> &mut Self {
+        assert_eq!(costs.len(), self.num_vars(), "objective length mismatch");
+        assert!(
+            costs.iter().all(|v| v.is_finite()),
+            "objective entries must be finite"
+        );
+        for (slot, &c) in self.costs.iter_mut().zip(costs) {
+            *slot = if self.maximize { -c } else { c };
+        }
+        self
+    }
+
     /// Sets a lower bound `x[i] ≥ bound`.
     ///
     /// # Panics
@@ -168,6 +468,7 @@ impl LinearProgram {
         assert!(i < self.num_vars(), "variable index out of range");
         assert!(bound.is_finite(), "bound must be finite");
         self.lower[i] = Some(bound);
+        self.structure_rev = next_revision();
         self
     }
 
@@ -180,6 +481,7 @@ impl LinearProgram {
         assert!(i < self.num_vars(), "variable index out of range");
         assert!(bound.is_finite(), "bound must be finite");
         self.upper[i] = Some(bound);
+        self.structure_rev = next_revision();
         self
     }
 
@@ -194,29 +496,32 @@ impl LinearProgram {
         self.set_upper_bound(i, hi)
     }
 
-    /// Solves the program.
+    /// Converts to standard form `min cᵀy, Ay = b, y ≥ 0`.
     ///
-    /// # Errors
+    /// With `flip = true` rows with negative RHS are negated so `b ≥ 0`
+    /// (the two-phase entry contract; flipped `≤`-rows lose their slack
+    /// basis hint). With `flip = false` the RHS keeps its sign and every
+    /// `≤`-row keeps a `+1` slack — the *shape-stable* form whose column
+    /// space does not depend on the RHS values, which is what makes a basis
+    /// reusable across a warm-started resolve sequence.
     ///
-    /// * [`LpError::Infeasible`] — the constraints admit no solution.
-    /// * [`LpError::Unbounded`] — the objective is unbounded.
-    /// * [`LpError::IterationLimit`] — the pivot limit was reached, which
-    ///   indicates severe degeneracy or ill-conditioning.
-    pub fn solve(&self) -> Result<LpSolution, LpError> {
+    /// `rhs_override`, when given, replaces the stored constraint RHS
+    /// values (one per constraint, bounds excluded).
+    fn standardize(
+        &self,
+        rhs_override: Option<&[f64]>,
+        flip: bool,
+    ) -> Result<Standardized, LpError> {
         let n = self.num_vars();
-
-        // --- Variable substitution to non-negative standard variables. ---
-        // Each original variable maps to one of:
-        //   Shifted(j, l):      x_i = l + y_j
-        //   Mirrored(j, u):     x_i = u - y_j
-        //   Split(jp, jm):      x_i = y_jp - y_jm
-        #[derive(Clone, Copy)]
-        enum VarMap {
-            Shifted(usize, f64),
-            Mirrored(usize, f64),
-            Split(usize, usize),
+        if let Some(rhs) = rhs_override {
+            assert_eq!(
+                rhs.len(),
+                self.constraints.len(),
+                "rhs override length mismatch"
+            );
         }
 
+        // --- Variable substitution to non-negative standard variables. ---
         let mut var_map = Vec::with_capacity(n);
         let mut n_std = 0usize;
         // Extra rows for two-sided bounds: (std_index, range).
@@ -276,9 +581,10 @@ impl LinearProgram {
         // --- Build standard-form rows. ---
         // Working list of (row over std vars, relation in {Le, Eq}, rhs).
         let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
-        for c in &self.constraints {
+        for (ci, c) in self.constraints.iter().enumerate() {
             let (mut row, constant) = substitute(&c.coeffs);
-            let mut rhs = c.rhs - constant;
+            let user_rhs = rhs_override.map_or(c.rhs, |r| r[ci]);
+            let mut rhs = user_rhs - constant;
             let mut rel = c.relation;
             if rel == Relation::Ge {
                 for v in &mut row {
@@ -310,7 +616,7 @@ impl LinearProgram {
             row.resize(total, 0.0);
             match rel {
                 Relation::Le => {
-                    let neg = rhs < 0.0;
+                    let neg = flip && rhs < 0.0;
                     if neg {
                         for v in &mut row {
                             *v = -*v;
@@ -325,7 +631,7 @@ impl LinearProgram {
                     slack_col += 1;
                 }
                 Relation::Eq => {
-                    if rhs < 0.0 {
+                    if flip && rhs < 0.0 {
                         for v in &mut row {
                             *v = -*v;
                         }
@@ -343,10 +649,22 @@ impl LinearProgram {
         let (mut c_std, obj_constant) = substitute(&self.costs);
         c_std.resize(total, 0.0);
 
-        let sol = solve_standard(&StandardForm { a, b, c: c_std }, &hints)?;
+        Ok(Standardized {
+            sf: StandardForm { a, b, c: c_std },
+            hints,
+            var_map,
+            obj_constant,
+            total,
+        })
+    }
 
-        // --- Map the solution back. ---
-        let mut x = vec![0.0; n];
+    /// Maps a standard-form solution back to user variables.
+    fn map_solution(&self, std: &Standardized, sol: &StandardSolution) -> LpSolution {
+        self.finish(&std.var_map, std.obj_constant, sol)
+    }
+
+    fn finish(&self, var_map: &[VarMap], obj_constant: f64, sol: &StandardSolution) -> LpSolution {
+        let mut x = vec![0.0; self.num_vars()];
         for (i, vm) in var_map.iter().enumerate() {
             x[i] = match *vm {
                 VarMap::Shifted(j, l) => l + sol.x[j],
@@ -358,7 +676,210 @@ impl LinearProgram {
         if self.maximize {
             objective = -objective;
         }
-        Ok(LpSolution { x, objective })
+        LpSolution { x, objective }
+    }
+
+    /// Compiles the shape-stable standard form (see [`CompiledForm`]).
+    fn compile(&self, revision: u64) -> Result<CompiledForm, LpError> {
+        let std = self.standardize(None, false)?;
+        let nc = self.constraints.len();
+        let mut sign = Vec::with_capacity(nc);
+        let mut constant = Vec::with_capacity(nc);
+        for c in &self.constraints {
+            sign.push(if c.relation == Relation::Ge {
+                -1.0
+            } else {
+                1.0
+            });
+            // Same accumulation order as `standardize`'s substitution so
+            // the reassembled RHS is bit-identical to a fresh build.
+            let mut k = 0.0;
+            for (i, &ci) in c.coeffs.iter().enumerate() {
+                if ci == 0.0 {
+                    continue;
+                }
+                match std.var_map[i] {
+                    VarMap::Shifted(_, l) => k += ci * l,
+                    VarMap::Mirrored(_, u) => k += ci * u,
+                    VarMap::Split(..) => {}
+                }
+            }
+            constant.push(k);
+        }
+        let range_rhs = std.sf.b[nc..].to_vec();
+        Ok(CompiledForm {
+            revision,
+            rows: std.sf.a,
+            var_map: std.var_map,
+            total: std.total,
+            sign,
+            constant,
+            range_rhs,
+        })
+    }
+
+    /// Cold solve on the flipped (two-phase) standard form under the
+    /// effective backend.
+    fn solve_cold(
+        &self,
+        rhs_override: Option<&[f64]>,
+    ) -> Result<(Standardized, StandardSolution), LpError> {
+        let std = self.standardize(rhs_override, true)?;
+        let sol = match self.effective_backend() {
+            Backend::Revised => solve_revised(&std.sf, &std.hints)?,
+            Backend::Tableau | Backend::Auto => solve_standard(&std.sf, &std.hints)?,
+        };
+        Ok((std, sol))
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] — the constraints admit no solution.
+    /// * [`LpError::Unbounded`] — the objective is unbounded.
+    /// * [`LpError::IterationLimit`] — the pivot limit was reached, which
+    ///   indicates severe degeneracy or ill-conditioning.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        let (std, sol) = self.solve_cold(None)?;
+        Ok(self.map_solution(&std, &sol))
+    }
+
+    /// Solves with the stored constraint right-hand sides replaced by
+    /// `rhs` (one entry per constraint, bounds excluded) — the program
+    /// itself is not mutated, so a shared template can serve many solves.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Self::solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != self.num_constraints()` or any entry is
+    /// non-finite.
+    pub fn solve_with_rhs(&self, rhs: &[f64]) -> Result<LpSolution, LpError> {
+        assert_eq!(
+            rhs.len(),
+            self.num_constraints(),
+            "rhs override length mismatch"
+        );
+        assert!(
+            rhs.iter().all(|v| v.is_finite()),
+            "rhs entries must be finite"
+        );
+        let (std, sol) = self.solve_cold(Some(rhs))?;
+        Ok(self.map_solution(&std, &sol))
+    }
+
+    /// Solves the program, carrying the optimal basis in `warm` so the
+    /// *next* solve through the same `WarmStart` can skip phase 1 and most
+    /// pivots. See [`Backend`] for when the revised engine is used.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Self::solve).
+    pub fn solve_warm(&self, warm: &mut WarmStart) -> Result<LpSolution, LpError> {
+        self.solve_warm_impl(None, warm)
+    }
+
+    /// [`solve_with_rhs`](Self::solve_with_rhs) with warm-start carry —
+    /// the fast path for RHS-perturbed resolve sequences (templated MPC).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Self::solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != self.num_constraints()` or any entry is
+    /// non-finite.
+    pub fn solve_warm_with_rhs(
+        &self,
+        rhs: &[f64],
+        warm: &mut WarmStart,
+    ) -> Result<LpSolution, LpError> {
+        assert_eq!(
+            rhs.len(),
+            self.num_constraints(),
+            "rhs override length mismatch"
+        );
+        assert!(
+            rhs.iter().all(|v| v.is_finite()),
+            "rhs entries must be finite"
+        );
+        self.solve_warm_impl(Some(rhs), warm)
+    }
+
+    fn solve_warm_impl(
+        &self,
+        rhs_override: Option<&[f64]>,
+        warm: &mut WarmStart,
+    ) -> Result<LpSolution, LpError> {
+        warm.solves += 1;
+        let both_bounded = self
+            .lower
+            .iter()
+            .zip(&self.upper)
+            .filter(|(l, u)| l.is_some() && u.is_some())
+            .count();
+        let m = self.constraints.len() + both_bounded;
+        let use_revised = match self.effective_backend() {
+            Backend::Tableau => false,
+            Backend::Revised => true,
+            Backend::Auto => m >= AUTO_WARM_MIN_ROWS,
+        };
+
+        if use_revised {
+            // Keep the compiled shape-stable form current (the revision
+            // counter detects structural mutation and instance changes;
+            // RHS/cost updates don't recompile).
+            let rev = self.structure_rev;
+            if warm.compiled.as_ref().is_none_or(|c| c.revision != rev) {
+                warm.compiled = Some(self.compile(rev)?);
+                warm.carry.clear();
+            }
+            let WarmStart {
+                compiled,
+                carry,
+                warm_hits,
+                fallbacks,
+                pivots,
+                last_fallback_reason,
+                ..
+            } = warm;
+            let compiled = compiled.as_ref().expect("compiled above");
+            if !carry.is_empty() && carry.basis.len() == compiled.rows.len() {
+                let b = compiled.rhs_vector(self, rhs_override);
+                let (c_std, obj_constant) = compiled.cost_vector(self);
+                match solve_revised_warm(&compiled.rows, &b, &c_std, carry) {
+                    WarmOutcome::Solved(sol) => {
+                        *warm_hits += 1;
+                        *pivots += sol.iters as u64;
+                        return Ok(self.finish(&compiled.var_map, obj_constant, &sol));
+                    }
+                    WarmOutcome::Lp(e) => return Err(e),
+                    WarmOutcome::Fallback(failure) => {
+                        *fallbacks += 1;
+                        *last_fallback_reason = Some(failure.reason());
+                        carry.clear();
+                    }
+                }
+            }
+        }
+
+        // Cold path; seed the warm start for the next call when the final
+        // basis is artificial-free (a basis containing a zero-level
+        // artificial would not transfer to the unflipped column space).
+        let (std, sol) = self.solve_cold(rhs_override)?;
+        warm.pivots += sol.iters as u64;
+        if use_revised {
+            if let Some(basis) = sol.structural_basis(std.total) {
+                warm.carry.set_basis(basis);
+            } else {
+                warm.carry.clear();
+            }
+        }
+        Ok(self.map_solution(&std, &sol))
     }
 }
 
@@ -491,5 +1012,111 @@ mod tests {
         assert!((lp.solve().unwrap().objective() - 10.0).abs() < 1e-9);
         lp.add_le(&[1.0], 4.0);
         assert!((lp.solve().unwrap().objective() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn revised_backend_matches_tableau_on_builder_problems() {
+        let build = |backend: Backend| {
+            let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+            lp.set_backend(backend);
+            lp.add_le(&[1.0, 0.0], 4.0);
+            lp.add_le(&[0.0, 2.0], 12.0);
+            lp.add_le(&[3.0, 2.0], 18.0);
+            lp.set_lower_bound(0, 0.0);
+            lp.set_lower_bound(1, 0.0);
+            lp.solve().unwrap()
+        };
+        let t = build(Backend::Tableau);
+        let r = build(Backend::Revised);
+        assert!((t.objective() - r.objective()).abs() < 1e-9);
+        for (a, b) in t.x().iter().zip(r.x()) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn solve_with_rhs_leaves_program_untouched() {
+        let mut lp = LinearProgram::maximize(&[1.0]);
+        lp.set_lower_bound(0, 0.0);
+        lp.add_le(&[1.0], 10.0);
+        let tight = lp.solve_with_rhs(&[4.0]).unwrap();
+        assert!((tight.objective() - 4.0).abs() < 1e-9);
+        let original = lp.solve().unwrap();
+        assert!((original.objective() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_sequence_matches_cold_solves() {
+        let mut lp = LinearProgram::maximize(&[2.0, 1.0]);
+        lp.set_backend(Backend::Revised);
+        lp.add_le(&[1.0, 1.0], 10.0);
+        lp.add_le(&[1.0, -1.0], 4.0);
+        lp.add_le(&[0.5, 2.0], 9.0);
+        lp.set_lower_bound(0, 0.0);
+        lp.set_lower_bound(1, 0.0);
+        let mut warm = WarmStart::new();
+        for shift in [0.0, 1.0, -0.5, 2.0, -1.5] {
+            let rhs = [10.0 + shift, 4.0 - shift * 0.5, 9.0 + shift];
+            let warm_sol = lp.solve_warm_with_rhs(&rhs, &mut warm).unwrap();
+            let cold_sol = lp.solve_with_rhs(&rhs).unwrap();
+            assert!(
+                (warm_sol.objective() - cold_sol.objective()).abs() < 1e-7,
+                "shift {shift}: warm {} vs cold {}",
+                warm_sol.objective(),
+                cold_sol.objective()
+            );
+        }
+        assert_eq!(warm.solves(), 5);
+        if forced_backend() != Some(Backend::Tableau) {
+            assert!(warm.warm_hits() >= 3, "warm hits: {}", warm.warm_hits());
+        }
+    }
+
+    #[test]
+    fn warm_start_survives_objective_change() {
+        let mut lp = LinearProgram::maximize(&[1.0, 0.0]);
+        lp.set_backend(Backend::Revised);
+        lp.add_le(&[1.0, 1.0], 4.0);
+        lp.add_le(&[1.0, -1.0], 2.0);
+        lp.set_lower_bound(0, 0.0);
+        lp.set_lower_bound(1, 0.0);
+        let mut warm = WarmStart::new();
+        let first = lp.solve_warm(&mut warm).unwrap();
+        assert!((first.objective() - 3.0).abs() < 1e-9);
+        lp.set_objective(&[0.0, 1.0]);
+        let second = lp.solve_warm(&mut warm).unwrap();
+        assert!((second.objective() - 4.0).abs() < 1e-9);
+        if forced_backend() != Some(Backend::Tableau) {
+            assert!(warm.warm_hits() >= 1);
+        }
+    }
+
+    #[test]
+    fn tableau_backend_ignores_warm_state_but_still_solves() {
+        let mut lp = LinearProgram::maximize(&[1.0]);
+        lp.set_backend(Backend::Tableau);
+        lp.set_bounds(0, 0.0, 3.0);
+        let mut warm = WarmStart::new();
+        let sol = lp.solve_warm(&mut warm).unwrap();
+        assert!((sol.objective() - 3.0).abs() < 1e-9);
+        // The no-carry assertions only hold when no env override forces
+        // the revised engine over the configured backend.
+        if forced_backend().is_none() {
+            assert_eq!(warm.warm_hits(), 0);
+            assert!(!warm.has_basis());
+        }
+    }
+
+    #[test]
+    fn warm_infeasible_rhs_reports_infeasible() {
+        let mut lp = LinearProgram::minimize(&[0.0]);
+        lp.set_backend(Backend::Revised);
+        lp.add_le(&[1.0], 5.0);
+        lp.add_ge(&[1.0], 1.0);
+        let mut warm = WarmStart::new();
+        assert!(lp.solve_warm(&mut warm).is_ok());
+        // rhs: x ≤ 0 while x ≥ 1 stays → infeasible.
+        let err = lp.solve_warm_with_rhs(&[0.0, 1.0], &mut warm).unwrap_err();
+        assert_eq!(err, LpError::Infeasible);
     }
 }

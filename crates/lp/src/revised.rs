@@ -1,0 +1,953 @@
+//! Revised simplex engine with a factorized basis and warm starts.
+//!
+//! Where the dense tableau (see [`crate::simplex`]) carries the full
+//! `(m+1) × (n+1)` matrix through every pivot, this engine keeps only
+//!
+//! * an LU factorization of the **basis matrix** `B` (via
+//!   [`oic_linalg::LuDecomposition`], re-factorized every
+//!   [`REFACTOR_LIMIT`] pivots through the `refactor` hook), and
+//! * a product-form **eta file**: one column per pivot since the last
+//!   refactorization, applied on top of the LU in FTRAN/BTRAN solves.
+//!
+//! Two iteration modes are provided:
+//!
+//! * **primal** simplex (phase 1 with artificials + phase 2), mirroring the
+//!   tableau engine's contract on `b ≥ 0` standard forms, and
+//! * **dual** simplex, which is what makes RHS-perturbed warm starts cheap:
+//!   an optimal basis stays *dual* feasible when only `b` changes (the
+//!   tube-MPC resolve pattern), so re-optimization is a handful of dual
+//!   pivots instead of a full two-phase solve.
+//!
+//! [`solve_revised_warm`] accepts a basis from a previous solve and picks
+//! the right mode automatically; callers fall back to a cold solve when it
+//! reports [`WarmOutcome::Fallback`].
+
+use oic_linalg::{LuDecomposition, Matrix};
+
+use crate::simplex::{StandardForm, StandardSolution, EPS};
+use crate::LpError;
+
+/// Maximum pivots before declaring numerical trouble (matches the tableau).
+const MAX_ITER: usize = 50_000;
+
+/// Dantzig→Bland switch point (anti-cycling, matches the tableau).
+const BLAND_SWITCH: usize = 5_000;
+
+/// Eta-file length that triggers a basis refactorization.
+const REFACTOR_LIMIT: usize = 40;
+
+/// Primal feasibility tolerance on basic values.
+const FEAS_TOL: f64 = 1e-9;
+
+/// Dual feasibility tolerance on reduced costs.
+const DUAL_TOL: f64 = 1e-7;
+
+/// Why a warm-started solve could not run; the caller must fall back to a
+/// cold solve (the warm path never guesses through numerical trouble).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WarmFailure {
+    /// The supplied basis matrix is singular (stale basis).
+    SingularBasis,
+    /// The basis does not match the problem shape, or is neither primal
+    /// nor dual feasible, so neither iteration mode can start from it.
+    NotRestorable,
+    /// Iteration hit numerical trouble (pivot limit or a mid-solve
+    /// singular refactorization) — a cold solve from scratch may still
+    /// succeed where the carried basis could not.
+    NumericalTrouble,
+}
+
+impl WarmFailure {
+    /// Short diagnostic label surfaced through `WarmStart` telemetry.
+    pub(crate) fn reason(self) -> &'static str {
+        match self {
+            WarmFailure::SingularBasis => "singular-basis",
+            WarmFailure::NotRestorable => "not-restorable",
+            WarmFailure::NumericalTrouble => "numerical-trouble",
+        }
+    }
+}
+
+/// Result of a warm-started solve attempt.
+#[derive(Debug)]
+pub(crate) enum WarmOutcome {
+    /// Solved from the supplied basis.
+    Solved(StandardSolution),
+    /// The problem has a definite non-optimal verdict.
+    Lp(LpError),
+    /// The basis was unusable; run a cold solve instead.
+    Fallback(WarmFailure),
+}
+
+/// One product-form update: basis position `pos` was replaced, and `col`
+/// is the entering column expressed in the *previous* basis frame
+/// (`B_old⁻¹ a_q`).
+#[derive(Debug, Clone)]
+struct Eta {
+    pos: usize,
+    col: Vec<f64>,
+}
+
+/// The factorized basis `B = B₀ · E₁ · … · E_k`.
+#[derive(Debug, Clone)]
+pub(crate) struct BasisFactor {
+    lu: LuDecomposition,
+    etas: Vec<Eta>,
+}
+
+/// Basis state carried across warm solves: the basis column indices plus
+/// (when the previous solve ended cleanly) its live factorization, so the
+/// next solve skips the O(m³) LU rebuild entirely and goes straight to
+/// FTRAN/dual pivots.
+///
+/// Invariant: when `factor` is `Some`, it factorizes exactly the basis in
+/// `basis` for the problem shape the caller's fingerprint guards.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WarmCarry {
+    pub(crate) basis: Vec<usize>,
+    pub(crate) factor: Option<BasisFactor>,
+}
+
+impl WarmCarry {
+    pub(crate) fn clear(&mut self) {
+        self.basis.clear();
+        self.factor = None;
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.basis.is_empty()
+    }
+
+    pub(crate) fn set_basis(&mut self, basis: &[usize]) {
+        self.basis.clear();
+        self.basis.extend_from_slice(basis);
+        self.factor = None;
+    }
+}
+
+impl BasisFactor {
+    /// FTRAN: computes `B⁻¹ v` into `out`.
+    fn ftran(&self, v: &[f64], out: &mut [f64]) {
+        self.lu.solve_into(v, out);
+        for eta in &self.etas {
+            let t = out[eta.pos] / eta.col[eta.pos];
+            for (o, c) in out.iter_mut().zip(&eta.col) {
+                *o -= t * c;
+            }
+            out[eta.pos] = t;
+        }
+    }
+
+    /// BTRAN: computes `B⁻ᵀ c` into `out` (`scratch` must be `m` long).
+    fn btran(&self, c: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        scratch.copy_from_slice(c);
+        for eta in self.etas.iter().rev() {
+            let mut acc = scratch[eta.pos];
+            for (i, (s, col)) in scratch.iter().zip(&eta.col).enumerate() {
+                if i != eta.pos {
+                    acc -= col * s;
+                }
+            }
+            scratch[eta.pos] = acc / eta.col[eta.pos];
+        }
+        self.lu.solve_transposed_into(scratch, out);
+    }
+}
+
+/// Writes column `j` of the working matrix into `out`: structural/slack
+/// columns come from `a`, artificial column `n + k` is the unit vector on
+/// row `art_rows[k]`.
+fn column_into(a: &[Vec<f64>], n: usize, art_rows: &[usize], j: usize, out: &mut [f64]) {
+    if j < n {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = a[i][j];
+        }
+    } else {
+        out.fill(0.0);
+        out[art_rows[j - n]] = 1.0;
+    }
+}
+
+/// Builds the dense `m × m` basis matrix from the basis column indices.
+fn basis_matrix(a: &[Vec<f64>], n: usize, art_rows: &[usize], basis: &[usize], m: usize) -> Matrix {
+    let mut bm = Matrix::zeros(m, m);
+    for (k, &j) in basis.iter().enumerate() {
+        if j < n {
+            for (i, row) in a.iter().enumerate() {
+                bm[(i, k)] = row[j];
+            }
+        } else {
+            bm[(art_rows[j - n], k)] = 1.0;
+        }
+    }
+    bm
+}
+
+/// The revised simplex state over one standard-form problem.
+struct Revised<'a> {
+    a: &'a [Vec<f64>],
+    b: &'a [f64],
+    m: usize,
+    n: usize,
+    /// `art_rows[k]` is the row whose phase-1 artificial is column `n + k`.
+    art_rows: Vec<usize>,
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    factor: BasisFactor,
+    /// Current basic values `x_B = B⁻¹ b` (kept incrementally, refreshed on
+    /// refactorization).
+    x_b: Vec<f64>,
+    /// Reusable buffers (entering direction, pricing vector, column and
+    /// BTRAN scratch, reduced costs / row products) — allocated once per
+    /// solve, not per pivot.
+    dir: Vec<f64>,
+    y: Vec<f64>,
+    col_buf: Vec<f64>,
+    scratch: Vec<f64>,
+    red_costs: Vec<f64>,
+    row_prod: Vec<f64>,
+    iters: usize,
+}
+
+impl<'a> Revised<'a> {
+    /// Creates the state from an initial basis; fails if `B` is singular.
+    ///
+    /// `carried_factor`, when given, must factorize exactly `basis` (the
+    /// warm-carry invariant) — the O(m³) LU build is skipped then.
+    fn new(
+        a: &'a [Vec<f64>],
+        b: &'a [f64],
+        n: usize,
+        basis: Vec<usize>,
+        art_rows: Vec<usize>,
+        carried_factor: Option<BasisFactor>,
+    ) -> Result<Self, WarmFailure> {
+        let m = b.len();
+        debug_assert_eq!(basis.len(), m);
+        let mut in_basis = vec![false; n];
+        for &j in &basis {
+            if j < n {
+                in_basis[j] = true;
+            }
+        }
+        let factor = match carried_factor {
+            Some(f) if f.lu.dim() == m => f,
+            _ => {
+                let bm = basis_matrix(a, n, &art_rows, &basis, m);
+                BasisFactor {
+                    lu: LuDecomposition::new(&bm).map_err(|_| WarmFailure::SingularBasis)?,
+                    etas: Vec::new(),
+                }
+            }
+        };
+        let mut state = Self {
+            a,
+            b,
+            m,
+            n,
+            art_rows,
+            basis,
+            in_basis,
+            factor,
+            x_b: vec![0.0; m],
+            dir: vec![0.0; m],
+            y: vec![0.0; m],
+            col_buf: vec![0.0; m],
+            scratch: vec![0.0; m],
+            red_costs: vec![0.0; n],
+            row_prod: vec![0.0; n],
+            iters: 0,
+        };
+        state.factor.ftran(state.b, &mut state.x_b);
+        Ok(state)
+    }
+
+    /// Re-factorizes the basis and refreshes `x_B` from scratch.
+    fn refactorize(&mut self) -> Result<(), WarmFailure> {
+        let bm = basis_matrix(self.a, self.n, &self.art_rows, &self.basis, self.m);
+        self.factor.etas.clear();
+        self.factor
+            .lu
+            .refactor(&bm)
+            .map_err(|_| WarmFailure::SingularBasis)?;
+        self.factor.ftran(self.b, &mut self.x_b);
+        Ok(())
+    }
+
+    /// Applies the pivot `(row r, entering column q)`; `self.dir` must hold
+    /// `B⁻¹ a_q`. Updates basic values, bookkeeping, and the eta file
+    /// (refactorizing when the file grows long).
+    fn pivot(&mut self, r: usize, q: usize) -> Result<(), WarmFailure> {
+        let t = self.x_b[r] / self.dir[r];
+        for (xb, d) in self.x_b.iter_mut().zip(&self.dir) {
+            *xb -= t * d;
+        }
+        self.x_b[r] = t;
+        let leaving = self.basis[r];
+        if leaving < self.n {
+            self.in_basis[leaving] = false;
+        }
+        self.basis[r] = q;
+        if q < self.n {
+            self.in_basis[q] = true;
+        }
+        self.factor.etas.push(Eta {
+            pos: r,
+            col: self.dir.clone(),
+        });
+        self.iters += 1;
+        if self.factor.etas.len() >= REFACTOR_LIMIT {
+            self.refactorize()?;
+        }
+        Ok(())
+    }
+
+    /// Computes the pricing vector `y = B⁻ᵀ c_B` (artificials cost
+    /// `art_cost`, structural column `j` costs `costs[j]`).
+    fn price(&mut self, costs: &[f64], art_cost: f64) {
+        for (k, &j) in self.basis.iter().enumerate() {
+            self.col_buf[k] = if j < self.n { costs[j] } else { art_cost };
+        }
+        let Self {
+            factor,
+            col_buf,
+            y,
+            scratch,
+            ..
+        } = self;
+        factor.btran(col_buf, y, scratch);
+    }
+
+    /// Fills `self.red_costs` with all structural reduced costs
+    /// `d = c − Aᵀy` in one row-major pass (contiguous accesses — the
+    /// per-column strided variant dominated the pricing cost).
+    fn reduced_costs_all(&mut self, costs: &[f64]) {
+        self.red_costs.copy_from_slice(costs);
+        for (yi, row) in self.y.iter().zip(self.a) {
+            if *yi == 0.0 {
+                continue;
+            }
+            for (d, aij) in self.red_costs.iter_mut().zip(row) {
+                *d -= yi * aij;
+            }
+        }
+    }
+
+    /// FTRANs structural/artificial column `q` into `self.dir`.
+    fn ftran_column(&mut self, q: usize) {
+        column_into(self.a, self.n, &self.art_rows, q, &mut self.col_buf);
+        let Self {
+            factor,
+            col_buf,
+            dir,
+            ..
+        } = self;
+        factor.ftran(col_buf, dir);
+    }
+
+    /// Primal simplex loop on the given costs over structural columns.
+    ///
+    /// Artificial columns never *enter* (they only ever start basic and are
+    /// dropped once they leave — the classical phase-1 restriction), so the
+    /// candidate set is always `0..n`.
+    fn primal(&mut self, costs: &[f64], art_cost: f64) -> Result<(), LpError> {
+        loop {
+            if self.iters >= MAX_ITER {
+                return Err(LpError::IterationLimit);
+            }
+            let bland = self.iters >= BLAND_SWITCH;
+            self.price(costs, art_cost);
+            self.reduced_costs_all(costs);
+            // Entering column: Dantzig (most negative reduced cost) with
+            // the Bland fallback after BLAND_SWITCH pivots.
+            let mut entering = None;
+            let mut best = -EPS;
+            for j in 0..self.n {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let d = self.red_costs[j];
+                if d < best {
+                    best = d;
+                    entering = Some(j);
+                    if bland {
+                        break;
+                    }
+                }
+            }
+            let Some(q) = entering else {
+                return Ok(());
+            };
+            self.ftran_column(q);
+            // Ratio test (ties → smallest basis index, as in the tableau).
+            let mut leaving: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                let d = self.dir[i];
+                if d > EPS {
+                    let ratio = self.x_b[i].max(0.0) / d;
+                    match leaving {
+                        None => leaving = Some((i, ratio)),
+                        Some((bi, br)) => {
+                            if ratio < br - EPS
+                                || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                            {
+                                leaving = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((r, _)) = leaving else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(r, q).map_err(|_| LpError::IterationLimit)?;
+        }
+    }
+
+    /// Dual simplex loop: assumes the current basis is dual feasible for
+    /// `costs`, **with `self.red_costs` already priced by the caller**,
+    /// and pivots until the basic values are primal feasible.
+    ///
+    /// Reduced costs are maintained incrementally per pivot (`d ← d − θρ`
+    /// with the already-computed row products), so each iteration costs
+    /// one BTRAN (the priced row), one row-product pass, and one FTRAN —
+    /// not a full repricing. The drift this admits only affects pivot
+    /// *selection*; the closing primal pass of the caller re-prices from
+    /// scratch and certifies optimality.
+    fn dual(&mut self, costs: &[f64]) -> Result<(), LpError> {
+        loop {
+            if self.iters >= MAX_ITER {
+                return Err(LpError::IterationLimit);
+            }
+            let bland = self.iters >= BLAND_SWITCH;
+            // Leaving row: most negative basic value (first one in Bland
+            // mode, for termination under degeneracy).
+            let mut leaving = None;
+            let mut worst = -FEAS_TOL;
+            for (i, &v) in self.x_b.iter().enumerate() {
+                if v < worst {
+                    worst = v;
+                    leaving = Some(i);
+                    if bland {
+                        break;
+                    }
+                }
+            }
+            let Some(r) = leaving else {
+                return Ok(());
+            };
+            // Row r of B⁻¹A: ρ_j = (B⁻ᵀ e_r)·A_j, accumulated row-major.
+            self.col_buf.fill(0.0);
+            self.col_buf[r] = 1.0;
+            let Self {
+                a,
+                factor,
+                col_buf,
+                dir,
+                scratch,
+                row_prod,
+                ..
+            } = self;
+            factor.btran(col_buf, dir, scratch); // `dir` holds B⁻ᵀe_r here
+            row_prod.fill(0.0);
+            for (vi, row) in dir.iter().zip(a.iter()) {
+                if *vi == 0.0 {
+                    continue;
+                }
+                for (o, aij) in row_prod.iter_mut().zip(row) {
+                    *o += vi * aij;
+                }
+            }
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..self.n {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let rho = self.row_prod[j];
+                if rho < -EPS {
+                    let d_j = self.red_costs[j].max(0.0);
+                    let ratio = d_j / -rho;
+                    match entering {
+                        None => entering = Some((j, ratio)),
+                        Some((bj, br)) => {
+                            if ratio < br - EPS || (ratio < br + EPS && j < bj) {
+                                entering = Some((j, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((q, _)) = entering else {
+                // Dual unbounded ⇔ primal infeasible.
+                return Err(LpError::Infeasible);
+            };
+            self.ftran_column(q);
+            if self.dir[r].abs() <= EPS {
+                // The priced row and the FTRANed column disagree
+                // numerically; refactorize and re-enter the loop with
+                // fresh basic values and fresh reduced costs.
+                self.refactorize().map_err(|_| LpError::IterationLimit)?;
+                self.price(costs, 0.0);
+                self.reduced_costs_all(costs);
+                self.iters += 1;
+                continue;
+            }
+            // Incremental reduced-cost update with the pre-pivot values:
+            // θ = d_q / ρ_q, then d_j ← d_j − θ ρ_j (q becomes basic: 0).
+            let theta = self.red_costs[q] / self.row_prod[q];
+            self.pivot(r, q).map_err(|_| LpError::IterationLimit)?;
+            if self.factor.etas.is_empty() {
+                // `pivot` refactorized; rebuild the reduced costs exactly.
+                self.price(costs, 0.0);
+                self.reduced_costs_all(costs);
+            } else {
+                for (d, rho) in self.red_costs.iter_mut().zip(&self.row_prod) {
+                    *d -= theta * rho;
+                }
+                self.red_costs[q] = 0.0;
+            }
+        }
+    }
+
+    /// Extracts the standard-form solution.
+    fn solution(&self, costs: &[f64]) -> StandardSolution {
+        let mut x = vec![0.0; self.n];
+        for (k, &j) in self.basis.iter().enumerate() {
+            if j < self.n {
+                x[j] = self.x_b[k];
+            }
+        }
+        let objective: f64 = costs.iter().zip(&x).map(|(c, v)| c * v).sum();
+        StandardSolution {
+            x,
+            objective,
+            iters: self.iters,
+            basis: self.basis.clone(),
+        }
+    }
+}
+
+/// Cold two-phase revised solve, mirroring
+/// [`crate::simplex::solve_standard`]'s contract: `b ≥ 0`, `basis_hint`
+/// marks rows whose slack can seed the basis, artificials cover the rest.
+pub(crate) fn solve_revised(
+    sf: &StandardForm,
+    basis_hint: &[Option<usize>],
+) -> Result<StandardSolution, LpError> {
+    let m = sf.b.len();
+    let n = sf.c.len();
+    debug_assert_eq!(basis_hint.len(), m);
+    debug_assert!(sf.b.iter().all(|&bi| bi >= -EPS));
+    if m == 0 {
+        return trivial_unconstrained(sf);
+    }
+
+    let mut art_rows = Vec::new();
+    let mut basis = vec![0usize; m];
+    for (i, hint) in basis_hint.iter().enumerate() {
+        match hint {
+            Some(h) => basis[i] = *h,
+            None => {
+                basis[i] = n + art_rows.len();
+                art_rows.push(i);
+            }
+        }
+    }
+    let has_artificials = !art_rows.is_empty();
+    let mut state = Revised::new(&sf.a, &sf.b, n, basis, art_rows, None)
+        .map_err(|_| LpError::IterationLimit)?;
+
+    if has_artificials {
+        // ---- Phase 1: minimize the sum of artificials. ----
+        let zero_costs = vec![0.0; n];
+        state.primal(&zero_costs, 1.0)?;
+        let infeasibility: f64 = state
+            .basis
+            .iter()
+            .zip(&state.x_b)
+            .filter(|(&j, _)| j >= n)
+            .map(|(_, &v)| v.max(0.0))
+            .sum();
+        if infeasibility > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive zero-level artificials out wherever a structural pivot
+        // exists; rows without one are redundant and keep their artificial
+        // pinned at zero (no structural column can move it, exactly as in
+        // the tableau engine). One BTRAN per artificial row yields the
+        // whole tableau row `e_rᵀB⁻¹A` at once.
+        for r in 0..state.m {
+            if state.basis[r] < n {
+                continue;
+            }
+            state.col_buf.fill(0.0);
+            state.col_buf[r] = 1.0;
+            {
+                let Revised {
+                    a,
+                    factor,
+                    col_buf,
+                    dir,
+                    scratch,
+                    row_prod,
+                    ..
+                } = &mut state;
+                factor.btran(col_buf, dir, scratch);
+                row_prod.fill(0.0);
+                for (vi, row) in dir.iter().zip(a.iter()) {
+                    if *vi == 0.0 {
+                        continue;
+                    }
+                    for (o, aij) in row_prod.iter_mut().zip(row) {
+                        *o += vi * aij;
+                    }
+                }
+            }
+            let candidate = (0..n).find(|&j| !state.in_basis[j] && state.row_prod[j].abs() > EPS);
+            if let Some(j) = candidate {
+                state.ftran_column(j);
+                if state.dir[r].abs() > EPS {
+                    state.pivot(r, j).map_err(|_| LpError::IterationLimit)?;
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2 on the original costs. ----
+    state.primal(&sf.c, 0.0)?;
+    Ok(state.solution(&sf.c))
+}
+
+/// Warm-started revised solve from a previous basis.
+///
+/// Unlike the cold entry points, `sf.b` may have **any sign** — this is the
+/// "unflipped" standard form, which keeps the column space stable across a
+/// sequence of perturbed solves. The engine restores optimality with:
+///
+/// * **primal** pivots when the basis is still primal feasible (objective
+///   changed, e.g. the batched support-function loop), or
+/// * **dual** pivots when it is still dual feasible (RHS changed, e.g. the
+///   templated tube-MPC resolve), followed by a primal clean-up pass.
+pub(crate) fn solve_revised_warm(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    carry: &mut WarmCarry,
+) -> WarmOutcome {
+    let m = b.len();
+    let n = c.len();
+    if m == 0 {
+        let sf = StandardForm {
+            a: Vec::new(),
+            b: Vec::new(),
+            c: c.to_vec(),
+        };
+        return match trivial_unconstrained(&sf) {
+            Ok(sol) => WarmOutcome::Solved(sol),
+            Err(e) => WarmOutcome::Lp(e),
+        };
+    }
+    if carry.basis.len() != m || carry.basis.iter().any(|&j| j >= n) {
+        return WarmOutcome::Fallback(WarmFailure::NotRestorable);
+    }
+    let basis = std::mem::take(&mut carry.basis);
+    let factor = carry.factor.take();
+    let mut state = match Revised::new(a, b, n, basis, Vec::new(), factor) {
+        Ok(s) => s,
+        Err(f) => return WarmOutcome::Fallback(f),
+    };
+
+    let primal_feasible = state.x_b.iter().all(|&v| v >= -FEAS_TOL);
+    if !primal_feasible {
+        state.price(c, 0.0);
+        state.reduced_costs_all(c);
+        let dual_feasible = (0..n)
+            .filter(|&j| !state.in_basis[j])
+            .all(|j| state.red_costs[j] >= -DUAL_TOL);
+        if !dual_feasible {
+            return WarmOutcome::Fallback(WarmFailure::NotRestorable);
+        }
+    }
+    // Dual pivots restore primal feasibility (RHS moved); the primal pass
+    // is then a no-op, or restores optimality after objective changes when
+    // the basis stayed primal feasible.
+    let outcome = if primal_feasible {
+        state.primal(c, 0.0)
+    } else {
+        state.dual(c).and_then(|()| state.primal(c, 0.0))
+    };
+    match outcome {
+        Ok(()) => {
+            let solution = state.solution(c);
+            // Hand the live factorization back to the carry: the next
+            // solve in the sequence starts from it without refactorizing.
+            carry.basis = state.basis;
+            carry.factor = Some(state.factor);
+            WarmOutcome::Solved(solution)
+        }
+        Err(e @ (LpError::Infeasible | LpError::Unbounded)) => {
+            // Definite verdicts leave the basis/factor pair intact (every
+            // pivot kept them in sync), so later solves stay warm.
+            carry.basis = state.basis;
+            carry.factor = Some(state.factor);
+            WarmOutcome::Lp(e)
+        }
+        // Numerical trouble (pivot limit, mid-solve singular
+        // refactorization) is NOT a verdict about the problem: fall back
+        // so the caller retries cold — the warm path never guesses
+        // through numerical trouble.
+        Err(LpError::IterationLimit) => WarmOutcome::Fallback(WarmFailure::NumericalTrouble),
+    }
+}
+
+/// Degenerate `m = 0` case: minimize over the non-negative orthant.
+fn trivial_unconstrained(sf: &StandardForm) -> Result<StandardSolution, LpError> {
+    if sf.c.iter().any(|&c| c < -EPS) {
+        return Err(LpError::Unbounded);
+    }
+    Ok(StandardSolution {
+        x: vec![0.0; sf.c.len()],
+        objective: 0.0,
+        iters: 0,
+        basis: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(a: Vec<Vec<f64>>, b: Vec<f64>, c: Vec<f64>) -> StandardForm {
+        StandardForm { a, b, c }
+    }
+
+    fn unwrap_warm(outcome: WarmOutcome) -> StandardSolution {
+        match outcome {
+            WarmOutcome::Solved(sol) => sol,
+            other => panic!("expected warm solve, got {other:?}"),
+        }
+    }
+
+    fn carry_from(basis: &[usize]) -> WarmCarry {
+        let mut carry = WarmCarry::default();
+        carry.set_basis(basis);
+        carry
+    }
+
+    /// min -x1 - x2 s.t. x1 + 2x2 + s1 = 4; 3x1 + x2 + s2 = 6; all ≥ 0.
+    #[test]
+    fn cold_matches_tableau_on_basic_lp() {
+        let sf = sf(
+            vec![vec![1.0, 2.0, 1.0, 0.0], vec![3.0, 1.0, 0.0, 1.0]],
+            vec![4.0, 6.0],
+            vec![-1.0, -1.0, 0.0, 0.0],
+        );
+        let sol = solve_revised(&sf, &[Some(2), Some(3)]).unwrap();
+        assert!((sol.objective + 2.8).abs() < 1e-9, "{}", sol.objective);
+        assert!((sol.x[0] - 1.6).abs() < 1e-9);
+        assert!((sol.x[1] - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_equality_constraints_need_phase1() {
+        let sf = sf(
+            vec![vec![1.0, 1.0], vec![1.0, -1.0]],
+            vec![2.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        let sol = solve_revised(&sf, &[None, None]).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+        assert!((sol.x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_infeasible_detected() {
+        let sf = sf(vec![vec![1.0], vec![1.0]], vec![1.0, 2.0], vec![0.0]);
+        assert_eq!(
+            solve_revised(&sf, &[None, None]).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn cold_unbounded_detected() {
+        let sf = sf(vec![vec![1.0, -1.0, 1.0]], vec![1.0], vec![-1.0, 0.0, 0.0]);
+        assert_eq!(
+            solve_revised(&sf, &[Some(2)]).unwrap_err(),
+            LpError::Unbounded
+        );
+    }
+
+    #[test]
+    fn cold_redundant_rows_handled() {
+        let sf = sf(
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![2.0, 2.0],
+            vec![1.0, 2.0],
+        );
+        let sol = solve_revised(&sf, &[None, None]).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_beale_degenerate_terminates() {
+        let sf = sf(
+            vec![
+                vec![0.25, -60.0, -0.04, 9.0, 1.0, 0.0, 0.0],
+                vec![0.5, -90.0, -0.02, 3.0, 0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            ],
+            vec![0.0, 0.0, 1.0],
+            vec![-0.75, 150.0, -0.02, 6.0, 0.0, 0.0, 0.0],
+        );
+        let sol = solve_revised(&sf, &[Some(4), Some(5), Some(6)]).unwrap();
+        assert!((sol.objective + 0.05).abs() < 1e-9, "{}", sol.objective);
+    }
+
+    #[test]
+    fn warm_resolve_after_rhs_change_uses_dual_pivots() {
+        // max x1 + x2 over x1 ≤ b1, x2 ≤ b2 in standard min form.
+        let base = sf(
+            vec![vec![1.0, 0.0, 1.0, 0.0], vec![0.0, 1.0, 0.0, 1.0]],
+            vec![4.0, 6.0],
+            vec![-1.0, -1.0, 0.0, 0.0],
+        );
+        let cold = solve_revised(&base, &[Some(2), Some(3)]).unwrap();
+        assert!((cold.objective + 10.0).abs() < 1e-9);
+        // Tighten the RHS: the previous basis stays dual feasible.
+        let mut carry = carry_from(&cold.basis);
+        let b2 = vec![2.5, 1.5];
+        let warm = unwrap_warm(solve_revised_warm(&base.a, &b2, &base.c, &mut carry));
+        assert!((warm.objective + 4.0).abs() < 1e-9, "{}", warm.objective);
+        assert!((warm.x[0] - 2.5).abs() < 1e-9);
+        assert!((warm.x[1] - 1.5).abs() < 1e-9);
+        assert!(carry.factor.is_some(), "factor carried out for reuse");
+        // A further perturbation rides the carried factorization.
+        let b3 = vec![3.0, 2.0];
+        let again = unwrap_warm(solve_revised_warm(&base.a, &b3, &base.c, &mut carry));
+        assert!((again.objective + 5.0).abs() < 1e-9, "{}", again.objective);
+    }
+
+    #[test]
+    fn warm_resolve_after_objective_change_uses_primal_pivots() {
+        let base = sf(
+            vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0, 1.0]],
+            vec![4.0, 1.0],
+            vec![-1.0, 0.0, 0.0, 0.0],
+        );
+        let cold = solve_revised(&base, &[Some(2), Some(3)]).unwrap();
+        // New objective rewards x2 instead; the basis stays primal feasible.
+        let c2 = vec![0.0, -1.0, 0.0, 0.0];
+        let mut carry = carry_from(&cold.basis);
+        let warm = unwrap_warm(solve_revised_warm(&base.a, &base.b, &c2, &mut carry));
+        let retarget = sf(base.a.clone(), base.b.clone(), c2);
+        let direct = solve_revised(&retarget, &[Some(2), Some(3)]).unwrap();
+        assert!((warm.objective - direct.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_handles_negative_rhs_unflipped_form() {
+        // min x over -x ≤ 3 and x ≤ -1 in the unflipped form (negative RHS
+        // kept, slack coefficient +1); variables split x = xp − xm.
+        let tight = sf(
+            vec![vec![-1.0, 1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0, 1.0]],
+            vec![3.0, -1.0],
+            vec![1.0, -1.0, 0.0, 0.0],
+        );
+        // Seed with the optimal basis of a nearby all-positive problem.
+        let near = sf(tight.a.clone(), vec![3.0, 2.0], tight.c.clone());
+        let cold = solve_revised(&near, &[Some(2), Some(3)]).unwrap();
+        assert!((cold.objective + 3.0).abs() < 1e-9);
+        let mut carry = carry_from(&cold.basis);
+        let warm = unwrap_warm(solve_revised_warm(&tight.a, &tight.b, &tight.c, &mut carry));
+        assert!((warm.objective + 3.0).abs() < 1e-9, "{}", warm.objective);
+    }
+
+    #[test]
+    fn warm_rejects_stale_basis_shape() {
+        let base = sf(vec![vec![1.0, 1.0]], vec![1.0], vec![1.0, 0.0]);
+        let mut bad_col = carry_from(&[5]);
+        assert!(matches!(
+            solve_revised_warm(&base.a, &base.b, &base.c, &mut bad_col),
+            WarmOutcome::Fallback(WarmFailure::NotRestorable)
+        ));
+        let mut bad_len = carry_from(&[0, 1]);
+        assert!(matches!(
+            solve_revised_warm(&base.a, &base.b, &base.c, &mut bad_len),
+            WarmOutcome::Fallback(WarmFailure::NotRestorable)
+        ));
+    }
+
+    #[test]
+    fn warm_detects_infeasible_after_rhs_change() {
+        // x1 ≤ b with x1 ≥ 2 (as -x1 ≤ -2): feasible at b = 5, infeasible
+        // at b = 1.
+        let feasible = sf(
+            vec![vec![1.0, 1.0, 0.0], vec![-1.0, 0.0, 1.0]],
+            vec![5.0, -2.0],
+            vec![1.0, 0.0, 0.0],
+        );
+        // Cold-solve the flipped version to get a basis.
+        let flipped = sf(
+            vec![vec![1.0, 1.0, 0.0], vec![1.0, 0.0, -1.0]],
+            vec![5.0, 2.0],
+            vec![1.0, 0.0, 0.0],
+        );
+        let cold = solve_revised(&flipped, &[Some(1), None]).unwrap();
+        assert!((cold.objective - 2.0).abs() < 1e-9);
+        let Some(basis) = cold.structural_basis(3) else {
+            panic!("expected artificial-free basis");
+        };
+        let mut carry = carry_from(basis);
+        let warm = unwrap_warm(solve_revised_warm(
+            &feasible.a,
+            &feasible.b,
+            &feasible.c,
+            &mut carry,
+        ));
+        assert!((warm.objective - 2.0).abs() < 1e-9);
+        let b_bad = vec![1.0, -2.0];
+        assert!(matches!(
+            solve_revised_warm(&feasible.a, &b_bad, &feasible.c, &mut carry),
+            WarmOutcome::Lp(LpError::Infeasible)
+        ));
+        // The infeasible verdict keeps the carry warm for later solves.
+        assert!(!carry.is_empty());
+        let recovered = unwrap_warm(solve_revised_warm(
+            &feasible.a,
+            &feasible.b,
+            &feasible.c,
+            &mut carry,
+        ));
+        assert!((recovered.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eta_refactorization_stays_accurate() {
+        // A chain long enough to force several refactorizations.
+        let n = 30;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..n {
+            let mut row = vec![0.0; 2 * n];
+            row[i] = 1.0;
+            row[(i + 1) % n] = 0.5;
+            row[n + i] = 1.0; // slack
+            a.push(row);
+            b.push(1.2 + 0.01 * i as f64);
+        }
+        let mut c = vec![-1.0; n];
+        c.extend(vec![0.0; n]);
+        let hints: Vec<Option<usize>> = (0..n).map(|i| Some(n + i)).collect();
+        let sf = StandardForm { a, b, c };
+        let revised = solve_revised(&sf, &hints).unwrap();
+        let tableau = crate::simplex::solve_standard(&sf, &hints).unwrap();
+        assert!(
+            (revised.objective - tableau.objective).abs() < 1e-7,
+            "revised {} vs tableau {}",
+            revised.objective,
+            tableau.objective
+        );
+    }
+}

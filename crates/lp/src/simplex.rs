@@ -35,6 +35,24 @@ pub(crate) struct StandardForm {
 pub(crate) struct StandardSolution {
     pub x: Vec<f64>,
     pub objective: f64,
+    /// The optimal basis (one column index per constraint row). Entries may
+    /// point at artificial columns (index `≥ c.len()`) when a redundant row
+    /// kept its zero-level artificial — callers seeding warm starts must
+    /// check [`StandardSolution::structural_basis`].
+    pub basis: Vec<usize>,
+    /// Pivots performed (warm-start telemetry).
+    pub iters: usize,
+}
+
+impl StandardSolution {
+    /// The basis if it is purely structural/slack (no artificial columns),
+    /// which is the precondition for reusing it as a warm start.
+    pub fn structural_basis(&self, n_structural: usize) -> Option<&[usize]> {
+        self.basis
+            .iter()
+            .all(|&j| j < n_structural)
+            .then_some(&self.basis[..])
+    }
 }
 
 struct Tableau {
@@ -74,8 +92,9 @@ impl Tableau {
         for j in 0..w {
             self.t[row * w + j] *= inv;
         }
-        // Snapshot the pivot row to avoid aliasing while updating the rest.
-        let pivot_row: Vec<f64> = self.t[row * w..(row + 1) * w].to_vec();
+        // Disjoint pivot-row/target-row views via `split_at_mut` — the old
+        // code snapshotted the pivot row into a fresh `Vec` on every pivot,
+        // which dominated allocator traffic on MPC-sized tableaus.
         for i in 0..=self.m {
             if i == row {
                 continue;
@@ -84,7 +103,14 @@ impl Tableau {
             if factor.abs() <= 1e-13 {
                 continue;
             }
-            for (t, p) in self.t[i * w..(i + 1) * w].iter_mut().zip(&pivot_row) {
+            let (pivot_row, target) = if i < row {
+                let (head, tail) = self.t.split_at_mut(row * w);
+                (&tail[..w], &mut head[i * w..(i + 1) * w])
+            } else {
+                let (head, tail) = self.t.split_at_mut(i * w);
+                (&head[row * w..(row + 1) * w], &mut tail[..w])
+            };
+            for (t, p) in target.iter_mut().zip(pivot_row) {
                 *t -= factor * p;
             }
             // Guard against drift: the eliminated entry is exactly zero.
@@ -269,7 +295,12 @@ pub(crate) fn solve_standard(
         }
     }
     let objective = -tab.at(m, n);
-    Ok(StandardSolution { x, objective })
+    Ok(StandardSolution {
+        x,
+        objective,
+        iters: tab.iters,
+        basis: tab.basis,
+    })
 }
 
 #[cfg(test)]

@@ -95,6 +95,19 @@ impl Controller for ScenarioController {
             ScenarioController::Linear(k) => k.control(x),
         }
     }
+
+    fn control_with_cache(
+        &self,
+        x: &[f64],
+        cache: &mut oic_control::ControlCache,
+    ) -> Result<Vec<f64>, ControlError> {
+        match self {
+            // The tube MPC carries its LP warm-start basis in the cache
+            // (active when `oic_control::warm_mpc_enabled()`).
+            ScenarioController::Tube(mpc) => mpc.control_with_cache(x, cache),
+            ScenarioController::Linear(k) => k.control(x),
+        }
+    }
 }
 
 /// A fully built scenario: certified sets plus the controller they were
