@@ -14,10 +14,11 @@
 use std::time::Instant;
 
 use oic_bench::fixtures::{acc_closed_loop_states, drifting_rhs_sequence, tall_lp};
-use oic_control::MpcWarmState;
+use oic_control::{robust_controllable_pre, MpcWarmState};
 use oic_core::acc::AccCaseStudy;
 use oic_engine::JsonValue;
 use oic_lp::{Backend, WarmStart};
+use oic_scenarios::ScenarioRegistry;
 
 /// Median wall-clock nanoseconds of `f` over `samples` runs (2 warm-ups).
 fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
@@ -119,9 +120,54 @@ fn main() {
         );
     }
 
+    // --- n-D certification kernels: Fourier–Motzkin projection and
+    // Raković RPI tube synthesis on the registry's 2-, 3-, and 4-state
+    // plants (the dimension-generic pipeline's two hot paths). ---
+    let registry = ScenarioRegistry::standard();
+    let mut nd = JsonValue::object();
+    for (name, label) in [
+        ("acc", "dim2_acc"),
+        ("cstr", "dim3_cstr"),
+        ("two-mass-spring", "dim4_two_mass"),
+    ] {
+        let scenario = registry.get(name).expect("registered scenario");
+        eprintln!("kernels: n-D geometry on {name}…");
+        // Projection: one robust controllable predecessor of the safe set
+        // (n + m → n Fourier–Motzkin elimination with LP pruning).
+        let instance = scenario.build().expect("scenario builds");
+        let plant = instance.sets().plant().clone();
+        let safe = plant.safe_set().clone();
+        let projection_ns = median_ns(samples.min(10), || {
+            robust_controllable_pre(&plant, &safe).expect("pre-set exists");
+        });
+        // RPI synthesis: the certified tube (facet-ratio Raković sum plus
+        // the support-template invariance closure), measured end to end.
+        let gain_loop = instance
+            .tube()
+            .expect("registry scenarios attach tubes")
+            .clone();
+        let rpi_ns = median_ns(samples.min(10), || {
+            let w = gain_loop.disturbance().clone();
+            let a_cl = gain_loop.closed_loop().clone();
+            oic_control::rakovic_rpi_certified(
+                &a_cl,
+                &w,
+                &oic_control::InvariantOptions::default(),
+            )
+            .expect("tube synthesis succeeds");
+        });
+        nd = nd.with(
+            label,
+            JsonValue::object()
+                .with("projection_ns", projection_ns as f64)
+                .with("rpi_synthesis_ns", rpi_ns as f64)
+                .with("tube_facets", gain_loop.set().num_halfspaces() as f64),
+        );
+    }
+
     let ratio = |slow: u64, fast: u64| slow as f64 / fast.max(1) as f64;
     let doc = JsonValue::object()
-        .with("schema", 1.0)
+        .with("schema", 2.0)
         .with(
             "mpc_step",
             JsonValue::object()
@@ -138,7 +184,8 @@ fn main() {
                 .with("warm_ns", resolve_warm as f64)
                 .with("speedup_warm", ratio(resolve_cold, resolve_warm)),
         )
-        .with("backend_sweep", sweep);
+        .with("backend_sweep", sweep)
+        .with("nd_geometry", nd);
 
     println!("{}", doc.to_json_pretty());
     eprintln!(

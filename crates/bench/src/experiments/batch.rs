@@ -87,11 +87,13 @@ mod tests {
             ..Default::default()
         };
         let report = run(&scale).unwrap();
-        assert_eq!(report.cells.len(), 8 * standard_policies().len());
+        assert_eq!(report.cells.len(), 10 * standard_policies().len());
         assert_eq!(report.total_safety_violations(), 0);
         let rendered = render(&report);
         assert!(rendered.contains("lane-keeping"));
         assert!(rendered.contains("pendulum-cart"));
+        assert!(rendered.contains("cstr"));
+        assert!(rendered.contains("two-mass-spring"));
         let json = report.to_json(false).to_json();
         assert!(json.contains("\"seed\":\"9\""));
     }

@@ -313,11 +313,14 @@ impl TubeMpcBuilder {
 
         // Terminal set: robust positively invariant under a local feedback,
         // inside X(N) ∩ {x : Kx ∈ U} — this satisfies Proposition 1's
-        // stability premise.
-        let terminal = match self.terminal_override {
+        // stability premise. The local gain is retained on the controller
+        // ([`TubeMpc::terminal_gain`]) so callers certifying the terminal
+        // loop (e.g. scenario tube certificates) read the gain the MPC
+        // actually uses instead of re-deriving it.
+        let (terminal, terminal_gain) = match self.terminal_override {
             Some(t) => {
                 assert_eq!(t.dim(), n, "terminal set dimension mismatch");
-                t
+                (t, self.terminal_gain)
             }
             None => {
                 let gain = match self.terminal_gain {
@@ -337,12 +340,13 @@ impl TubeMpcBuilder {
                 let constraint = tightened[horizon]
                     .intersection(&input_ok)
                     .remove_redundant();
-                max_rpi(
+                let set = max_rpi(
                     &a_cl,
                     self.plant.disturbance_set(),
                     &constraint,
                     &InvariantOptions::default(),
-                )?
+                )?;
+                (set, Some(gain))
             }
         };
 
@@ -372,6 +376,7 @@ impl TubeMpcBuilder {
             input_weight: self.input_weight,
             tightened,
             terminal,
+            terminal_gain,
             a_pow,
             impulse,
             template,
@@ -517,6 +522,9 @@ pub struct TubeMpc {
     /// `X(0), …, X(N)`.
     tightened: Vec<Polytope>,
     terminal: Polytope,
+    /// The local gain the terminal set was synthesized for (`None` only
+    /// when the terminal set was overridden without naming a gain).
+    terminal_gain: Option<Matrix>,
     /// `A^0, …, A^N`.
     a_pow: Vec<Matrix>,
     /// `impulse[j] = A^j B`; the coefficient of `u(j)` in `x(k)` is
@@ -545,6 +553,14 @@ impl TubeMpc {
     /// The robust terminal set `X_t`.
     pub fn terminal_set(&self) -> &Polytope {
         &self.terminal
+    }
+
+    /// The local feedback gain the terminal set was synthesized for —
+    /// the loop a terminal-behavior certificate (e.g. a scenario's
+    /// minimal-RPI tube) must be computed against. `None` only when the
+    /// terminal set was overridden without naming a gain.
+    pub fn terminal_gain(&self) -> Option<&Matrix> {
+        self.terminal_gain.as_ref()
     }
 
     /// Solves the tube-MPC LP at state `x` through the precompiled

@@ -124,14 +124,38 @@ pub fn polytope_from_points_2d(points: &[[f64; 2]]) -> Result<Polytope, GeomErro
     }
 }
 
-/// Exact Minkowski sum of two bounded 2-D polytopes via vertex sums and a
-/// convex hull.
+/// Exact Minkowski sum of two bounded 2-D polytopes.
+///
+/// Deprecated thin wrapper: the sum is now computed by the
+/// dimension-generic [`Polytope::minkowski_sum`] (lifted formulation +
+/// Fourier–Motzkin projection); the original vertex-hull construction is
+/// retained as [`minkowski_sum_2d_vertex_reference`] and the two are
+/// cross-checked by property tests.
 ///
 /// # Errors
 ///
 /// * [`GeomError::NotTwoDimensional`] — either operand is not 2-D.
 /// * [`GeomError::EmptySet`] — either operand is empty.
+#[deprecated(note = "use the dimension-generic `Polytope::minkowski_sum`")]
 pub fn minkowski_sum_2d(a: &Polytope, b: &Polytope) -> Result<Polytope, GeomError> {
+    if a.dim() != 2 || b.dim() != 2 {
+        return Err(GeomError::NotTwoDimensional);
+    }
+    a.minkowski_sum(b)
+}
+
+/// The pre-refactor planar Minkowski sum — vertex sums followed by a
+/// convex hull — retained as the independent reference the n-D projection
+/// path is property-tested against.
+///
+/// # Errors
+///
+/// * [`GeomError::NotTwoDimensional`] — either operand is not 2-D.
+/// * [`GeomError::EmptySet`] — either operand is empty.
+pub fn minkowski_sum_2d_vertex_reference(
+    a: &Polytope,
+    b: &Polytope,
+) -> Result<Polytope, GeomError> {
     if a.dim() != 2 || b.dim() != 2 {
         return Err(GeomError::NotTwoDimensional);
     }
@@ -204,6 +228,7 @@ mod tests {
     fn minkowski_sum_of_boxes() {
         let a = Polytope::from_box(&[-1.0, -1.0], &[1.0, 1.0]);
         let b = Polytope::from_box(&[-0.5, -0.25], &[0.5, 0.25]);
+        #[allow(deprecated)]
         let s = minkowski_sum_2d(&a, &b).unwrap();
         assert!(s.contains(&[1.5, 1.25]));
         assert!(!s.contains(&[1.6, 0.0]));
@@ -215,6 +240,7 @@ mod tests {
         // Box ⊕ vertical segment grows only vertically.
         let a = Polytope::from_box(&[-1.0, -1.0], &[1.0, 1.0]);
         let seg = polytope_from_points_2d(&[[0.0, -0.5], [0.0, 0.5]]).unwrap();
+        #[allow(deprecated)]
         let s = minkowski_sum_2d(&a, &seg).unwrap();
         assert!(s.contains(&[1.0, 1.5]));
         assert!(!s.contains(&[1.1, 0.0]));

@@ -34,10 +34,12 @@ mod support;
 mod zonotope;
 
 pub use halfspace::Halfspace;
-pub use hull2d::{convex_hull_2d, minkowski_sum_2d, polytope_from_points_2d};
+#[allow(deprecated)]
+pub use hull2d::minkowski_sum_2d;
+pub use hull2d::{convex_hull_2d, minkowski_sum_2d_vertex_reference, polytope_from_points_2d};
 pub use polytope::Polytope;
 pub use support::{AffineImage, SupportFunction};
-pub use zonotope::Zonotope;
+pub use zonotope::{canonical_unit, Zonotope};
 
 use std::error::Error;
 use std::fmt;

@@ -236,6 +236,44 @@ impl Polytope {
         })
     }
 
+    /// Exact Minkowski sum `self ⊕ other` in any dimension, via the lifted
+    /// formulation `{ (x, y) : x − y ∈ self, y ∈ other }` projected back
+    /// onto `x` by Fourier–Motzkin elimination.
+    ///
+    /// This replaces the planar vertex-hull construction
+    /// ([`crate::minkowski_sum_2d`]) as the dimension-generic path; for
+    /// sums with zonotopes prefer staying in generator form
+    /// ([`crate::Zonotope::minkowski_sum`]), which is exact and cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::EmptySet`] when either operand is empty (the
+    /// 2-D contract, kept so the deprecated wrapper is drop-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn minkowski_sum(&self, other: &Polytope) -> Result<Polytope, GeomError> {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in Minkowski sum");
+        if self.is_empty() || other.is_empty() {
+            return Err(GeomError::EmptySet);
+        }
+        let n = self.dim;
+        let mut rows = Vec::with_capacity(self.halfspaces.len() + other.halfspaces.len());
+        for h in &self.halfspaces {
+            // a·(x − y) ≤ b.
+            let mut normal = h.normal().to_vec();
+            normal.extend(h.normal().iter().map(|v| -v));
+            rows.push(Halfspace::new(normal, h.offset()));
+        }
+        for h in &other.halfspaces {
+            let mut normal = vec![0.0; n];
+            normal.extend_from_slice(h.normal());
+            rows.push(Halfspace::new(normal, h.offset()));
+        }
+        Ok(Polytope::new(2 * n, rows).project_to_first(n))
+    }
+
     /// Affine pre-image `{ x : M x + shift ∈ self }`.
     ///
     /// This is the workhorse of backward reachability: the paper's
@@ -337,6 +375,23 @@ impl Polytope {
     /// Panics if the dimensions differ.
     pub fn is_subset_of(&self, other: &Polytope, tol: f64) -> Result<bool, GeomError> {
         assert_eq!(self.dim, other.dim, "dimension mismatch in inclusion test");
+        // When the revised backend is forced, all facet supports run
+        // through one warm-started LP (same gate as `support_batch`); the
+        // default path keeps per-facet solves with early exit, bit- and
+        // work-identical to the pre-batch code.
+        if other.halfspaces.len() >= 2 && oic_lp::forced_backend() == Some(oic_lp::Backend::Revised)
+        {
+            let normals: Vec<&[f64]> = other.halfspaces.iter().map(|h| h.normal()).collect();
+            return match self.support_batch(&normals) {
+                Ok(sup) => Ok(sup
+                    .iter()
+                    .zip(&other.halfspaces)
+                    .all(|(v, h)| *v <= h.offset() + tol)),
+                Err(GeomError::EmptySet) => Ok(true),
+                Err(GeomError::Unbounded) => Ok(false),
+                Err(e) => Err(e),
+            };
+        }
         for h in &other.halfspaces {
             match self.support(h.normal()) {
                 Ok(v) => {
@@ -395,7 +450,37 @@ impl Polytope {
             }
         }
 
-        // LP-based redundancy filter.
+        // LP-based redundancy filter. When the revised LP backend is
+        // forced process-wide, all tests ride one compiled warm-start
+        // template (shape-stable rows, RHS-only updates) — the batched
+        // path Fourier–Motzkin elimination leans on. The default path is
+        // the original one-cold-LP-per-row loop, kept bit-identical.
+        let filtered =
+            if rows.len() >= 3 && oic_lp::forced_backend() == Some(oic_lp::Backend::Revised) {
+                self.redundancy_filter_warm(&rows)
+            } else {
+                self.redundancy_filter_cold(&rows)
+            };
+        let Some(keep) = filtered else {
+            // Infeasible even with a row relaxed: the polytope is empty;
+            // return a canonical empty set.
+            return Polytope::new(self.dim, vec![Halfspace::new(vec![0.0; self.dim], -1.0)]);
+        };
+        let halfspaces = rows
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(r, k)| k.then_some(r))
+            .collect();
+        Polytope {
+            dim: self.dim,
+            halfspaces,
+        }
+    }
+
+    /// The original sequential redundancy filter: one cold LP per row,
+    /// already-dropped rows excluded from later tests. Returns the keep
+    /// mask, or `None` when the system is infeasible (empty polytope).
+    fn redundancy_filter_cold(&self, rows: &[Halfspace]) -> Option<Vec<bool>> {
         let mut keep = vec![true; rows.len()];
         for i in 0..rows.len() {
             if rows[i].normalized().is_none() {
@@ -422,26 +507,56 @@ impl Polytope {
                         keep[i] = false;
                     }
                 }
-                Err(oic_lp::LpError::Infeasible) => {
-                    // Even with row i relaxed the rest is infeasible, so the
-                    // polytope is empty: return a canonical empty set.
-                    return Polytope::new(
-                        self.dim,
-                        vec![Halfspace::new(vec![0.0; self.dim], -1.0)],
-                    );
-                }
+                Err(oic_lp::LpError::Infeasible) => return None,
                 Err(_) => { /* keep the row on numerical failure: safe */ }
             }
         }
-        let halfspaces = rows
-            .into_iter()
-            .zip(keep)
-            .filter_map(|(r, k)| k.then_some(r))
-            .collect();
-        Polytope {
-            dim: self.dim,
-            halfspaces,
+        Some(keep)
+    }
+
+    /// Warm-templated redundancy filter: one `LinearProgram` holding every
+    /// candidate row is compiled once; per test only the objective and the
+    /// RHS vector change, so the revised backend carries its basis and
+    /// factorization across the whole sweep (the per-elimination pruning
+    /// of [`Polytope::eliminate`] is the hot caller — an elimination step
+    /// tests `O(rows)` candidates against the same constraint matrix).
+    ///
+    /// Dropped rows stay in the template with their RHS relaxed by the
+    /// same `+1` used for the tested row — the shape-stable equivalent of
+    /// excluding them (a dropped row is implied by the kept rows within
+    /// tolerance, so its relaxed copy is inactive on the kept region,
+    /// while near-parallel pairs still block each other from being
+    /// dropped jointly).
+    fn redundancy_filter_warm(&self, rows: &[Halfspace]) -> Option<Vec<bool>> {
+        let mut keep = vec![true; rows.len()];
+        let mut lp = LinearProgram::maximize(rows[0].normal());
+        let mut rhs: Vec<f64> = Vec::with_capacity(rows.len());
+        for r in rows {
+            lp.add_le(r.normal(), r.offset());
+            rhs.push(r.offset());
         }
+        let mut warm = oic_lp::WarmStart::new();
+        for i in 0..rows.len() {
+            if rows[i].normalized().is_none() {
+                continue; // infeasibility witness row, always kept
+            }
+            rhs[i] = rows[i].offset() + 1.0;
+            lp.set_objective(rows[i].normal());
+            match lp.solve_warm_with_rhs(&rhs, &mut warm) {
+                Ok(sol) => {
+                    if sol.objective() <= rows[i].offset() + INCLUSION_TOL {
+                        keep[i] = false; // leave rhs[i] relaxed
+                    } else {
+                        rhs[i] = rows[i].offset();
+                    }
+                }
+                Err(oic_lp::LpError::Infeasible) => return None,
+                Err(_) => {
+                    rhs[i] = rows[i].offset(); // keep the row: safe
+                }
+            }
+        }
+        Some(keep)
     }
 
     /// An extreme point achieving the support value in direction `d`
@@ -827,6 +942,50 @@ mod tests {
                 "batch {b} vs single {single} in {d:?}"
             );
         }
+    }
+
+    #[test]
+    fn minkowski_sum_of_boxes_any_dim() {
+        let a = Polytope::from_box(&[-1.0, -1.0, -1.0], &[1.0, 1.0, 1.0]);
+        let b = Polytope::from_box(&[-0.5, -0.25, 0.0], &[0.5, 0.25, 0.0]);
+        let s = a.minkowski_sum(&b).unwrap();
+        assert_eq!(s.dim(), 3);
+        assert!(s.contains(&[1.5, 1.25, 1.0]));
+        assert!(!s.contains(&[1.6, 0.0, 0.0]));
+        assert!(!s.contains(&[0.0, 1.3, 0.0]));
+        assert!(!s.contains(&[0.0, 0.0, 1.1]));
+    }
+
+    #[test]
+    fn minkowski_sum_support_is_additive() {
+        let a = Polytope::from_box(&[-1.0, -2.0], &[3.0, 2.0]);
+        let b = Polytope::new(
+            2,
+            vec![
+                Halfspace::new(vec![-1.0, 0.0], 0.0),
+                Halfspace::new(vec![0.0, -1.0], 0.0),
+                Halfspace::new(vec![1.0, 1.0], 1.0),
+            ],
+        );
+        let s = a.minkowski_sum(&b).unwrap();
+        for dir in [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [-2.0, 0.5]] {
+            let lhs = s.support(&dir).unwrap();
+            let rhs = a.support(&dir).unwrap() + b.support(&dir).unwrap();
+            assert!((lhs - rhs).abs() < 1e-6, "dir {dir:?}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn minkowski_sum_empty_operand_errors() {
+        let a = Polytope::from_box(&[-1.0], &[1.0]);
+        let empty = Polytope::new(
+            1,
+            vec![
+                Halfspace::new(vec![1.0], 0.0),
+                Halfspace::new(vec![-1.0], -1.0),
+            ],
+        );
+        assert_eq!(a.minkowski_sum(&empty).unwrap_err(), GeomError::EmptySet);
     }
 
     #[test]

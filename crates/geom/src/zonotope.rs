@@ -5,11 +5,151 @@
 //! box disturbance set is a zonotope and zonotopes are *closed* under both
 //! linear maps and Minkowski sums (generator concatenation), so the whole
 //! sum stays exact and cheap in this representation.
+//!
+//! The H-rep bridge is dimension-generic: every facet normal of a zonotope
+//! is (up to sign) the generalized cross product of `n − 1` generators, so
+//! [`Zonotope::to_polytope`] and [`Zonotope::containment_directions`]
+//! enumerate `(n−1)`-subsets instead of the `2^k` vertex set — the
+//! construction the n-D Raković certification in `oic-control` is built on.
 
 use oic_linalg::Matrix;
 use oic_lp::LinearProgram;
 
 use crate::{GeomError, Polytope, SupportFunction};
+
+/// Components below this magnitude are treated as zero when normalizing
+/// candidate facet directions.
+const DIR_TOL: f64 = 1e-12;
+
+/// Determinant of the `n × n` row-major matrix in `data` (destroyed), by
+/// Gaussian elimination with partial pivoting. Exact enough for the small
+/// (`n ≤ 8`) minors the facet enumeration produces.
+fn small_det(data: &mut [f64], n: usize) -> f64 {
+    let mut det = 1.0;
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&a, &b| {
+                data[a * n + col]
+                    .abs()
+                    .partial_cmp(&data[b * n + col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty pivot range");
+        let p = data[pivot * n + col];
+        if p.abs() < 1e-300 {
+            return 0.0;
+        }
+        if pivot != col {
+            for j in 0..n {
+                data.swap(col * n + j, pivot * n + j);
+            }
+            det = -det;
+        }
+        det *= p;
+        for row in (col + 1)..n {
+            let factor = data[row * n + col] / p;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                data[row * n + j] -= factor * data[col * n + j];
+            }
+        }
+    }
+    det
+}
+
+/// Generalized cross product of `n − 1` vectors in `Rⁿ`: the direction
+/// orthogonal to all of them, via cofactor expansion
+/// `c_i = (−1)^i · det(minor dropping coordinate i)`. Returns the zero
+/// vector when the inputs are linearly dependent.
+fn generalized_cross(vectors: &[&[f64]], n: usize) -> Vec<f64> {
+    debug_assert_eq!(vectors.len() + 1, n, "need n − 1 vectors in dimension n");
+    let m = n - 1;
+    let mut cross = vec![0.0; n];
+    let mut minor = vec![0.0; m * m];
+    for (dropped, slot) in cross.iter_mut().enumerate() {
+        for (r, v) in vectors.iter().enumerate() {
+            let mut c = 0;
+            for (j, &vj) in v.iter().enumerate() {
+                if j == dropped {
+                    continue;
+                }
+                minor[r * m + c] = vj;
+                c += 1;
+            }
+        }
+        let d = if m == 0 {
+            1.0
+        } else {
+            small_det(&mut minor, m)
+        };
+        *slot = if dropped % 2 == 0 { d } else { -d };
+    }
+    cross
+}
+
+/// Orthonormal basis of the orthogonal complement of `span(vectors)` in
+/// `Rⁿ`, by modified Gram–Schmidt over the vectors followed by the
+/// standard basis.
+fn orthonormal_complement(vectors: &[Vec<f64>], n: usize) -> Vec<Vec<f64>> {
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut span_rank = 0usize;
+    let absorb = |candidate: &[f64], basis: &mut Vec<Vec<f64>>| -> bool {
+        let mut v = candidate.to_vec();
+        for b in basis.iter() {
+            let dot: f64 = v.iter().zip(b).map(|(a, c)| a * c).sum();
+            for (vi, bi) in v.iter_mut().zip(b) {
+                *vi -= dot * bi;
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-9 {
+            return false;
+        }
+        for vi in &mut v {
+            *vi /= norm;
+        }
+        basis.push(v);
+        true
+    };
+    for g in vectors {
+        if absorb(g, &mut basis) {
+            span_rank += 1;
+        }
+    }
+    let mut complement = Vec::with_capacity(n - span_rank);
+    for i in 0..n {
+        let mut e = vec![0.0; n];
+        e[i] = 1.0;
+        if absorb(&e, &mut basis) {
+            complement.push(basis.last().expect("just pushed").clone());
+        }
+    }
+    complement
+}
+
+/// Normalizes a direction to unit length with a canonical sign (first
+/// non-negligible component positive); `None` for near-zero vectors.
+///
+/// Shared by the facet enumeration here and by direction-template
+/// construction in dependent crates (e.g. the Raković certification in
+/// `oic-control`), so every layer canonicalizes identically.
+pub fn canonical_unit(v: &[f64]) -> Option<Vec<f64>> {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm < DIR_TOL {
+        return None;
+    }
+    let mut unit: Vec<f64> = v.iter().map(|x| x / norm).collect();
+    if let Some(first) = unit.iter().find(|x| x.abs() > 1e-9) {
+        if *first < 0.0 {
+            for x in &mut unit {
+                *x = -*x;
+            }
+        }
+    }
+    Some(unit)
+}
 
 /// A zonotope `{ c + Σᵢ ξᵢ gᵢ : ‖ξ‖_∞ ≤ 1 }` with center `c` and generators
 /// `gᵢ`.
@@ -163,6 +303,155 @@ impl Zonotope {
             lp.add_eq(&row, x[d] - self.center[d]);
         }
         lp.solve().is_ok()
+    }
+
+    /// Outward unit directions that certify polytope containment of / in
+    /// this zonotope in any dimension.
+    ///
+    /// Every facet normal of a zonotope is (up to sign) the generalized
+    /// cross product of `n − 1` generators; for rank-deficient zonotopes
+    /// the orthonormal complement of the generator span is mixed into the
+    /// subsets, which yields the flat-direction constraints and the end
+    /// caps (e.g. a segment in the plane contributes its perpendicular
+    /// *and* its own direction). The returned list contains one canonical
+    /// representative per ± pair, deduplicated.
+    ///
+    /// Together with the support function this is an exact H-description:
+    /// `Z = { x : a·x ≤ h_Z(a), −a·x ≤ h_Z(−a) for every returned a }`,
+    /// and `S ⊆ α·Z` for a centered `Z` iff `h_S(a) ≤ α·h_Z(a)` over the
+    /// returned directions — the query the n-D Raković iteration asks
+    /// instead of enumerating `2^k` vertices.
+    ///
+    /// Cost is `O(C(k + c, n − 1))` cross products for `k` generators and
+    /// `c` complement directions; reduce high-order zonotopes first with
+    /// [`reduce_order`](Self::reduce_order) when `k` is large.
+    pub fn containment_directions(&self) -> Vec<Vec<f64>> {
+        let n = self.dim();
+        if n == 1 {
+            return vec![vec![1.0]];
+        }
+        let complement = orthonormal_complement(&self.generators, n);
+        let candidates: Vec<&[f64]> = self
+            .generators
+            .iter()
+            .map(Vec::as_slice)
+            .chain(complement.iter().map(Vec::as_slice))
+            .collect();
+        // The complement completes the span, so there are always at least
+        // n − 1 candidates (a point zonotope yields the standard box).
+        let mut dirs: Vec<Vec<f64>> = Vec::new();
+        // Enumerate (n−1)-subsets in lexicographic index order.
+        let r = n - 1;
+        let k = candidates.len();
+        let mut idx: Vec<usize> = (0..r).collect();
+        let mut subset: Vec<&[f64]> = Vec::with_capacity(r);
+        loop {
+            subset.clear();
+            subset.extend(idx.iter().map(|&i| candidates[i]));
+            if let Some(unit) = canonical_unit(&generalized_cross(&subset, n)) {
+                dirs.push(unit);
+            }
+            // Advance: rightmost index that can still move right.
+            let mut pos = r;
+            while pos > 0 {
+                pos -= 1;
+                if idx[pos] < k - r + pos {
+                    idx[pos] += 1;
+                    for p in pos + 1..r {
+                        idx[p] = idx[p - 1] + 1;
+                    }
+                    break;
+                }
+                if pos == 0 {
+                    return Self::dedup_directions(dirs);
+                }
+            }
+        }
+    }
+
+    /// Canonical sign + lexicographic sort, then drop adjacent near-equal
+    /// directions (best-effort: stray duplicates only cost redundant
+    /// support queries, never correctness).
+    fn dedup_directions(mut dirs: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        dirs.sort_by(|a, b| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        dirs.dedup_by(|a, b| a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() < 1e-9));
+        dirs
+    }
+
+    /// Exact halfspace representation in any dimension: one ± constraint
+    /// pair per [`containment_directions`](Self::containment_directions)
+    /// entry, with offsets from the analytic support function.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors the support-function contract; zonotope supports never fail,
+    /// so this is effectively infallible.
+    pub fn to_polytope(&self) -> Result<Polytope, GeomError> {
+        let n = self.dim();
+        let dirs = self.containment_directions();
+        let mut hs = Vec::with_capacity(2 * dirs.len());
+        for d in dirs {
+            let neg: Vec<f64> = d.iter().map(|v| -v).collect();
+            let hi = self.support(&d)?;
+            let lo = self.support(&neg)?;
+            hs.push(crate::Halfspace::new(d, hi));
+            hs.push(crate::Halfspace::new(neg, lo));
+        }
+        Ok(Polytope::new(n, hs))
+    }
+
+    /// Girard order reduction: an **outer** approximation with at most
+    /// `max(max_generators, dim)` generators — the longest generators are
+    /// kept, the rest are over-approximated by their interval hull (one
+    /// axis-aligned generator per dimension).
+    ///
+    /// Iterated Minkowski sums grow the generator count linearly and the
+    /// facet enumeration is combinatorial in it; reducing before an H-rep
+    /// conversion keeps n-D invariant-set synthesis polynomial.
+    pub fn reduce_order(&self, max_generators: usize) -> Zonotope {
+        let n = self.dim();
+        let k = self.generators.len();
+        if k <= max_generators.max(n) {
+            return self.clone();
+        }
+        let keep = max_generators.max(n) - n;
+        // Deterministic order: norm descending, index ascending on ties.
+        let mut order: Vec<usize> = (0..k).collect();
+        let norm = |g: &[f64]| g.iter().map(|v| v * v).sum::<f64>();
+        order.sort_by(|&a, &b| {
+            norm(&self.generators[b])
+                .partial_cmp(&norm(&self.generators[a]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut generators: Vec<Vec<f64>> = order[..keep]
+            .iter()
+            .map(|&i| self.generators[i].clone())
+            .collect();
+        // Interval hull of the dropped tail: Σ |g_i| per axis.
+        let mut radius = vec![0.0; n];
+        for &i in &order[keep..] {
+            for (r, v) in radius.iter_mut().zip(&self.generators[i]) {
+                *r += v.abs();
+            }
+        }
+        for (axis, r) in radius.into_iter().enumerate() {
+            if r > 0.0 {
+                let mut g = vec![0.0; n];
+                g[axis] = r;
+                generators.push(g);
+            }
+        }
+        Zonotope {
+            center: self.center.clone(),
+            generators,
+        }
     }
 
     /// Exact halfspace representation of a 2-D zonotope.
@@ -320,6 +609,125 @@ mod tests {
         let p = z.to_polytope_2d().unwrap();
         assert!(p.contains(&[2.0, 3.0]));
         assert!(!p.contains(&[2.0, 3.1]));
+    }
+
+    #[test]
+    fn to_polytope_matches_2d_conversion() {
+        let z = Zonotope::new(vec![1.0, 0.0], vec![vec![1.0, 1.0], vec![1.0, -0.5]]);
+        let nd = z.to_polytope().unwrap();
+        let planar = z.to_polytope_2d().unwrap();
+        assert!(nd.set_eq(&planar, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn to_polytope_3d_supports_agree() {
+        // A rotated 3-D zonotope with 4 generators.
+        let z = Zonotope::new(
+            vec![0.5, -0.5, 0.0],
+            vec![
+                vec![1.0, 0.0, 0.2],
+                vec![0.0, 1.0, -0.3],
+                vec![0.3, 0.3, 1.0],
+                vec![0.5, -0.2, 0.1],
+            ],
+        );
+        let p = z.to_polytope().unwrap();
+        assert_eq!(p.dim(), 3);
+        for dir in [
+            [1.0, 0.0, 0.0],
+            [0.0, -1.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [-0.3, 0.7, 2.0],
+        ] {
+            let zs = z.support(&dir).unwrap();
+            let ps = p.support(&dir).unwrap();
+            assert!((zs - ps).abs() < 1e-7, "dir {dir:?}: {zs} vs {ps}");
+        }
+        // Extreme points are members; an inflated corner is not.
+        let corner = [0.5 + 1.8, -0.5 + 1.1, 1.0];
+        assert!(p.contains(&corner));
+        assert!(!p.contains(&[0.5 + 2.5, -0.5, 0.0]));
+    }
+
+    #[test]
+    fn to_polytope_4d_box_is_box() {
+        let z = Zonotope::from_box(&[-1.0, -2.0, -3.0, -4.0], &[1.0, 2.0, 3.0, 4.0]);
+        let p = z.to_polytope().unwrap();
+        let b = Polytope::from_box(&[-1.0, -2.0, -3.0, -4.0], &[1.0, 2.0, 3.0, 4.0]);
+        assert!(p.set_eq(&b, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn to_polytope_degenerate_3d_segment() {
+        // A segment in 3-D: rank 1, needs complement directions for caps.
+        let z = Zonotope::new(vec![0.0, 0.0, 0.0], vec![vec![1.0, 1.0, 0.0]]);
+        let p = z.to_polytope().unwrap();
+        assert!(p.contains(&[1.0, 1.0, 0.0]));
+        assert!(p.contains(&[-0.5, -0.5, 0.0]));
+        assert!(!p.contains(&[0.5, -0.5, 0.0]));
+        assert!(!p.contains(&[0.0, 0.0, 0.1]));
+        assert!(!p.contains(&[1.5, 1.5, 0.0]));
+    }
+
+    #[test]
+    fn to_polytope_flat_3d_parallelogram() {
+        // Rank 2 in 3-D: the paper-style degenerate disturbance lifted.
+        let z = Zonotope::new(vec![0.0; 3], vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        let p = z.to_polytope().unwrap();
+        assert!(p.contains(&[1.0, -1.0, 0.0]));
+        assert!(!p.contains(&[1.0, -1.0, 0.01]));
+        assert!(!p.contains(&[1.1, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn containment_directions_cover_box_axes() {
+        let z = Zonotope::from_box(&[-1.0, -1.0, -1.0], &[1.0, 1.0, 1.0]);
+        let dirs = z.containment_directions();
+        assert_eq!(dirs.len(), 3, "a 3-D box has 3 facet-normal pairs");
+        for axis in 0..3 {
+            assert!(
+                dirs.iter().any(|d| (d[axis].abs() - 1.0).abs() < 1e-9),
+                "missing axis {axis} in {dirs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_order_is_outer_approximation() {
+        let z = Zonotope::new(
+            vec![0.1, -0.2, 0.3],
+            vec![
+                vec![1.0, 0.2, 0.0],
+                vec![0.0, 0.8, 0.1],
+                vec![0.1, 0.1, 0.6],
+                vec![0.4, -0.3, 0.2],
+                vec![0.05, 0.02, -0.01],
+                vec![-0.2, 0.1, 0.3],
+            ],
+        );
+        let r = z.reduce_order(4);
+        assert!(r.generators().len() <= 4.max(z.dim()));
+        assert_eq!(r.center(), z.center());
+        for dir in [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, -1.0, 0.5],
+            [-0.7, 0.3, 1.3],
+        ] {
+            let orig = z.support(&dir).unwrap();
+            let red = r.support(&dir).unwrap();
+            assert!(
+                red >= orig - 1e-9,
+                "reduction must not shrink: {red} < {orig} in {dir:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_order_noop_below_cap() {
+        let z = Zonotope::from_box(&[-1.0, -1.0], &[1.0, 1.0]);
+        assert_eq!(z.reduce_order(8), z);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! must *transport membership* correctly, which is exactly what the safety
 //! machinery relies on.
 
-use oic_geom::{minkowski_sum_2d, polytope_from_points_2d, Polytope, SupportFunction, Zonotope};
+use oic_geom::{
+    minkowski_sum_2d_vertex_reference, polytope_from_points_2d, Polytope, SupportFunction, Zonotope,
+};
 use oic_linalg::Matrix;
 use proptest::prelude::*;
 
@@ -130,10 +132,14 @@ proptest! {
         }
     }
 
-    /// Minkowski sum on vertices: sums of member points are members.
+    /// Minkowski sum on vertices: sums of member points are members, and
+    /// the dimension-generic projection path agrees with the retained
+    /// planar vertex-hull reference.
     #[test]
     fn minkowski_sum_contains_pointwise_sums(a in box2d(), b in box2d()) {
-        let s = minkowski_sum_2d(&a, &b).unwrap();
+        let s = a.minkowski_sum(&b).unwrap();
+        let reference = minkowski_sum_2d_vertex_reference(&a, &b).unwrap();
+        prop_assert!(s.set_eq(&reference, 1e-6).unwrap());
         let va = a.vertices_2d().unwrap();
         let vb = b.vertices_2d().unwrap();
         for p in &va {
@@ -152,5 +158,111 @@ proptest! {
         for pt in &pts {
             prop_assert!(p.contains_with_tol(pt, 1e-6), "{pt:?} outside its own hull");
         }
+    }
+}
+
+/// A random box in `dim` dimensions with a coupling halfspace that cuts it
+/// but keeps the center feasible, plus a query direction on the first two
+/// coordinates. Exercises Fourier–Motzkin in dimensions 3–6.
+fn lifted_box_case() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>, [f64; 2])> {
+    (3usize..=6).prop_flat_map(|dim| {
+        (
+            prop::collection::vec(-3.0f64..0.0, dim),
+            prop::collection::vec(0.1f64..3.0, dim),
+            prop::collection::vec(-1.0f64..1.0, dim),
+            point2d(),
+        )
+            .prop_map(|(lo, width, coupling, d)| {
+                let hi: Vec<f64> = lo.iter().zip(&width).map(|(l, w)| l + w).collect();
+                (lo, hi, coupling, d)
+            })
+    })
+}
+
+/// Random zonotope (dim + 1 generators) in dimensions 3–4 plus a query
+/// direction on the first two coordinates.
+fn lifted_zonotope_case() -> impl Strategy<Value = (Zonotope, [f64; 2])> {
+    (3usize..=4).prop_flat_map(|dim| {
+        (
+            prop::collection::vec(-1.0f64..1.0, dim),
+            prop::collection::vec(prop::collection::vec(-1.0f64..1.0, dim), dim + 1),
+            point2d(),
+        )
+            .prop_map(|(center, generators, d)| (Zonotope::new(center, generators), d))
+    })
+}
+
+proptest! {
+    // Fewer cases: each case runs several Fourier–Motzkin eliminations
+    // with LP-based pruning.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fourier–Motzkin projection preserves the support function on the
+    /// kept coordinates: `h_{proj(P)}(d) = h_P((d, 0, …, 0))`. Cross-checks
+    /// the n-D elimination pipeline (including its redundancy pruning)
+    /// against direct LP support evaluation on the unprojected polytope,
+    /// up to dimension 6.
+    #[test]
+    fn projection_preserves_support_boxes((lo, hi, coupling, d) in lifted_box_case()) {
+        prop_assume!(d[0].abs() + d[1].abs() > 1e-3);
+        let dim = lo.len();
+        let base = Polytope::from_box(&lo, &hi);
+        // A coupling facet through a point between center and the support
+        // extreme, so it genuinely cuts the box but keeps it non-empty.
+        let center: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| 0.5 * (l + h)).collect();
+        let c_dot: f64 = coupling.iter().zip(&center).map(|(c, x)| c * x).sum();
+        let h_c = base.support(&coupling).unwrap();
+        let mut rows = base.halfspaces().to_vec();
+        rows.push(oic_geom::Halfspace::new(
+            coupling.clone(),
+            c_dot + 0.6 * (h_c - c_dot),
+        ));
+        let lifted = Polytope::new(dim, rows);
+        let projected = lifted.project_to_first(2);
+        let mut full_dir = vec![0.0; dim];
+        full_dir[0] = d[0];
+        full_dir[1] = d[1];
+        let direct = lifted.support(&full_dir).unwrap();
+        let via_projection = projected.support(&d).unwrap();
+        prop_assert!(
+            (direct - via_projection).abs() < 1e-6,
+            "dim {}: direct {} vs projected {}", dim, direct, via_projection
+        );
+    }
+
+    /// Same cross-check against the *analytic* zonotope support: convert a
+    /// random n-D zonotope to H-rep, project to the first two coordinates,
+    /// and compare supports with the generator formula.
+    #[test]
+    fn projection_preserves_support_zonotopes((z, d) in lifted_zonotope_case()) {
+        prop_assume!(d[0].abs() + d[1].abs() > 1e-3);
+        let p = z.to_polytope().unwrap();
+        let projected = p.project_to_first(2);
+        let mut full_dir = vec![0.0; z.dim()];
+        full_dir[0] = d[0];
+        full_dir[1] = d[1];
+        let analytic = z.support(&full_dir).unwrap();
+        let via_projection = projected.support(&d).unwrap();
+        prop_assert!(
+            (analytic - via_projection).abs() < 1e-6,
+            "dim {}: analytic {} vs projected {}", z.dim(), analytic, via_projection
+        );
+    }
+
+    /// The n-D H-rep conversion agrees with the analytic support function
+    /// in random directions (dimensions 3–4, including rank-deficient
+    /// generator sets).
+    #[test]
+    fn zonotope_to_polytope_supports_agree((z, d) in lifted_zonotope_case()) {
+        let p = z.to_polytope().unwrap();
+        let mut dir = vec![0.0; z.dim()];
+        dir[0] = d[0];
+        dir[1] = d[1];
+        if z.dim() > 2 {
+            dir[2] = 0.5 * (d[0] + d[1]);
+        }
+        let hz = z.support(&dir).unwrap();
+        let hp = p.support(&dir).unwrap();
+        prop_assert!((hz - hp).abs() < 1e-6, "{hz} vs {hp}");
     }
 }

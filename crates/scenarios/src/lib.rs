@@ -8,20 +8,26 @@
 //! input, a bounded disturbance process, and an initial-state sampler.
 //! The [`ScenarioRegistry`] enumerates the built-in studies:
 //!
-//! | Name | Plant | Controller | Skip semantics |
-//! |---|---|---|---|
-//! | `acc` | §IV adaptive cruise control | tube MPC | physical coast |
-//! | `double-integrator` | perturbed double integrator | LQR feedback | zero input |
-//! | `lane-keeping` | lateral lane-keeping dynamics | tube MPC | hold heading |
-//! | `orbit-hold` | radial orbit-hold (Hill/CW, à la Ong et al.) | LQR feedback | thrusters off |
-//! | `thermal-rc` | RC building-thermal zone | LQR feedback | nominal duty |
-//! | `quadrotor-alt` | quadrotor altitude hold | LQR feedback | hover thrust |
-//! | `pendulum-cart` | inverted pendulum cart (unstable) | LQR feedback | zero torque |
-//! | `dc-motor` | DC-motor position servo | LQR feedback | de-energized |
+//! | Name | Plant | States | Controller | Skip semantics |
+//! |---|---|---|---|---|
+//! | `acc` | §IV adaptive cruise control | 2 | tube MPC | physical coast |
+//! | `double-integrator` | perturbed double integrator | 2 | LQR feedback | zero input |
+//! | `lane-keeping` | lateral lane-keeping dynamics | 2 | tube MPC | hold heading |
+//! | `orbit-hold` | radial orbit-hold (Hill/CW, à la Ong et al.) | 2 | LQR feedback | thrusters off |
+//! | `thermal-rc` | RC building-thermal zone | 2 | LQR feedback | nominal duty |
+//! | `quadrotor-alt` | quadrotor altitude hold | 2 | LQR feedback | hover thrust |
+//! | `pendulum-cart` | inverted pendulum cart (unstable) | 2 | LQR feedback | zero torque |
+//! | `dc-motor` | DC-motor position servo | 2 | LQR feedback | de-energized |
+//! | `cstr` | chemical reactor (CSTR) temperature | 3 | LQR feedback | coolant valve off |
+//! | `two-mass-spring` | two-mass spring positioning | 4 | LQR feedback | drive off |
 //!
 //! Every scenario's sets pass [`oic_core::SafeSets::certify`] (exact LP
 //! inclusion certificates), so Theorem 1 holds for *any* skipping policy
 //! on *any* registered scenario — the property tests sweep exactly that.
+//! On top of the hierarchy, every `build()` attaches the **certified
+//! minimal-RPI tube** of its closed loop ([`certified_tube`]): the
+//! dimension-generic Raković synthesis plus an exact facet-by-facet
+//! support certificate, in 2, 3, and 4 state dimensions alike.
 //!
 //! # Examples
 //!
@@ -29,19 +35,26 @@
 //! use oic_scenarios::ScenarioRegistry;
 //!
 //! let registry = ScenarioRegistry::standard();
-//! assert!(registry.len() >= 8);
-//! let scenario = registry.get("double-integrator").expect("registered");
+//! assert!(registry.len() >= 10);
+//! let scenario = registry.get("cstr").expect("registered");
 //! let instance = scenario.build().expect("builds and certifies");
 //! instance.sets().certify().expect("certificates hold");
+//! assert!(instance.tube().is_some(), "certified RPI tube attached");
 //! ```
 
-use oic_control::{ControlError, Controller, LinearFeedback, TubeMpc};
+use oic_control::{
+    rakovic_rpi_certified, ConstrainedLti, ControlError, Controller, InvariantOptions,
+    LinearFeedback, TubeMpc,
+};
 use oic_core::{CoreError, DisturbanceProcess, IntermittentController, SafeSets, SkipPolicy};
+use oic_geom::{Polytope, Zonotope};
+use oic_linalg::Matrix;
 use rand::rngs::StdRng;
 
 pub mod disturbance;
 
 mod acc;
+mod cstr;
 mod dc_motor;
 mod double_integrator;
 mod lane_keeping;
@@ -50,8 +63,10 @@ mod pendulum;
 mod quadrotor;
 mod registry;
 mod thermal;
+mod two_mass;
 
 pub use acc::AccScenario;
+pub use cstr::CstrScenario;
 pub use dc_motor::DcMotorScenario;
 pub use double_integrator::DoubleIntegratorScenario;
 pub use lane_keeping::LaneKeepingScenario;
@@ -60,6 +75,7 @@ pub use pendulum::PendulumCartScenario;
 pub use quadrotor::QuadrotorAltScenario;
 pub use registry::ScenarioRegistry;
 pub use thermal::ThermalRcScenario;
+pub use two_mass::TwoMassSpringScenario;
 
 /// The underlying safe controller of a scenario.
 ///
@@ -110,6 +126,85 @@ impl Controller for ScenarioController {
     }
 }
 
+/// Synthesizes the **certified minimal-RPI tube** `Ξ` of a scenario's
+/// closed loop `A + BK`: the paper's `XI = α(W ⊕ A_K W ⊕ …)` construction
+/// via the dimension-generic [`rakovic_rpi_certified`]. Every registry
+/// scenario attaches this certificate at `build()` — the concrete witness
+/// that the Raković pipeline works for the plant, in any state dimension.
+///
+/// The returned polytope is invariant **by construction**: its template
+/// offsets close the facet-by-facet support inequalities analytically
+/// (see [`oic_control::certify_template`]). [`oic_control::verify_rpi`]
+/// — the independent LP certificate — is deliberately left to the test
+/// suites (the `tube_certificates` integration tests and the
+/// `OIC_LP_BACKEND` CI matrix) so a batch engine run does not re-pay one
+/// LP per tube facet for every scenario build.
+///
+/// The disturbance is taken as the centered box hull of the plant's `W`
+/// (every registry `W` is an origin-symmetric box, so this is exact).
+///
+/// # Errors
+///
+/// * [`CoreError::Control`] — tube synthesis failed (e.g. the closed loop
+///   is not strictly stable).
+pub fn certified_tube(plant: &ConstrainedLti, gain: &Matrix) -> Result<TubeCertificate, CoreError> {
+    let a_cl = plant.system().closed_loop(gain);
+    let w = tube_disturbance(plant)?;
+    let set = rakovic_rpi_certified(&a_cl, &w, &InvariantOptions::default())?;
+    Ok(TubeCertificate { set, a_cl, w })
+}
+
+/// The centered disturbance zonotope [`certified_tube`] certifies
+/// against: the box hull of the plant's `W`, re-centered at the origin.
+pub fn tube_disturbance(plant: &ConstrainedLti) -> Result<Zonotope, CoreError> {
+    let (lo, hi) = plant.disturbance_set().bounding_box()?;
+    let radii: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| 0.5 * (h - l)).collect();
+    let neg: Vec<f64> = radii.iter().map(|r| -r).collect();
+    Ok(Zonotope::from_box(&neg, &radii))
+}
+
+/// A certified minimal-RPI tube together with everything needed to
+/// re-check it: the closed loop `A_K` and the centered disturbance it was
+/// synthesized for. Self-contained, so test suites (and the
+/// `OIC_LP_BACKEND` CI matrix) can run the independent LP certificate
+/// without reconstructing scenario gains.
+#[derive(Debug, Clone)]
+pub struct TubeCertificate {
+    set: Polytope,
+    a_cl: Matrix,
+    w: Zonotope,
+}
+
+impl TubeCertificate {
+    /// The certified RPI outer approximation `Ξ`.
+    pub fn set(&self) -> &Polytope {
+        &self.set
+    }
+
+    /// The closed-loop matrix `A + BK` the tube is invariant for.
+    pub fn closed_loop(&self) -> &Matrix {
+        &self.a_cl
+    }
+
+    /// The centered disturbance zonotope.
+    pub fn disturbance(&self) -> &Zonotope {
+        &self.w
+    }
+
+    /// Re-runs the exact facet-by-facet LP certificate
+    /// ([`oic_control::verify_rpi`]) — the independent check of the
+    /// analytic construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures as [`CoreError::Geometry`].
+    pub fn verify(&self, tol: f64) -> Result<bool, CoreError> {
+        Ok(oic_control::verify_rpi(
+            &self.set, &self.a_cl, &self.w, tol,
+        )?)
+    }
+}
+
 /// A fully built scenario: certified sets plus the controller they were
 /// computed for. Construction is the expensive part (invariant-set
 /// synthesis); build once and share across episodes.
@@ -118,6 +213,7 @@ pub struct ScenarioInstance {
     name: &'static str,
     sets: SafeSets,
     controller: ScenarioController,
+    tube: Option<TubeCertificate>,
 }
 
 impl ScenarioInstance {
@@ -142,7 +238,20 @@ impl ScenarioInstance {
             name,
             sets,
             controller,
+            tube: None,
         }
+    }
+
+    /// Attaches the certified minimal-RPI tube (see [`certified_tube`]).
+    #[must_use]
+    pub fn with_tube(mut self, tube: TubeCertificate) -> Self {
+        assert_eq!(
+            tube.set().dim(),
+            self.sets.plant().system().state_dim(),
+            "tube dimension mismatch"
+        );
+        self.tube = Some(tube);
+        self
     }
 
     /// The scenario name this instance was built from.
@@ -153,6 +262,13 @@ impl ScenarioInstance {
     /// The certified set hierarchy.
     pub fn sets(&self) -> &SafeSets {
         &self.sets
+    }
+
+    /// The certified minimal-RPI tube `Ξ` of the scenario's closed loop,
+    /// when the scenario attached one at `build()` (all registry
+    /// scenarios do).
+    pub fn tube(&self) -> Option<&TubeCertificate> {
+        self.tube.as_ref()
     }
 
     /// The underlying safe controller.

@@ -1,8 +1,9 @@
 //! The scenario registry.
 
 use crate::{
-    AccScenario, DcMotorScenario, DoubleIntegratorScenario, LaneKeepingScenario, OrbitHoldScenario,
-    PendulumCartScenario, QuadrotorAltScenario, Scenario, ThermalRcScenario,
+    AccScenario, CstrScenario, DcMotorScenario, DoubleIntegratorScenario, LaneKeepingScenario,
+    OrbitHoldScenario, PendulumCartScenario, QuadrotorAltScenario, Scenario, ThermalRcScenario,
+    TwoMassSpringScenario,
 };
 
 /// A named collection of scenarios.
@@ -26,8 +27,9 @@ impl ScenarioRegistry {
         Self::default()
     }
 
-    /// The built-in case studies (the paper's ACC plus seven more
-    /// plants, in registration = report order).
+    /// The built-in case studies (the paper's ACC plus nine more plants,
+    /// in registration = report order; the ≥3-state plants come last so
+    /// existing report baselines keep their cell order).
     pub fn standard() -> Self {
         let mut registry = Self::new();
         registry.register(Box::new(AccScenario::default()));
@@ -38,6 +40,8 @@ impl ScenarioRegistry {
         registry.register(Box::new(QuadrotorAltScenario::default()));
         registry.register(Box::new(PendulumCartScenario::default()));
         registry.register(Box::new(DcMotorScenario::default()));
+        registry.register(Box::new(CstrScenario::default()));
+        registry.register(Box::new(TwoMassSpringScenario::default()));
         registry
     }
 
@@ -89,9 +93,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_registry_has_eight_unique_scenarios() {
+    fn standard_registry_has_ten_unique_scenarios() {
         let registry = ScenarioRegistry::standard();
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 10);
         let names = registry.names();
         let mut deduped = names.clone();
         deduped.sort_unstable();
@@ -107,7 +111,9 @@ mod tests {
                 "thermal-rc",
                 "quadrotor-alt",
                 "pendulum-cart",
-                "dc-motor"
+                "dc-motor",
+                "cstr",
+                "two-mass-spring"
             ]
         );
     }

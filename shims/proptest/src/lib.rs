@@ -64,6 +64,39 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Maps generated values into a *strategy* and samples from it —
+    /// the dependent-generation combinator (e.g. draw a dimension, then
+    /// draw vectors of that length).
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+        U: Strategy,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_flat_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+    U: Strategy,
+{
+    type Value = U::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let intermediate = self.inner.sample(rng);
+        (self.f)(intermediate).sample(rng)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -385,6 +418,13 @@ mod tests {
             prop_assert!((2.0..4.0).contains(&doubled));
             prop_assume!(doubled > 2.5);
             prop_assert!(doubled > 2.5);
+        }
+
+        #[test]
+        fn prop_flat_map_dependent_lengths(
+            v in (2usize..5).prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n)),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len = {}", v.len());
         }
     }
 

@@ -130,9 +130,11 @@ fn full_registry_smoke_batch_is_safe() {
         ..Default::default()
     };
     let report = run_batch(&registry, &policies, &config).unwrap();
-    assert_eq!(report.cells.len(), 16, "8 scenarios x 2 policies");
+    assert_eq!(report.cells.len(), 20, "10 scenarios x 2 policies");
     assert_eq!(report.total_safety_violations(), 0);
     let json = report.to_json(false).to_json_pretty();
     assert!(json.contains("\"scenario\": \"acc\""));
+    assert!(json.contains("\"scenario\": \"cstr\""));
+    assert!(json.contains("\"scenario\": \"two-mass-spring\""));
     assert!(json.contains("\"policy\": \"max-skip-2\""));
 }

@@ -171,11 +171,11 @@ fn hundred_thousand_episode_sweep_streams_without_episode_records() {
 }
 
 /// The registry-wide certification sweep the batch bin relies on: all
-/// eight scenarios build, certify, and run through the engine.
+/// ten scenarios build, certify, and run through the engine.
 #[test]
-fn eight_scenario_registry_certifies_and_sweeps() {
+fn ten_scenario_registry_certifies_and_sweeps() {
     let registry = ScenarioRegistry::standard();
-    assert_eq!(registry.len(), 8, "names: {:?}", registry.names());
+    assert_eq!(registry.len(), 10, "names: {:?}", registry.names());
     for scenario in registry.iter() {
         let instance = scenario.build().unwrap_or_else(|e| {
             panic!("{} failed to build: {e}", scenario.name());

@@ -32,8 +32,25 @@ fn instances() -> &'static Vec<ScenarioInstance> {
 }
 
 #[test]
-fn registry_has_eight_scenarios() {
-    assert!(registry().len() >= 8, "names: {:?}", registry().names());
+fn registry_has_ten_scenarios() {
+    assert!(registry().len() >= 10, "names: {:?}", registry().names());
+}
+
+/// Every scenario — including the 3-state CSTR and 4-state two-mass
+/// spring — carries the dimension-generic Raković tube certificate.
+#[test]
+fn every_scenario_has_certified_tube() {
+    for instance in instances() {
+        let tube = instance
+            .tube()
+            .unwrap_or_else(|| panic!("{} attached no tube", instance.name()));
+        assert_eq!(
+            tube.set().dim(),
+            instance.sets().plant().system().state_dim(),
+            "{}",
+            instance.name()
+        );
+    }
 }
 
 /// Every registered scenario passes the LP inclusion certificates:
