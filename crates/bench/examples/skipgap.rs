@@ -1,0 +1,107 @@
+//! Diagnostic: how much skip-rate headroom is there above bang-bang on
+//! one scenario, and where does it come from?
+//!
+//! Replays the committed-benchmark episode set (seed 42, 50 × 50) under
+//! bang-bang and under a family of anticipatory threshold policies
+//! ("run when the strengthened-set slack drops below τ"), printing the
+//! skip rate and run-streak structure of each. Usage:
+//! `cargo run --release -p oic-bench --example skipgap -- [scenario]`
+
+use oic_core::{PolicyContext, SkipDecision, SkipPolicy};
+use oic_engine::{episode_seed, BatchConfig};
+use oic_scenarios::ScenarioRegistry;
+
+/// Runs κ when the strengthened-set slack is below `tau`, skips
+/// otherwise.
+struct SlackThreshold {
+    strengthened: oic_geom::Polytope,
+    tau: f64,
+}
+
+impl SkipPolicy for SlackThreshold {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> SkipDecision {
+        if self.strengthened.min_slack(ctx.state) < self.tau {
+            SkipDecision::Run
+        } else {
+            SkipDecision::Skip
+        }
+    }
+    fn name(&self) -> &'static str {
+        "slack-threshold"
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "acc".to_string());
+    let registry = ScenarioRegistry::standard();
+    let scenario = registry.get(&name).expect("registered scenario");
+    let instance = scenario.build().expect("builds");
+    let config = BatchConfig {
+        episodes: 50,
+        steps: 50,
+        seed: 42,
+        ..Default::default()
+    };
+
+    let sys = instance.sets().plant().system().clone();
+    let run_with = |label: &str, make: &dyn Fn(u64) -> Box<dyn SkipPolicy>| {
+        let mut skipped = 0usize;
+        let mut steps = 0usize;
+        let mut violations = 0usize;
+        let mut run_streaks: Vec<usize> = Vec::new();
+        for episode in 0..config.episodes {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let seed = episode_seed(config.seed, instance.name(), label, episode);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x0 = instance.sample_initial_state(&mut rng);
+            let mut process = scenario.disturbance_process(seed ^ 0x9E37_79B9_7F4A_7C15);
+            let mut runtime = instance.runtime(make(seed), config.memory);
+            let mut x = x0;
+            let mut streak = 0usize;
+            for t in 0..config.steps {
+                if !instance.sets().safe().contains_with_tol(&x, 1e-6) {
+                    violations += 1;
+                }
+                let d = runtime.step(&x, &[]).expect("step");
+                if d.skipped {
+                    skipped += 1;
+                    if streak > 0 {
+                        run_streaks.push(streak);
+                        streak = 0;
+                    }
+                } else {
+                    streak += 1;
+                }
+                steps += 1;
+                let w = process.next(t);
+                x = sys.step(&x, &d.input, &w);
+            }
+            if streak > 0 {
+                run_streaks.push(streak);
+            }
+        }
+        let mean_streak = if run_streaks.is_empty() {
+            0.0
+        } else {
+            run_streaks.iter().sum::<usize>() as f64 / run_streaks.len() as f64
+        };
+        let max_streak = run_streaks.iter().copied().max().unwrap_or(0);
+        println!(
+            "{label:<24} skip {:.4}  violations {violations}  run-streaks: n={} mean={mean_streak:.2} max={max_streak}",
+            skipped as f64 / steps as f64,
+            run_streaks.len(),
+        );
+    };
+
+    run_with("bang-bang", &|_| Box::new(oic_core::BangBangPolicy));
+    for tau in [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0] {
+        let strengthened = instance.sets().strengthened().clone();
+        run_with(&format!("slack<{tau}"), &move |_| {
+            Box::new(SlackThreshold {
+                strengthened: strengthened.clone(),
+                tau,
+            })
+        });
+    }
+}

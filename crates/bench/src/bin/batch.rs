@@ -4,7 +4,11 @@
 //!
 //! Usage: `cargo run --release -p oic-bench --bin batch -- [--cases N]
 //! [--steps N] [--seed N] [--threads N] [--chunk N] [--stream|--detail]
-//! [--out report.json]`
+//! [--policies drl:<path>[,drl:<path>…]] [--out report.json]`
+//!
+//! The roster is the five analytic policies plus the committed golden
+//! learned policies (`drl-acc`, `drl-double-integrator`); `--policies
+//! drl:<path>` appends additional weight blobs from disk.
 //!
 //! The wall-clock/scheduler summary goes to stderr only — the JSON
 //! report is deterministic byte-for-byte and must stay that way (CI

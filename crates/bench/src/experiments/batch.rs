@@ -13,8 +13,8 @@ use oic_scenarios::ScenarioRegistry;
 
 use super::common::ExperimentScale;
 
-/// The standard policy roster for scenario sweeps — one of every
-/// [`PolicySpec`] variant, so the sweep exercises the full policy space.
+/// The standard **analytic** policy roster for scenario sweeps — one of
+/// every closed-form [`PolicySpec`] variant.
 pub fn standard_policies() -> Vec<PolicySpec> {
     vec![
         PolicySpec::AlwaysRun,
@@ -23,6 +23,51 @@ pub fn standard_policies() -> Vec<PolicySpec> {
         PolicySpec::Random(0.25),
         PolicySpec::MaxSkip(2),
     ]
+}
+
+/// The full sweep roster: the analytic policies, the golden learned
+/// policies riding on `registry` weight blobs (labels `drl-<scenario>`),
+/// and any extra `drl:<path>` blobs the command line loaded.
+///
+/// Roster order is analytic → golden → CLI extras, so the analytic cells
+/// of the committed `BENCH_batch.json` keep their positions (new cells
+/// append within each scenario's block).
+pub fn full_roster(
+    registry: &ScenarioRegistry,
+    scale: &ExperimentScale,
+) -> Result<Vec<PolicySpec>, String> {
+    let mut roster = standard_policies();
+    roster.extend(crate::golden::drl_policies(registry));
+    roster.extend(extra_policies(scale)?);
+    Ok(roster)
+}
+
+/// Loads the `--policies drl:<path>` entries of a scale: each path is an
+/// `oic-nn` weight blob, added as a [`PolicySpec::Drl`] named after the
+/// file stem.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unreadable files or malformed
+/// entries (unknown prefixes).
+pub fn extra_policies(scale: &ExperimentScale) -> Result<Vec<PolicySpec>, String> {
+    let mut extras = Vec::new();
+    for entry in &scale.policies {
+        let Some(path) = entry.strip_prefix("drl:") else {
+            return Err(format!(
+                "unknown policy entry {entry:?} (expected drl:<path>)"
+            ));
+        };
+        let weights =
+            std::fs::read(path).map_err(|e| format!("cannot read weight blob {path:?}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("blob")
+            .to_string();
+        extras.push(PolicySpec::drl(name, weights));
+    }
+    Ok(extras)
 }
 
 /// The engine configuration a scale maps to (shared by `run` and the
@@ -41,11 +86,16 @@ pub fn config(scale: &ExperimentScale) -> BatchConfig {
 }
 
 /// Runs the sweep: `scale.cases` episodes of `scale.steps` steps per
-/// (scenario, policy) cell over the full standard registry.
+/// (scenario, policy) cell over the full standard registry, with the
+/// golden learned policies alongside the analytic roster (learned cells
+/// materialize wherever the network's dimensions fit the plant — the
+/// scenario it was trained for is the headline row, the rest are
+/// zero-shot transfer stressors that Theorem 1 keeps safe anyway).
 ///
 /// # Errors
 ///
-/// Propagates scenario-build and episode failures from the engine.
+/// Propagates scenario-build and episode failures from the engine;
+/// unreadable `--policies` blobs surface as [`EngineError::InvalidConfig`].
 pub fn run(scale: &ExperimentScale) -> Result<BatchReport, EngineError> {
     run_with_stats(scale).map(|(report, _)| report)
 }
@@ -55,10 +105,14 @@ pub fn run(scale: &ExperimentScale) -> Result<BatchReport, EngineError> {
 ///
 /// # Errors
 ///
-/// Propagates scenario-build and episode failures from the engine.
+/// Same contract as [`run`].
 pub fn run_with_stats(scale: &ExperimentScale) -> Result<(BatchReport, StealStats), EngineError> {
-    let registry = ScenarioRegistry::standard();
-    run_batch_with_stats(&registry, &standard_policies(), &config(scale))
+    let registry = crate::golden::registry_with_golden();
+    let roster = full_roster(&registry, scale).map_err(|message| {
+        eprintln!("{message}");
+        EngineError::InvalidConfig("unusable --policies entry (see stderr)")
+    })?;
+    run_batch_with_stats(&registry, &roster, &config(scale))
 }
 
 /// Renders the sweep as a table plus the Theorem-1 tally.
@@ -87,15 +141,59 @@ mod tests {
             ..Default::default()
         };
         let report = run(&scale).unwrap();
-        assert_eq!(report.cells.len(), 10 * standard_policies().len());
+        // 10 scenarios × 5 analytic policies, plus the two golden 4-input
+        // networks on each of the eight 2-state plants (the 3-state CSTR
+        // and 4-state two-mass spring cells are dimension-skipped).
+        let analytic = 10 * standard_policies().len();
+        let learned = report
+            .cells
+            .iter()
+            .filter(|c| c.policy.starts_with("drl-"))
+            .count();
+        assert_eq!(learned, 16);
+        assert_eq!(report.cells.len(), analytic + learned);
         assert_eq!(report.total_safety_violations(), 0);
+        assert!(
+            !report
+                .cells
+                .iter()
+                .any(|c| c.scenario == "cstr" && c.policy.starts_with("drl-")),
+            "3-state plants cannot host the 4-input golden networks"
+        );
         let rendered = render(&report);
         assert!(rendered.contains("lane-keeping"));
         assert!(rendered.contains("pendulum-cart"));
         assert!(rendered.contains("cstr"));
         assert!(rendered.contains("two-mass-spring"));
+        assert!(rendered.contains("drl-acc"));
         let json = report.to_json(false).to_json();
         assert!(json.contains("\"seed\":\"9\""));
+    }
+
+    #[test]
+    fn cli_policy_entries_load_or_fail_loudly() {
+        let bogus = ExperimentScale {
+            policies: vec!["mlp:whatever".into()],
+            ..Default::default()
+        };
+        assert!(extra_policies(&bogus).unwrap_err().contains("mlp:whatever"));
+        let missing = ExperimentScale {
+            policies: vec!["drl:/nonexistent/net.bin".into()],
+            ..Default::default()
+        };
+        assert!(extra_policies(&missing).unwrap_err().contains("net.bin"));
+        // A real blob round-trips and is named after the file stem.
+        let dir = std::env::temp_dir().join("oic-bench-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("my_net.bin");
+        std::fs::write(&path, crate::golden::ACC_DQN).unwrap();
+        let ok = ExperimentScale {
+            policies: vec![format!("drl:{}", path.display())],
+            ..Default::default()
+        };
+        let extras = extra_policies(&ok).unwrap();
+        assert_eq!(extras.len(), 1);
+        assert_eq!(extras[0].label(), "drl-my_net");
     }
 
     #[test]

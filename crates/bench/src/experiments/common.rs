@@ -32,6 +32,10 @@ pub struct ExperimentScale {
     /// Stream aggregation only (`true`, the default) vs. keeping
     /// per-episode detail rows in the report.
     pub stream: bool,
+    /// Extra policy roster entries (`--policies drl:<path>[,…]`): each
+    /// `drl:<path>` adds a learned skipping policy from an `oic-nn`
+    /// weight blob on disk, named after the file stem.
+    pub policies: Vec<String>,
     /// Optional path for the JSON report.
     pub out: Option<String>,
 }
@@ -46,6 +50,7 @@ impl Default for ExperimentScale {
             threads: 0,
             chunk: 0,
             stream: true,
+            policies: Vec::new(),
             out: None,
         }
     }
@@ -53,8 +58,8 @@ impl Default for ExperimentScale {
 
 impl ExperimentScale {
     /// Parses `--cases N --steps N --train N --seed N --threads N
-    /// --chunk N --stream --detail --out FILE` from an argument iterator
-    /// (unknown arguments are ignored).
+    /// --chunk N --stream --detail --policies LIST --out FILE` from an
+    /// argument iterator (unknown arguments are ignored).
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut scale = Self::default();
         let mut args = args.into_iter();
@@ -92,6 +97,13 @@ impl ExperimentScale {
                 }
                 "--stream" => scale.stream = true,
                 "--detail" => scale.stream = false,
+                "--policies" => {
+                    if let Some(v) = args.next() {
+                        scale
+                            .policies
+                            .extend(v.split(',').map(|s| s.trim().to_string()));
+                    }
+                }
                 "--out" => {
                     if let Some(v) = args.next() {
                         scale.out = Some(v);
@@ -223,6 +235,22 @@ mod tests {
         assert!(!scale.stream);
         let streamed = ExperimentScale::from_args(["--stream".to_string()]);
         assert!(streamed.stream);
+    }
+
+    #[test]
+    fn scale_parsing_policy_entries() {
+        let scale = ExperimentScale::from_args(
+            [
+                "--policies",
+                "drl:a.bin,drl:b.bin",
+                "--policies",
+                "drl:c.bin",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(scale.policies, ["drl:a.bin", "drl:b.bin", "drl:c.bin"]);
+        assert!(ExperimentScale::default().policies.is_empty());
     }
 
     #[test]

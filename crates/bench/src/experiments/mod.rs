@@ -7,6 +7,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod timing;
+pub mod train;
 
 mod common;
 

@@ -1,0 +1,82 @@
+//! Committed **golden** learned-policy fixtures.
+//!
+//! The blobs under `crates/bench/fixtures/` are trained once by
+//! `cargo run --release -p oic-bench --bin train` (pinned seeds, see
+//! [`crate::experiments::train::TrainSpec::golden`]) and committed; the
+//! sweeps and CI only ever do inference on them, which is bit-stable on
+//! any host. They are compiled in via `include_bytes!`, so a fixture
+//! change rebuilds every consumer and invalidates the benchmark-baseline
+//! jobs.
+
+use oic_engine::PolicySpec;
+use oic_scenarios::ScenarioRegistry;
+
+/// The golden ACC skipping network (trained on the tube-MPC ACC study).
+pub const ACC_DQN: &[u8] = include_bytes!("../fixtures/acc_dqn.bin");
+
+/// The golden double-integrator skipping network.
+pub const DOUBLE_INTEGRATOR_DQN: &[u8] = include_bytes!("../fixtures/double_integrator_dqn.bin");
+
+/// The fixture trained for a scenario, if one is committed.
+pub fn fixture_for(scenario: &str) -> Option<&'static [u8]> {
+    match scenario {
+        "acc" => Some(ACC_DQN),
+        "double-integrator" => Some(DOUBLE_INTEGRATOR_DQN),
+        _ => None,
+    }
+}
+
+/// All committed `(scenario, blob)` fixtures, registry order.
+pub const FIXTURES: [(&str, &[u8]); 2] = [
+    ("acc", ACC_DQN),
+    ("double-integrator", DOUBLE_INTEGRATOR_DQN),
+];
+
+/// The standard registry with every golden blob attached to the
+/// scenario it was trained for.
+pub fn registry_with_golden() -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::standard();
+    for (name, blob) in FIXTURES {
+        registry.attach_policy_weights(name, blob);
+    }
+    registry
+}
+
+/// One [`PolicySpec::Drl`] per blob attached to `registry`, named after
+/// the scenario the network was trained for (labels `drl-acc`, …), in
+/// the registry's deterministic entry order.
+pub fn drl_policies(registry: &ScenarioRegistry) -> Vec<PolicySpec> {
+    registry
+        .policy_weight_entries()
+        .map(|(name, blob)| PolicySpec::Drl {
+            name: name.to_string(),
+            weights: blob.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_decode_for_their_scenarios() {
+        for (name, blob) in FIXTURES {
+            assert!(blob.len() < 64 * 1024, "{name}: fixtures stay small");
+            crate::experiments::train::check_blob(name, blob).unwrap();
+            assert_eq!(fixture_for(name), Some(blob));
+        }
+        assert!(fixture_for("cstr").is_none());
+    }
+
+    #[test]
+    fn golden_registry_exposes_both_blobs() {
+        let registry = registry_with_golden();
+        let specs = drl_policies(&registry);
+        let labels: Vec<String> = specs.iter().map(PolicySpec::label).collect();
+        assert_eq!(labels, ["drl-acc", "drl-double-integrator"]);
+        for spec in &specs {
+            spec.validate().unwrap();
+        }
+    }
+}

@@ -20,4 +20,5 @@
 
 pub mod experiments;
 pub mod fixtures;
+pub mod golden;
 pub mod table;

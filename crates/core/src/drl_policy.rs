@@ -5,14 +5,17 @@
 //! successor leaves the strengthened safe set and `R₂` the energy of the
 //! applied input unless the step was a skip taken inside `X′`.
 
+use std::sync::Arc;
+
 use oic_control::Controller;
 use oic_drl::{DoubleDqnAgent, Environment, StepOutcome};
 use oic_geom::Polytope;
 use oic_linalg::vec_ops;
+use oic_nn::Mlp;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{PolicyContext, SafeSets, SkipDecision, SkipPolicy};
+use crate::{CoreError, PolicyContext, SafeSets, SkipDecision, SkipPolicy};
 
 /// A custom `R₂` energy measure `f(x, u)`.
 pub type EnergyMetric = Box<dyn Fn(&[f64], &[f64]) -> f64>;
@@ -321,6 +324,129 @@ impl SkipPolicy for DrlPolicy {
     }
 }
 
+/// A trained Q-network as an **inference-only** skipping policy.
+///
+/// Unlike [`DrlPolicy`] this carries no agent (no replay buffer, no
+/// optimizer, no exploration RNG) — just the network behind an [`Arc`]
+/// plus the scenario's [`StateEncoder`]. That makes it the right shape
+/// for the batch engine: the weight blob is decoded **once per policy**,
+/// the `Arc` is shared across all worker deques, and per-episode
+/// instantiation is a cheap clone. Action selection is greedy argmax with
+/// a fixed lowest-index tie-break (ties pick *skip*), so a given network
+/// always produces the same decision sequence — byte-identical reports
+/// for any thread count.
+#[derive(Debug, Clone)]
+pub struct GreedyDrlPolicy {
+    net: Arc<Mlp>,
+    encoder: StateEncoder,
+    memory: usize,
+}
+
+impl GreedyDrlPolicy {
+    /// Decodes an `oic-nn` weight blob ([`Mlp::to_bytes`] layout) into a
+    /// shareable network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Policy`] when the blob is malformed.
+    pub fn decode(blob: &[u8]) -> Result<Arc<Mlp>, CoreError> {
+        Mlp::from_bytes(blob)
+            .map(Arc::new)
+            .map_err(|e| CoreError::Policy {
+                reason: format!("weight blob decode failed: {e}"),
+            })
+    }
+
+    /// The disturbance-history length `r` a network was trained with on
+    /// the given sets, inferred from its input layer: the encoder feeds
+    /// `n + r·n_w` inputs, so `r = (input_dim − n) / n_w`. Returns `None`
+    /// when no `r ≥ 1` fits (wrong plant dimension) or the output layer
+    /// is not the two skip/run Q-values — the network does not apply to
+    /// this scenario.
+    pub fn infer_memory(net: &Mlp, sets: &SafeSets) -> Option<usize> {
+        let n = sets.plant().system().state_dim();
+        let n_w = sets.plant().disturbance_set().dim();
+        if net.output_dim() != 2 || net.input_dim() <= n || n_w == 0 {
+            return None;
+        }
+        let extra = net.input_dim() - n;
+        extra.is_multiple_of(n_w).then(|| extra / n_w)
+    }
+
+    /// Binds a decoded network to one scenario's sets, inferring the
+    /// memory length from the architecture (see
+    /// [`infer_memory`](Self::infer_memory)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Policy`] when the network does not fit the
+    /// scenario's state/disturbance dimensions.
+    pub fn from_network(net: Arc<Mlp>, sets: &SafeSets) -> Result<Self, CoreError> {
+        let memory = Self::infer_memory(&net, sets).ok_or_else(|| CoreError::Policy {
+            reason: format!(
+                "network {}→{} does not fit a plant with {} states and {}-dim disturbances",
+                net.input_dim(),
+                net.output_dim(),
+                sets.plant().system().state_dim(),
+                sets.plant().disturbance_set().dim()
+            ),
+        })?;
+        let encoder = StateEncoder::from_sets(sets, memory);
+        debug_assert_eq!(encoder.state_dim(), net.input_dim());
+        Ok(Self {
+            net,
+            encoder,
+            memory,
+        })
+    }
+
+    /// Convenience: [`decode`](Self::decode) + [`from_network`](Self::from_network).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Policy`] on malformed blobs or dimension
+    /// mismatches.
+    pub fn from_bytes(blob: &[u8], sets: &SafeSets) -> Result<Self, CoreError> {
+        Self::from_network(Self::decode(blob)?, sets)
+    }
+
+    /// The inferred disturbance-history length `r`.
+    pub fn memory(&self) -> usize {
+        self.memory
+    }
+
+    /// The shared Q-network.
+    pub fn network(&self) -> &Arc<Mlp> {
+        &self.net
+    }
+
+    /// The greedy action (0 = skip, 1 = run) at a raw state + history —
+    /// exposed for golden-fixture inspection in tests.
+    pub fn greedy_action(&self, state: &[f64], w_history: &[Vec<f64>]) -> usize {
+        let q = self.net.forward(&self.encoder.encode(state, w_history));
+        // Strict `>` keeps the lowest index on ties: deterministic, and
+        // matches DoubleDqnAgent::act_greedy.
+        if q[1] > q[0] {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+impl SkipPolicy for GreedyDrlPolicy {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> SkipDecision {
+        match self.greedy_action(ctx.state, ctx.w_history) {
+            0 => SkipDecision::Skip,
+            _ => SkipDecision::Run,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "drl-greedy"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +517,75 @@ mod tests {
             "running κ must cost energy: {}",
             out.reward
         );
+    }
+
+    #[test]
+    fn greedy_policy_matches_agent_through_serialization() {
+        // Train the agent a little so the weights are not the init values,
+        // serialize, and check the inference-only policy reproduces the
+        // agent's greedy decisions exactly.
+        let case = AccCaseStudy::build_default().unwrap();
+        let enc = StateEncoder::from_sets(case.sets(), 1);
+        let mut agent = DoubleDqnAgent::new(DqnConfig {
+            state_dim: enc.state_dim(),
+            num_actions: 2,
+            hidden: vec![8],
+            learn_start: 4,
+            batch_size: 4,
+            seed: 11,
+            ..DqnConfig::default()
+        });
+        for i in 0..40 {
+            agent.remember(oic_drl::Transition {
+                state: vec![0.1 * (i % 7) as f64; enc.state_dim()],
+                action: i % 2,
+                reward: (i % 2) as f64,
+                next_state: vec![0.0; enc.state_dim()],
+                done: true,
+            });
+            let _ = agent.train_step();
+        }
+        let blob = agent.save_weights();
+        let mut greedy = GreedyDrlPolicy::from_bytes(&blob, case.sets()).unwrap();
+        assert_eq!(greedy.memory(), 1, "inferred from the input layer");
+        for i in 0..20 {
+            let x = vec![0.5 * (i as f64 / 20.0), -0.3 * (i as f64 / 20.0)];
+            let history = vec![vec![0.05 * i as f64, 0.0]];
+            let encoded = enc.encode(&x, &history);
+            let expected = agent.act_greedy(&encoded);
+            assert_eq!(greedy.greedy_action(&x, &history), expected, "state {i}");
+            let ctx = PolicyContext {
+                state: &x,
+                w_history: &history,
+                w_forecast: &[],
+                time_step: i,
+            };
+            let want = if expected == 0 {
+                SkipDecision::Skip
+            } else {
+                SkipDecision::Run
+            };
+            assert_eq!(greedy.decide(&ctx), want);
+        }
+    }
+
+    #[test]
+    fn greedy_policy_rejects_mismatched_architectures() {
+        let case = AccCaseStudy::build_default().unwrap();
+        // 5 inputs: 2 states + r·2 disturbances has no integer r ≥ 1.
+        let agent = DoubleDqnAgent::new(DqnConfig {
+            state_dim: 5,
+            num_actions: 2,
+            hidden: vec![4],
+            seed: 0,
+            ..DqnConfig::default()
+        });
+        let err = GreedyDrlPolicy::from_bytes(&agent.save_weights(), case.sets()).unwrap_err();
+        assert!(matches!(err, CoreError::Policy { .. }), "{err}");
+        // Truncated blob fails at decode.
+        let blob = agent.save_weights();
+        let err = GreedyDrlPolicy::from_bytes(&blob[..blob.len() - 3], case.sets()).unwrap_err();
+        assert!(matches!(err, CoreError::Policy { .. }), "{err}");
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub enum CoreError {
     },
     /// A computed set came out empty.
     EmptySet,
+    /// A skipping policy could not be constructed (e.g. a learned-policy
+    /// weight blob failed to decode or does not fit the scenario).
+    Policy {
+        /// What went wrong, human-readable.
+        reason: String,
+    },
     /// Propagated controller/invariant-set failure.
     Control(oic_control::ControlError),
     /// Propagated geometry failure.
@@ -37,6 +43,7 @@ impl fmt::Display for CoreError {
                 write!(f, "safety certificate failed: {inclusion}")
             }
             CoreError::EmptySet => write!(f, "computed set is empty"),
+            CoreError::Policy { reason } => write!(f, "policy construction failed: {reason}"),
             CoreError::Control(e) => write!(f, "control layer failure: {e}"),
             CoreError::Geometry(e) => write!(f, "geometry failure: {e}"),
         }

@@ -48,7 +48,8 @@ mod runtime;
 mod safe_sets;
 
 pub use drl_policy::{
-    DisturbanceProcess, DrlPolicy, EnergyMetric, SkipRewardWeights, SkipTrainingEnv,
+    DisturbanceProcess, DrlPolicy, EnergyMetric, GreedyDrlPolicy, SkipRewardWeights,
+    SkipTrainingEnv,
 };
 pub use error::CoreError;
 pub use model_based::ModelBasedPolicy;

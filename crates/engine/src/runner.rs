@@ -15,13 +15,14 @@
 //! byte-identical for any worker count, including 1.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use oic_core::skip_horizon::MaxSkipPolicy;
 use oic_core::{
-    AlwaysRunPolicy, BangBangPolicy, CoreError, PeriodicSkipPolicy, RandomPolicy, SafeSets,
-    SkipPolicy,
+    AlwaysRunPolicy, BangBangPolicy, CoreError, GreedyDrlPolicy, PeriodicSkipPolicy, RandomPolicy,
+    SafeSets, SkipPolicy,
 };
+use oic_nn::Mlp;
 use oic_scenarios::{Scenario, ScenarioInstance, ScenarioRegistry};
 
 use crate::accumulator::CellAccumulator;
@@ -69,17 +70,44 @@ pub enum PolicySpec {
     Random(f64),
     /// Weakly-hard deadline policy with the given consecutive-skip budget.
     MaxSkip(usize),
+    /// A trained DQN skipping policy: `weights` is the `oic-nn` binary
+    /// serialization ([`oic_nn::Mlp::to_bytes`]); the blob is decoded
+    /// **once** per sweep and the network `Arc`-shared across all worker
+    /// deques. Cells only materialize on scenarios whose state and
+    /// disturbance dimensions fit the network's input layer (a policy
+    /// trained for a 2-state plant is meaningless on a 4-state one);
+    /// incompatible `(scenario, policy)` pairs are skipped, not errors —
+    /// but a spec that fits *no* registered scenario fails the sweep.
+    Drl {
+        /// Display name (label becomes `drl-{name}`).
+        name: String,
+        /// Serialized network weights, shared by all cells of the spec.
+        weights: Arc<Vec<u8>>,
+    },
 }
 
 impl PolicySpec {
+    /// Convenience constructor for [`PolicySpec::Drl`].
+    pub fn drl(name: impl Into<String>, weights: impl Into<Vec<u8>>) -> Self {
+        PolicySpec::Drl {
+            name: name.into(),
+            weights: Arc::new(weights.into()),
+        }
+    }
+
     /// Display label (doubles as the JSON key).
+    ///
+    /// [`PolicySpec::Random`] uses `{p}` (shortest round-trip float
+    /// formatting), not a fixed precision — `{p:.2}` collapsed e.g.
+    /// `0.001` and `0.004` onto the same `random-0.00` key.
     pub fn label(&self) -> String {
         match self {
             PolicySpec::AlwaysRun => "always-run".to_string(),
             PolicySpec::BangBang => "bang-bang".to_string(),
             PolicySpec::Periodic(k) => format!("periodic-{k}"),
-            PolicySpec::Random(p) => format!("random-{p:.2}"),
+            PolicySpec::Random(p) => format!("random-{p}"),
             PolicySpec::MaxSkip(b) => format!("max-skip-{b}"),
+            PolicySpec::Drl { name, .. } => format!("drl-{name}"),
         }
     }
 
@@ -96,24 +124,73 @@ impl PolicySpec {
             }
             PolicySpec::Periodic(0) => Err("periodic policy period must be at least 1"),
             PolicySpec::MaxSkip(0) => Err("max-skip budget must be at least 1"),
+            PolicySpec::Drl { name, .. } if name.is_empty() => {
+                Err("drl policy name must not be empty")
+            }
+            PolicySpec::Drl { weights, .. } if weights.is_empty() => {
+                Err("drl policy weights must not be empty")
+            }
             _ => Ok(()),
         }
     }
 
-    /// Precomputes whatever the policy needs for one scenario (e.g. the
-    /// consecutive-skip chain), so per-episode instantiation is cheap.
+    /// Decodes the weight blob of a [`PolicySpec::Drl`] (`None` for the
+    /// analytic specs). Called once per sweep; the decoded network is
+    /// then shared by every compatible cell.
     ///
     /// # Errors
     ///
-    /// Propagates chain-synthesis failures for [`PolicySpec::MaxSkip`].
+    /// Propagates blob-decode failures as [`CoreError::Policy`].
+    pub fn decode_network(&self) -> Result<Option<Arc<Mlp>>, CoreError> {
+        match self {
+            PolicySpec::Drl { weights, .. } => GreedyDrlPolicy::decode(weights).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Precomputes whatever the policy needs for one scenario (e.g. the
+    /// consecutive-skip chain or the decoded Q-network), so per-episode
+    /// instantiation is cheap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain-synthesis failures for [`PolicySpec::MaxSkip`]
+    /// and decode/dimension failures for [`PolicySpec::Drl`]. Inside
+    /// [`run_batch`] incompatible Drl cells are *skipped* before this is
+    /// called; calling it directly surfaces the mismatch as an error.
     pub fn prepare(&self, sets: &SafeSets) -> Result<PreparedPolicy, CoreError> {
         Ok(match self {
             PolicySpec::MaxSkip(budget) => {
                 PreparedPolicy::MaxSkip(MaxSkipPolicy::new(sets, *budget)?)
             }
+            PolicySpec::Drl { weights, .. } => {
+                PreparedPolicy::Drl(GreedyDrlPolicy::from_bytes(weights, sets)?)
+            }
             other => PreparedPolicy::Spec(other.clone()),
         })
     }
+}
+
+/// De-duplicates policy labels for report keys: repeated labels get a
+/// `#2`, `#3`, … suffix in roster order, so two specs that render to the
+/// same string (e.g. two `drl` blobs registered under one name) still
+/// produce distinct cells — and distinct episode seeds, which hash the
+/// label.
+fn dedup_labels(policies: &[PolicySpec]) -> Vec<String> {
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    policies
+        .iter()
+        .map(|p| {
+            let base = p.label();
+            let mut label = base.clone();
+            let mut k = 1usize;
+            while !used.insert(label.clone()) {
+                k += 1;
+                label = format!("{base}#{k}");
+            }
+            label
+        })
+        .collect()
 }
 
 /// A policy prototype bound to one scenario.
@@ -123,6 +200,10 @@ pub enum PreparedPolicy {
     Spec(PolicySpec),
     /// The precomputed weakly-hard policy (chain synthesis is expensive).
     MaxSkip(MaxSkipPolicy),
+    /// A learned policy bound to one scenario's encoder: the network is
+    /// `Arc`-shared, so per-episode instantiation clones two small
+    /// scale vectors, never the weights.
+    Drl(GreedyDrlPolicy),
 }
 
 impl PreparedPolicy {
@@ -133,10 +214,11 @@ impl PreparedPolicy {
             PreparedPolicy::Spec(PolicySpec::BangBang) => Box::new(BangBangPolicy),
             PreparedPolicy::Spec(PolicySpec::Periodic(k)) => Box::new(PeriodicSkipPolicy::new(*k)),
             PreparedPolicy::Spec(PolicySpec::Random(p)) => Box::new(RandomPolicy::new(*p, seed)),
-            PreparedPolicy::Spec(PolicySpec::MaxSkip(_)) => {
-                unreachable!("prepare() replaces MaxSkip with the built policy")
+            PreparedPolicy::Spec(PolicySpec::MaxSkip(_) | PolicySpec::Drl { .. }) => {
+                unreachable!("prepare() replaces MaxSkip/Drl with the built policy")
             }
             PreparedPolicy::MaxSkip(policy) => Box::new(policy.clone()),
+            PreparedPolicy::Drl(policy) => Box::new(policy.clone()),
         }
     }
 }
@@ -389,6 +471,22 @@ pub fn run_batch_with_stats(
         policy.validate().map_err(EngineError::InvalidConfig)?;
     }
 
+    // Decode every learned policy's weight blob exactly once; the
+    // decoded networks are `Arc`-shared by all compatible cells (and
+    // through them by every worker deque).
+    let mut networks: Vec<Option<Arc<Mlp>>> = Vec::with_capacity(policies.len());
+    for policy in policies {
+        networks.push(
+            policy
+                .decode_network()
+                .map_err(|source| EngineError::Episode {
+                    context: format!("{}/decode", policy.label()),
+                    source,
+                })?,
+        );
+    }
+    let labels = dedup_labels(policies);
+
     // Build every cell up front (instance construction — invariant-set
     // synthesis — is the expensive, non-parallel part and is shared by
     // all of the cell's chunks).
@@ -398,19 +496,47 @@ pub fn run_batch_with_stats(
             context: format!("{}/build", scenario.name()),
             source,
         })?;
-        for policy in policies {
-            let prepared =
-                policy
-                    .prepare(instance.sets())
-                    .map_err(|source| EngineError::Episode {
-                        context: format!("{}/{}/prepare", scenario.name(), policy.label()),
-                        source,
-                    })?;
+        for ((policy, network), label) in policies.iter().zip(&networks).zip(&labels) {
+            let prepared = match network {
+                // Learned policies only apply where the architecture fits
+                // the plant (see `PolicySpec::Drl`); other cells are
+                // omitted from the report.
+                Some(net) => {
+                    if GreedyDrlPolicy::infer_memory(net, instance.sets()).is_none() {
+                        continue;
+                    }
+                    GreedyDrlPolicy::from_network(net.clone(), instance.sets())
+                        .map(PreparedPolicy::Drl)
+                }
+                None => policy.prepare(instance.sets()),
+            }
+            .map_err(|source| EngineError::Episode {
+                context: format!("{}/{}/prepare", scenario.name(), label),
+                source,
+            })?;
             jobs.push(CellJob {
                 scenario,
                 instance: instance.clone(),
                 prepared,
-                label: policy.label(),
+                label: label.clone(),
+            });
+        }
+    }
+    if jobs.is_empty() {
+        return Err(EngineError::InvalidConfig(
+            "no cells to run: no policy applies to any registered scenario",
+        ));
+    }
+    // A learned policy that fits *no* scenario is a misconfiguration,
+    // not a quietly empty report row.
+    for (network, label) in networks.iter().zip(&labels) {
+        if network.is_some() && !jobs.iter().any(|job| &job.label == label) {
+            return Err(EngineError::Episode {
+                context: format!("{label}/prepare"),
+                source: CoreError::Policy {
+                    reason: "network fits no registered scenario's state/disturbance dimensions"
+                        .into(),
+                },
             });
         }
     }
@@ -695,6 +821,165 @@ mod tests {
         assert_eq!(report.cells[0].episodes, 3, "aggregates survive the drop");
     }
 
+    fn test_blob(sizes: &[usize], seed: u64) -> Vec<u8> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(sizes, oic_nn::Activation::Relu, &mut rng)
+            .to_bytes()
+            .to_vec()
+    }
+
+    #[test]
+    fn random_labels_do_not_collide_at_three_decimals() {
+        // Regression: `{p:.2}` rendered 0.001 and 0.004 as the same key.
+        let a = PolicySpec::Random(0.001).label();
+        let b = PolicySpec::Random(0.004).label();
+        assert_ne!(a, b, "labels must distinguish close probabilities");
+        assert_eq!(a, "random-0.001");
+        // The committed BENCH_batch.json key is unchanged by the widening.
+        assert_eq!(PolicySpec::Random(0.25).label(), "random-0.25");
+    }
+
+    #[test]
+    fn duplicate_labels_are_deduplicated_in_reports() {
+        let registry = tiny_registry();
+        let policies = [
+            PolicySpec::Random(0.3),
+            PolicySpec::Random(0.3),
+            PolicySpec::Random(0.3),
+        ];
+        let config = BatchConfig {
+            episodes: 4,
+            steps: 10,
+            ..Default::default()
+        };
+        let report = run_batch(&registry, &policies, &config).unwrap();
+        let keys: Vec<&str> = report.cells.iter().map(|c| c.policy.as_str()).collect();
+        assert_eq!(keys, ["random-0.3", "random-0.3#2", "random-0.3#3"]);
+        // The suffixed copies hash to different episode seeds, so the
+        // cells are genuinely independent samples.
+        assert_ne!(report.cells[0].mean_skip_rate, 0.0);
+    }
+
+    #[test]
+    fn drl_cells_run_and_are_deterministic_across_threads() {
+        let registry = tiny_registry();
+        // Double integrator: 2 states + 1·2-dim disturbance history → 4.
+        let policies = [
+            PolicySpec::BangBang,
+            PolicySpec::drl("test", test_blob(&[4, 8, 2], 7)),
+        ];
+        let run = |threads| {
+            run_batch(
+                &registry,
+                &policies,
+                &BatchConfig {
+                    episodes: 16,
+                    steps: 30,
+                    threads,
+                    chunk: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial, parallel, "learned cells must stay thread-stable");
+        assert_eq!(
+            serial.to_json(true).to_json(),
+            parallel.to_json(true).to_json()
+        );
+        assert_eq!(serial.cells.len(), 2);
+        assert_eq!(serial.cells[1].policy, "drl-test");
+        assert_eq!(serial.cells[1].safety_violations, 0, "Theorem 1");
+    }
+
+    #[test]
+    fn incompatible_drl_cells_are_skipped_not_errors() {
+        use oic_scenarios::CstrScenario;
+        let mut registry = tiny_registry();
+        registry.register(Box::new(CstrScenario::default()));
+        // A 4-input network fits the 2-state double integrator but not the
+        // 3-state CSTR (3 + r·3 ≠ 4 for any r ≥ 1).
+        let policies = [
+            PolicySpec::AlwaysRun,
+            PolicySpec::drl("di-only", test_blob(&[4, 6, 2], 3)),
+        ];
+        let config = BatchConfig {
+            episodes: 2,
+            steps: 10,
+            ..Default::default()
+        };
+        let report = run_batch(&registry, &policies, &config).unwrap();
+        let cells: Vec<(String, String)> = report
+            .cells
+            .iter()
+            .map(|c| (c.scenario.clone(), c.policy.clone()))
+            .collect();
+        assert!(cells.contains(&("double-integrator".into(), "drl-di-only".into())));
+        assert!(
+            !cells.iter().any(|(s, p)| s == "cstr" && p == "drl-di-only"),
+            "incompatible cell must be omitted"
+        );
+        assert!(cells.contains(&("cstr".into(), "always-run".into())));
+    }
+
+    #[test]
+    fn drl_spec_fitting_no_scenario_is_an_error_not_an_empty_row() {
+        // 7 inputs fit no 2-state/2-disturbance plant (7 ≠ 2 + r·2).
+        let registry = tiny_registry();
+        let err = run_batch(
+            &registry,
+            &[
+                PolicySpec::AlwaysRun,
+                PolicySpec::drl("misfit", test_blob(&[7, 4, 2], 1)),
+            ],
+            &BatchConfig {
+                episodes: 2,
+                steps: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            EngineError::Episode { context, source } => {
+                assert_eq!(context, "drl-misfit/prepare");
+                assert!(matches!(source, CoreError::Policy { .. }));
+            }
+            other => panic!("expected misfit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_drl_blob_is_a_decode_error() {
+        let registry = tiny_registry();
+        let mut blob = test_blob(&[4, 6, 2], 3);
+        blob.truncate(blob.len() - 5);
+        let err = run_batch(
+            &registry,
+            &[PolicySpec::drl("broken", blob)],
+            &BatchConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            EngineError::Episode { context, source } => {
+                assert_eq!(context, "drl-broken/decode");
+                assert!(matches!(source, CoreError::Policy { .. }));
+            }
+            other => panic!("expected decode error, got {other:?}"),
+        }
+        // An empty blob never reaches decode: validate() rejects it.
+        let err = run_batch(
+            &registry,
+            &[PolicySpec::drl("empty", Vec::new())],
+            &BatchConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+    }
+
     #[test]
     fn policy_labels_are_distinct() {
         let labels: Vec<String> = [
@@ -703,6 +988,7 @@ mod tests {
             PolicySpec::Periodic(4),
             PolicySpec::Random(0.25),
             PolicySpec::MaxSkip(2),
+            PolicySpec::drl("golden-acc", vec![1u8]),
         ]
         .iter()
         .map(PolicySpec::label)

@@ -1,0 +1,150 @@
+//! Property-based tests of the binary weight serialization: random
+//! architectures and weights must round-trip **bitwise**, and malformed
+//! blobs must fail loudly with the right `DecodeWeightsError`.
+
+use oic_nn::{Activation, DecodeWeightsError, Mlp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random architecture: 2–5 layer sizes, each 1–9 wide, a hidden
+/// activation, and an init seed.
+fn arch() -> impl Strategy<Value = (Vec<usize>, Activation, u64)> {
+    (
+        prop::collection::vec(1usize..10, 2..6),
+        0u32..3,
+        0u64..1_000_000,
+    )
+        .prop_map(|(sizes, act, seed)| {
+            let activation = match act {
+                0 => Activation::Relu,
+                1 => Activation::Tanh,
+                _ => Activation::Linear,
+            };
+            (sizes, activation, seed)
+        })
+}
+
+fn build(sizes: &[usize], activation: Activation, seed: u64) -> Mlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mlp::new(sizes, activation, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// to_bytes → from_bytes reproduces the exact network: identical
+    /// structure and bitwise-equal parameters (PartialEq on f64 vectors),
+    /// hence identical outputs on any probe input.
+    #[test]
+    fn roundtrip_is_bitwise_exact((sizes, activation, seed) in arch()) {
+        let net = build(&sizes, activation, seed);
+        let blob = net.to_bytes();
+        let restored = Mlp::from_bytes(&blob).expect("own blob decodes");
+        prop_assert_eq!(&net, &restored);
+        let probe: Vec<f64> = (0..net.input_dim())
+            .map(|i| 0.37 * (i as f64) - 0.5)
+            .collect();
+        let a = net.forward(&probe);
+        let b = restored.forward(&probe);
+        // Bitwise, not approximate: the parameters are the same f64s.
+        prop_assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+        );
+        // Re-encoding is stable byte-for-byte.
+        let reencoded = restored.to_bytes();
+        prop_assert_eq!(blob.as_ref(), reencoded.as_ref());
+    }
+
+    /// Any strict prefix of a valid blob is rejected, and never panics.
+    #[test]
+    fn truncation_always_fails_cleanly(
+        (sizes, activation, seed) in arch(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let blob = build(&sizes, activation, seed).to_bytes();
+        let cut = ((blob.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < blob.len());
+        let err = Mlp::from_bytes(&blob[..cut]).expect_err("prefix must not decode");
+        // Short prefixes that still contain the magic die as Truncated;
+        // cutting inside the magic itself is Truncated (< 8 bytes) too.
+        prop_assert!(matches!(
+            err,
+            DecodeWeightsError::Truncated | DecodeWeightsError::Corrupt(_)
+        ));
+    }
+
+    /// Flipping a byte either still decodes (payload bits) or fails with
+    /// a structured error — never a panic, never a hang.
+    #[test]
+    fn corruption_never_panics(
+        (sizes, activation, seed) in arch(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u32..=255,
+    ) {
+        let mut blob = build(&sizes, activation, seed).to_bytes().to_vec();
+        let pos = ((blob.len() as f64) * pos_frac) as usize % blob.len();
+        blob[pos] ^= flip as u8;
+        let _ = Mlp::from_bytes(&blob); // must return, Ok or Err
+    }
+}
+
+#[test]
+fn header_corruptions_map_to_specific_errors() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = Mlp::new(&[3, 4, 2], Activation::Relu, &mut rng);
+    let blob = net.to_bytes().to_vec();
+
+    // Magic.
+    let mut bad = blob.clone();
+    bad[1] ^= 0xFF;
+    assert_eq!(
+        Mlp::from_bytes(&bad).unwrap_err(),
+        DecodeWeightsError::BadMagic
+    );
+
+    // Version (bytes 4..6).
+    let mut bad = blob.clone();
+    bad[4] = 0xEE;
+    assert!(matches!(
+        Mlp::from_bytes(&bad).unwrap_err(),
+        DecodeWeightsError::UnsupportedVersion(_)
+    ));
+
+    // Layer count 0 (bytes 6..8).
+    let mut bad = blob.clone();
+    bad[6] = 0;
+    bad[7] = 0;
+    assert_eq!(
+        Mlp::from_bytes(&bad).unwrap_err(),
+        DecodeWeightsError::Corrupt("zero layers")
+    );
+
+    // Zero layer dimension (first in_dim at bytes 8..12).
+    let mut bad = blob.clone();
+    bad[8..12].copy_from_slice(&0u32.to_le_bytes());
+    assert_eq!(
+        Mlp::from_bytes(&bad).unwrap_err(),
+        DecodeWeightsError::Corrupt("zero layer dimension")
+    );
+
+    // Inconsistent chain: second layer's in_dim (bytes 17..21) ≠ first
+    // layer's out_dim.
+    let mut bad = blob.clone();
+    bad[17..21].copy_from_slice(&9u32.to_le_bytes());
+    assert_eq!(
+        Mlp::from_bytes(&bad).unwrap_err(),
+        DecodeWeightsError::Corrupt("layer dimension mismatch")
+    );
+
+    // Declaring more layers than the payload carries fails while parsing
+    // the phantom layer table: either the buffer runs out (Truncated) or
+    // a payload byte masquerades as an invalid header field (Corrupt).
+    let mut bad = blob;
+    bad[6] = 0xFF;
+    assert!(matches!(
+        Mlp::from_bytes(&bad).unwrap_err(),
+        DecodeWeightsError::Truncated | DecodeWeightsError::Corrupt(_)
+    ));
+}

@@ -6,7 +6,16 @@ use crate::{
     TwoMassSpringScenario,
 };
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 /// A named collection of scenarios.
+///
+/// Besides the scenarios themselves, a registry entry can carry an
+/// optional **trained-policy weight blob** (`oic-nn` binary
+/// serialization) — the learned counterpart of the analytic policies,
+/// stored alongside the scenario the network was trained for so batch
+/// harnesses can sweep learned skipping without a side channel.
 ///
 /// # Examples
 ///
@@ -19,6 +28,7 @@ use crate::{
 #[derive(Default)]
 pub struct ScenarioRegistry {
     scenarios: Vec<Box<dyn Scenario>>,
+    policy_weights: BTreeMap<&'static str, Arc<Vec<u8>>>,
 }
 
 impl ScenarioRegistry {
@@ -86,6 +96,32 @@ impl ScenarioRegistry {
     pub fn is_empty(&self) -> bool {
         self.scenarios.is_empty()
     }
+
+    /// Attaches a trained skipping-policy weight blob to a registered
+    /// scenario (replacing any previous blob for that scenario).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scenario with that name is registered — a blob
+    /// without its plant is always a caller bug.
+    pub fn attach_policy_weights(&mut self, name: &str, weights: impl Into<Vec<u8>>) {
+        let key = self
+            .get(name)
+            .unwrap_or_else(|| panic!("scenario {name:?} is not registered"))
+            .name();
+        self.policy_weights.insert(key, Arc::new(weights.into()));
+    }
+
+    /// The trained-policy blob attached to a scenario, if any.
+    pub fn policy_weights(&self, name: &str) -> Option<&Arc<Vec<u8>>> {
+        self.policy_weights.get(name)
+    }
+
+    /// All `(scenario name, weight blob)` pairs, in scenario-name order
+    /// (deterministic roster order for sweeps).
+    pub fn policy_weight_entries(&self) -> impl Iterator<Item = (&'static str, &Arc<Vec<u8>>)> {
+        self.policy_weights.iter().map(|(k, v)| (*k, v))
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +159,30 @@ mod tests {
     fn duplicate_registration_panics() {
         let mut registry = ScenarioRegistry::standard();
         registry.register(Box::new(DoubleIntegratorScenario));
+    }
+
+    #[test]
+    fn policy_weight_blobs_ride_with_scenarios() {
+        let mut registry = ScenarioRegistry::standard();
+        assert!(registry.policy_weights("acc").is_none());
+        registry.attach_policy_weights("acc", vec![1u8, 2, 3]);
+        registry.attach_policy_weights("double-integrator", vec![4u8]);
+        assert_eq!(
+            registry.policy_weights("acc").unwrap().as_slice(),
+            &[1, 2, 3]
+        );
+        let entries: Vec<&str> = registry.policy_weight_entries().map(|(n, _)| n).collect();
+        assert_eq!(entries, ["acc", "double-integrator"], "name-ordered");
+        // Replacement, not duplication.
+        registry.attach_policy_weights("acc", vec![9u8]);
+        assert_eq!(registry.policy_weights("acc").unwrap().as_slice(), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not registered")]
+    fn weights_for_unknown_scenario_panic() {
+        let mut registry = ScenarioRegistry::new();
+        registry.attach_policy_weights("ghost", vec![1u8]);
     }
 
     #[test]
