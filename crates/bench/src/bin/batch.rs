@@ -4,7 +4,8 @@
 //!
 //! Usage: `cargo run --release -p oic-bench --bin batch -- [--cases N]
 //! [--steps N] [--seed N] [--threads N] [--chunk N] [--stream|--detail]
-//! [--policies drl:<path>[,drl:<path>…]] [--out report.json]`
+//! [--policies drl:<path>[,drl:<path>…]] [--out report.json]
+//! [--metrics metrics.json] [--trace trace.json]`
 //!
 //! The roster is the five analytic policies plus the committed golden
 //! learned policies (`drl-acc`, `drl-double-integrator`); `--policies
@@ -13,6 +14,10 @@
 //! The wall-clock/scheduler summary goes to stderr only — the JSON
 //! report is deterministic byte-for-byte and must stay that way (CI
 //! diffs it against the committed `BENCH_batch.json` baseline).
+//! Telemetry never touches the report: `--metrics` dumps the `oic-obs`
+//! counter/histogram snapshot as JSON (plus a stderr table), `--trace`
+//! records spans and writes a Chrome trace-event file that loads in
+//! `chrome://tracing` / Perfetto.
 
 use std::time::Instant;
 
@@ -23,6 +28,14 @@ fn main() {
     // The paper-scale default of 500 training episodes is a DRL knob; the
     // sweep is policy-only, so only cases/steps/seed/engine knobs apply.
     scale.train_episodes = 0;
+    // Metrics are always on here: the wall-clock/scheduler stderr summary
+    // below reads the snapshot, so logs and `--metrics` dumps share one
+    // code path. Spans cost more (a ring write per episode), so tracing
+    // stays off unless a trace file was requested.
+    oic_obs::set_metrics_enabled(true);
+    if scale.trace_out.is_some() {
+        oic_obs::set_trace_enabled(true);
+    }
     eprintln!(
         "batch: full registry x standard policies, {} episodes x {} steps (seed {}, threads {}, chunk {}, {})",
         scale.cases,
@@ -38,16 +51,46 @@ fn main() {
             let elapsed = started.elapsed();
             print!("{}", batch::render(&report));
             let episodes: usize = report.cells.iter().map(|c| c.episodes).sum();
+            // The scheduler numbers come from the metrics snapshot — the
+            // same registry `--metrics` serializes — so the summary line
+            // and the machine-readable dump can never disagree.
+            let snapshot = oic_obs::metrics_snapshot();
             eprintln!(
                 "wall-clock: {:.3}s for {} episodes in {} cells ({:.0} episodes/s; {} tasks on {} workers, {} steals)",
                 elapsed.as_secs_f64(),
                 episodes,
                 report.cells.len(),
                 episodes as f64 / elapsed.as_secs_f64().max(1e-9),
-                stats.executed,
-                stats.workers,
-                stats.steals,
+                snapshot.counter("engine.tasks_executed").unwrap_or(0),
+                snapshot.gauge("engine.workers").unwrap_or(0),
+                snapshot.counter("engine.steals").unwrap_or(0),
             );
+            if stats.cells_skipped_incompatible > 0 {
+                eprintln!(
+                    "skipped {} (scenario, policy) cells whose network dimensions do not fit the plant",
+                    stats.cells_skipped_incompatible,
+                );
+            }
+            if let Some(path) = &scale.metrics_out {
+                eprint!("{}", snapshot.render_table());
+                if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+                    eprintln!("failed to write metrics: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("metrics written to {path}");
+            }
+            if let Some(path) = &scale.trace_out {
+                let spans = oic_obs::drain_trace();
+                let dropped = oic_obs::dropped_spans();
+                if dropped > 0 {
+                    eprintln!("trace ring overflowed: {dropped} oldest spans dropped");
+                }
+                if let Err(e) = std::fs::write(path, oic_obs::chrome_trace_json(&spans)) {
+                    eprintln!("failed to write trace: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("trace written to {path} ({} spans)", spans.len());
+            }
             if let Err(e) = scale.save_json(&report.to_json(!scale.stream)) {
                 eprintln!("failed to write report: {e}");
                 std::process::exit(1);

@@ -13,6 +13,7 @@
 
 use std::time::Instant;
 
+use oic_bench::experiments::{batch, ExperimentScale};
 use oic_bench::fixtures::{acc_closed_loop_states, drifting_rhs_sequence, tall_lp};
 use oic_control::{robust_controllable_pre, MpcWarmState};
 use oic_core::acc::AccCaseStudy;
@@ -165,9 +166,41 @@ fn main() {
         );
     }
 
+    // --- Engine sweep throughput: a small instrumented batch run over
+    // the full registry, reporting episodes/s from the per-cell wall
+    // times the engine records (summed chunk time, so per-cell numbers
+    // are CPU-seconds — thread-count-independent). ---
+    eprintln!("kernels: instrumented engine sweep (full registry)…");
+    let sweep_scale = ExperimentScale {
+        cases: 16,
+        steps: 50,
+        train_episodes: 0,
+        seed: 42,
+        ..Default::default()
+    };
+    let sweep_started = Instant::now();
+    let (sweep_report, sweep_stats) =
+        batch::run_with_stats(&sweep_scale).expect("registry sweep runs clean");
+    let sweep_elapsed = sweep_started.elapsed().as_secs_f64().max(1e-9);
+    let sweep_episodes: usize = sweep_report.cells.iter().map(|c| c.episodes).sum();
+    let mut cell_rates = JsonValue::object();
+    for timing in &sweep_stats.cell_timings {
+        let secs = (timing.wall_ns as f64 / 1e9).max(1e-9);
+        cell_rates = cell_rates.with(
+            &format!("{}/{}", timing.scenario, timing.policy),
+            timing.episodes as f64 / secs,
+        );
+    }
+    let engine_sweep = JsonValue::object()
+        .with("episodes", sweep_episodes)
+        .with("cells", sweep_report.cells.len())
+        .with("wall_s", sweep_elapsed)
+        .with("episodes_per_sec", sweep_episodes as f64 / sweep_elapsed)
+        .with("episodes_per_cpu_sec_by_cell", cell_rates);
+
     let ratio = |slow: u64, fast: u64| slow as f64 / fast.max(1) as f64;
     let doc = JsonValue::object()
-        .with("schema", 2.0)
+        .with("schema", 3.0)
         .with(
             "mpc_step",
             JsonValue::object()
@@ -185,7 +218,8 @@ fn main() {
                 .with("speedup_warm", ratio(resolve_cold, resolve_warm)),
         )
         .with("backend_sweep", sweep)
-        .with("nd_geometry", nd);
+        .with("nd_geometry", nd)
+        .with("engine_sweep", engine_sweep);
 
     println!("{}", doc.to_json_pretty());
     eprintln!(

@@ -7,7 +7,7 @@
 //! adds a row here.
 
 use oic_engine::{
-    run_batch_with_stats, BatchConfig, BatchReport, EngineError, PolicySpec, StealStats,
+    run_batch_with_stats, BatchConfig, BatchReport, EngineError, PolicySpec, SweepStats,
 };
 use oic_scenarios::ScenarioRegistry;
 
@@ -100,13 +100,15 @@ pub fn run(scale: &ExperimentScale) -> Result<BatchReport, EngineError> {
     run_with_stats(scale).map(|(report, _)| report)
 }
 
-/// [`run`] plus the work-stealing scheduler's counters (for wall-clock
-/// summaries; never serialized into the deterministic report).
+/// [`run`] plus the sweep statistics — work-stealing scheduler counters,
+/// dimension-skip tallies and per-cell wall times (for wall-clock
+/// summaries and throughput reports; never serialized into the
+/// deterministic report).
 ///
 /// # Errors
 ///
 /// Same contract as [`run`].
-pub fn run_with_stats(scale: &ExperimentScale) -> Result<(BatchReport, StealStats), EngineError> {
+pub fn run_with_stats(scale: &ExperimentScale) -> Result<(BatchReport, SweepStats), EngineError> {
     let registry = crate::golden::registry_with_golden();
     let roster = full_roster(&registry, scale).map_err(|message| {
         eprintln!("{message}");

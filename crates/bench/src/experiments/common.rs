@@ -38,6 +38,11 @@ pub struct ExperimentScale {
     pub policies: Vec<String>,
     /// Optional path for the JSON report.
     pub out: Option<String>,
+    /// Optional path for the `oic-obs` metrics snapshot (`--metrics`).
+    pub metrics_out: Option<String>,
+    /// Optional path for the Chrome trace export (`--trace`); also turns
+    /// span recording on for the run.
+    pub trace_out: Option<String>,
 }
 
 impl Default for ExperimentScale {
@@ -52,6 +57,8 @@ impl Default for ExperimentScale {
             stream: true,
             policies: Vec::new(),
             out: None,
+            metrics_out: None,
+            trace_out: None,
         }
     }
 }
@@ -107,6 +114,16 @@ impl ExperimentScale {
                 "--out" => {
                     if let Some(v) = args.next() {
                         scale.out = Some(v);
+                    }
+                }
+                "--metrics" => {
+                    if let Some(v) = args.next() {
+                        scale.metrics_out = Some(v);
+                    }
+                }
+                "--trace" => {
+                    if let Some(v) = args.next() {
+                        scale.trace_out = Some(v);
                     }
                 }
                 _ => {}

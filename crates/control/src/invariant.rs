@@ -130,6 +130,8 @@ pub fn robust_controllable_pre(
     plant: &ConstrainedLti,
     target: &Polytope,
 ) -> Result<Polytope, ControlError> {
+    let _span = oic_obs::span("cert.pre", "cert");
+    let timer = oic_obs::Stopwatch::start();
     let sys = plant.system();
     let n = sys.state_dim();
     let m = sys.input_dim();
@@ -146,7 +148,9 @@ pub fn robust_controllable_pre(
         normal.extend_from_slice(h.normal());
         rows.push(Halfspace::new(normal, h.offset()));
     }
-    Ok(Polytope::new(n + m, rows).project_to_first(n))
+    let pre = Polytope::new(n + m, rows).project_to_first(n);
+    timer.stop_into(oic_obs::histogram!("cert.pre_ns", "ns"));
+    Ok(pre)
 }
 
 /// Computes the maximal robust control invariant set of a constrained plant
@@ -375,8 +379,18 @@ pub fn rakovic_rpi_certified(
         w.dim(),
         "matrix/disturbance dimension mismatch"
     );
-    let seed = rakovic_rpi(a_cl, w, options)?;
-    certify_template(a_cl, w, &seed.set, options)
+    let seed = {
+        let _span = oic_obs::span("cert.seed", "cert");
+        let timer = oic_obs::Stopwatch::start();
+        let seed = rakovic_rpi(a_cl, w, options)?;
+        timer.stop_into(oic_obs::histogram!("cert.seed_ns", "ns"));
+        seed
+    };
+    let _span = oic_obs::span("cert.template_close", "cert");
+    let timer = oic_obs::Stopwatch::start();
+    let certified = certify_template(a_cl, w, &seed.set, options)?;
+    timer.stop_into(oic_obs::histogram!("cert.template_close_ns", "ns"));
+    Ok(certified)
 }
 
 /// The support-template certification behind [`rakovic_rpi_certified`]

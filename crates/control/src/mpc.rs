@@ -613,6 +613,8 @@ impl TubeMpc {
         x: &[f64],
         warm: Option<&mut MpcWarmState>,
     ) -> Result<MpcSolution, ControlError> {
+        let _span = oic_obs::span("mpc.step", "mpc");
+        let step_timer = oic_obs::Stopwatch::start();
         let sys = self.plant.system();
         let n = sys.state_dim();
         let m = sys.input_dim();
@@ -641,6 +643,7 @@ impl TubeMpc {
                 }
             })
             .collect();
+        oic_obs::counter!("mpc.rhs_updates", "updates").incr();
 
         let solved = match warm {
             Some(state) => self.template.lp.solve_warm_with_rhs(&rhs, &mut state.warm),
@@ -665,6 +668,7 @@ impl TubeMpc {
             xs = sys.step_nominal(&xs, u);
             predicted_states.push(xs.clone());
         }
+        step_timer.stop_into(oic_obs::histogram!("mpc.step_ns", "ns"));
         Ok(MpcSolution {
             u_sequence,
             predicted_states,

@@ -423,7 +423,9 @@ impl GreedyDrlPolicy {
     /// The greedy action (0 = skip, 1 = run) at a raw state + history —
     /// exposed for golden-fixture inspection in tests.
     pub fn greedy_action(&self, state: &[f64], w_history: &[Vec<f64>]) -> usize {
+        let timer = oic_obs::Stopwatch::start();
         let q = self.net.forward(&self.encoder.encode(state, w_history));
+        timer.stop_into(oic_obs::histogram!("drl.infer_ns", "ns"));
         // Strict `>` keeps the lowest index on ties: deterministic, and
         // matches DoubleDqnAgent::act_greedy.
         if q[1] > q[0] {

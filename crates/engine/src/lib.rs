@@ -47,7 +47,7 @@ pub use accumulator::{CellAccumulator, Moments};
 pub use json::JsonValue;
 pub use report::{BatchReport, CellReport, EpisodeRecord};
 pub use runner::{
-    episode_seed, run_batch, run_batch_with_stats, run_episode, BatchConfig, EngineError,
-    PolicySpec, PreparedPolicy,
+    episode_seed, run_batch, run_batch_with_stats, run_episode, BatchConfig, CellTiming,
+    EngineError, PolicySpec, PreparedPolicy, SweepStats,
 };
 pub use steal::{run_work_stealing, StealStats};

@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use oic_core::skip_horizon::MaxSkipPolicy;
 use oic_core::{
@@ -56,6 +57,36 @@ impl std::fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// Wall time of one `(scenario, policy)` cell, summed over its chunks.
+///
+/// The sum is CPU time spent in the cell's episodes (chunks of one cell
+/// run concurrently on different workers), which is the right
+/// denominator for per-cell `episodes_per_sec` accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellTiming {
+    /// Scenario name (report key).
+    pub scenario: String,
+    /// Policy label (report key).
+    pub policy: String,
+    /// Episodes the cell ran.
+    pub episodes: usize,
+    /// Summed chunk wall time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Scheduler and timing diagnostics of one sweep — wall-clock facts that
+/// deliberately stay out of the deterministic [`BatchReport`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Work-stealing pool counters.
+    pub steal: StealStats,
+    /// `(scenario, Drl)` cells omitted because the network's input layer
+    /// does not fit the scenario's state/disturbance dimensions.
+    pub cells_skipped_incompatible: usize,
+    /// Per-cell episode counts and wall time, in report cell order.
+    pub cell_timings: Vec<CellTiming>,
+}
 
 /// A skipping policy the engine can instantiate per episode.
 #[derive(Debug, Clone, PartialEq)]
@@ -388,6 +419,7 @@ struct ChunkTask {
 struct ChunkOutput {
     acc: CellAccumulator,
     detail: Vec<EpisodeRecord>,
+    wall_ns: u64,
 }
 
 /// Per-cell streaming merge state: chunk accumulators are folded into
@@ -402,6 +434,7 @@ struct CellMerge {
     acc: CellAccumulator,
     pending: BTreeMap<usize, ChunkOutput>,
     detail: Vec<EpisodeRecord>,
+    wall_ns: u64,
 }
 
 impl CellMerge {
@@ -411,10 +444,14 @@ impl CellMerge {
             acc: CellAccumulator::new(),
             pending: BTreeMap::new(),
             detail: Vec::new(),
+            wall_ns: 0,
         }
     }
 
     fn submit(&mut self, chunk: usize, output: ChunkOutput) {
+        // Wall time sums immediately (addition is order-independent);
+        // only the floating-point accumulator merge must wait its turn.
+        self.wall_ns += output.wall_ns;
         self.pending.insert(chunk, output);
         while let Some(output) = self.pending.remove(&self.next) {
             self.acc.merge(&output.acc);
@@ -444,9 +481,9 @@ pub fn run_batch(
     run_batch_with_stats(registry, policies, config).map(|(report, _)| report)
 }
 
-/// [`run_batch`] plus the scheduler's [`StealStats`] (task counts, steal
-/// counts — wall-clock diagnostics that deliberately stay out of the
-/// deterministic report).
+/// [`run_batch`] plus the sweep's [`SweepStats`] (scheduler counters,
+/// skipped-cell counts, per-cell wall time — wall-clock diagnostics that
+/// deliberately stay out of the deterministic report).
 ///
 /// # Errors
 ///
@@ -455,7 +492,7 @@ pub fn run_batch_with_stats(
     registry: &ScenarioRegistry,
     policies: &[PolicySpec],
     config: &BatchConfig,
-) -> Result<(BatchReport, StealStats), EngineError> {
+) -> Result<(BatchReport, SweepStats), EngineError> {
     if registry.is_empty() {
         return Err(EngineError::InvalidConfig("no scenarios registered"));
     }
@@ -491,6 +528,7 @@ pub fn run_batch_with_stats(
     // synthesis — is the expensive, non-parallel part and is shared by
     // all of the cell's chunks).
     let mut jobs = Vec::with_capacity(registry.len() * policies.len());
+    let mut cells_skipped_incompatible = 0usize;
     for scenario in registry.iter() {
         let instance = scenario.build().map_err(|source| EngineError::Episode {
             context: format!("{}/build", scenario.name()),
@@ -500,9 +538,12 @@ pub fn run_batch_with_stats(
             let prepared = match network {
                 // Learned policies only apply where the architecture fits
                 // the plant (see `PolicySpec::Drl`); other cells are
-                // omitted from the report.
+                // omitted from the report — counted, so shrunken sweeps
+                // are explainable.
                 Some(net) => {
                     if GreedyDrlPolicy::infer_memory(net, instance.sets()).is_none() {
+                        cells_skipped_incompatible += 1;
+                        oic_obs::counter!("engine.cells_skipped_incompatible", "cells").incr();
                         continue;
                     }
                     GreedyDrlPolicy::from_network(net.clone(), instance.sets())
@@ -556,13 +597,18 @@ pub fn run_batch_with_stats(
     // not the selection rule — can vary with interleaving).
     let failure: Mutex<Option<(ChunkTask, usize, CoreError)>> = Mutex::new(None);
 
-    let stats = run_work_stealing(tasks, config.worker_count(), |_, task: ChunkTask| {
+    let steal = run_work_stealing(tasks, config.worker_count(), |_, task: ChunkTask| {
         let job = &jobs[task.cell];
+        let _span = oic_obs::span_with("engine.chunk", "engine", || {
+            format!("{}/{} chunk {}", job.instance.name(), job.label, task.chunk)
+        });
+        let chunk_started = Instant::now();
         let start = task.chunk * chunk_size;
         let end = (start + chunk_size).min(config.episodes);
         let mut acc = CellAccumulator::new();
         let mut detail = Vec::with_capacity(if config.detail { end - start } else { 0 });
         for episode in start..end {
+            let _span = oic_obs::span("engine.episode", "engine");
             let seed = episode_seed(config.seed, job.instance.name(), &job.label, episode);
             match run_episode(
                 &job.instance,
@@ -591,10 +637,16 @@ pub fn run_batch_with_stats(
                 }
             }
         }
-        merges[task.cell]
-            .lock()
-            .expect("cell merge lock")
-            .submit(task.chunk, ChunkOutput { acc, detail });
+        let wall_ns = chunk_started.elapsed().as_nanos() as u64;
+        oic_obs::histogram!("engine.chunk_ns", "ns").record(wall_ns);
+        merges[task.cell].lock().expect("cell merge lock").submit(
+            task.chunk,
+            ChunkOutput {
+                acc,
+                detail,
+                wall_ns,
+            },
+        );
         true
     });
 
@@ -607,12 +659,20 @@ pub fn run_batch_with_stats(
     }
 
     let mut cells = Vec::with_capacity(jobs.len());
+    let mut cell_timings = Vec::with_capacity(jobs.len());
     for (job, merge) in jobs.iter().zip(merges) {
         let merge = merge.into_inner().expect("workers joined");
         debug_assert_eq!(merge.next, chunks_per_cell, "all chunks merged in order");
         let mut cell =
             CellReport::from_accumulator(job.instance.name(), &job.label, config.steps, &merge.acc);
         cell.episodes_detail = merge.detail;
+        oic_obs::histogram!("engine.cell_ns", "ns").record(merge.wall_ns);
+        cell_timings.push(CellTiming {
+            scenario: job.instance.name().to_string(),
+            policy: job.label.clone(),
+            episodes: cell.episodes,
+            wall_ns: merge.wall_ns,
+        });
         cells.push(cell);
     }
     Ok((
@@ -620,7 +680,11 @@ pub fn run_batch_with_stats(
             seed: config.seed,
             cells,
         },
-        stats,
+        SweepStats {
+            steal,
+            cells_skipped_incompatible,
+            cell_timings,
+        },
     ))
 }
 
@@ -746,8 +810,35 @@ mod tests {
         let (report, stats) =
             run_batch_with_stats(&registry, &[PolicySpec::BangBang], &config).unwrap();
         assert_eq!(report.cells[0].episodes, 40);
-        assert_eq!(stats.executed, 10, "40 episodes / chunk 4 = 10 tasks");
-        assert!(stats.workers >= 1 && stats.workers <= 4);
+        assert_eq!(stats.steal.executed, 10, "40 episodes / chunk 4 = 10 tasks");
+        assert!(stats.steal.workers >= 1 && stats.steal.workers <= 4);
+        assert_eq!(stats.cells_skipped_incompatible, 0);
+        assert_eq!(stats.cell_timings.len(), report.cells.len());
+        let timing = &stats.cell_timings[0];
+        assert_eq!(timing.scenario, report.cells[0].scenario);
+        assert_eq!(timing.episodes, 40);
+        assert!(timing.wall_ns > 0, "chunk timing is always collected");
+    }
+
+    #[test]
+    fn sweep_stats_count_skipped_incompatible_cells() {
+        use oic_scenarios::CstrScenario;
+        let mut registry = tiny_registry();
+        registry.register(Box::new(CstrScenario::default()));
+        // Fits the 2-state double integrator, not the 3-state CSTR.
+        let policies = [
+            PolicySpec::AlwaysRun,
+            PolicySpec::drl("di-only", test_blob(&[4, 6, 2], 3)),
+        ];
+        let config = BatchConfig {
+            episodes: 2,
+            steps: 10,
+            ..Default::default()
+        };
+        let (report, stats) = run_batch_with_stats(&registry, &policies, &config).unwrap();
+        assert_eq!(stats.cells_skipped_incompatible, 1, "cstr × drl-di-only");
+        assert_eq!(report.cells.len(), 3);
+        assert_eq!(stats.cell_timings.len(), 3);
     }
 
     #[test]
@@ -894,6 +985,49 @@ mod tests {
         assert_eq!(serial.cells.len(), 2);
         assert_eq!(serial.cells[1].policy, "drl-test");
         assert_eq!(serial.cells[1].safety_violations, 0, "Theorem 1");
+    }
+
+    #[test]
+    fn reports_are_byte_identical_with_telemetry_enabled() {
+        // The oic-obs invariant, exercised end to end: recording metrics
+        // and spans must not perturb the deterministic report — at any
+        // thread count, compared against a telemetry-off baseline.
+        let registry = tiny_registry();
+        let policies = [
+            PolicySpec::BangBang,
+            PolicySpec::drl("test", test_blob(&[4, 8, 2], 7)),
+        ];
+        let run = |threads| {
+            run_batch(
+                &registry,
+                &policies,
+                &BatchConfig {
+                    episodes: 16,
+                    steps: 30,
+                    threads,
+                    chunk: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .to_json(true)
+            .to_json()
+        };
+        let baseline = run(1);
+        oic_obs::set_metrics_enabled(true);
+        oic_obs::set_trace_enabled(true);
+        let telemetry_serial = run(1);
+        let telemetry_parallel = run(8);
+        oic_obs::set_metrics_enabled(false);
+        oic_obs::set_trace_enabled(false);
+        assert_eq!(
+            baseline, telemetry_serial,
+            "telemetry must stay off the result path"
+        );
+        assert_eq!(
+            telemetry_serial, telemetry_parallel,
+            "telemetry must stay thread-count-independent"
+        );
     }
 
     #[test]

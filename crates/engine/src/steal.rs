@@ -140,12 +140,19 @@ where
         }
     });
 
-    StealStats {
+    let stats = StealStats {
         executed: executed.into_inner(),
         steals: steals.into_inner(),
         injector_grabs: injector_grabs.into_inner(),
         workers,
-    }
+    };
+    // Mirror the pool counters into the metrics registry (one code path
+    // for logs and snapshots; the adds are no-ops while metrics are off).
+    oic_obs::counter!("engine.tasks_executed", "tasks").add(stats.executed as u64);
+    oic_obs::counter!("engine.steals", "tasks").add(stats.steals as u64);
+    oic_obs::counter!("engine.injector_grabs", "grabs").add(stats.injector_grabs as u64);
+    oic_obs::gauge!("engine.workers", "workers").set(stats.workers as u64);
+    stats
 }
 
 #[cfg(test)]

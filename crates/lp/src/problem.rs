@@ -724,11 +724,13 @@ impl LinearProgram {
         &self,
         rhs_override: Option<&[f64]>,
     ) -> Result<(Standardized, StandardSolution), LpError> {
+        oic_obs::counter!("lp.solves", "solves").incr();
         let std = self.standardize(rhs_override, true)?;
         let sol = match self.effective_backend() {
             Backend::Revised => solve_revised(&std.sf, &std.hints)?,
             Backend::Tableau | Backend::Auto => solve_standard(&std.sf, &std.hints)?,
         };
+        oic_obs::counter!("lp.pivots", "pivots").add(sol.iters as u64);
         Ok((std, sol))
     }
 
@@ -855,12 +857,16 @@ impl LinearProgram {
                     WarmOutcome::Solved(sol) => {
                         *warm_hits += 1;
                         *pivots += sol.iters as u64;
+                        oic_obs::counter!("lp.solves", "solves").incr();
+                        oic_obs::counter!("lp.warm_hits", "solves").incr();
+                        oic_obs::counter!("lp.pivots", "pivots").add(sol.iters as u64);
                         return Ok(self.finish(&compiled.var_map, obj_constant, &sol));
                     }
                     WarmOutcome::Lp(e) => return Err(e),
                     WarmOutcome::Fallback(failure) => {
                         *fallbacks += 1;
                         *last_fallback_reason = Some(failure.reason());
+                        oic_obs::counter!("lp.warm_fallbacks", "solves").incr();
                         carry.clear();
                     }
                 }

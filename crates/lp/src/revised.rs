@@ -264,6 +264,7 @@ impl<'a> Revised<'a> {
 
     /// Re-factorizes the basis and refreshes `x_B` from scratch.
     fn refactorize(&mut self) -> Result<(), WarmFailure> {
+        oic_obs::counter!("lp.refactorizations", "count").incr();
         let bm = basis_matrix(self.a, self.n, &self.art_rows, &self.basis, self.m);
         self.factor.etas.clear();
         self.factor
@@ -559,6 +560,7 @@ pub(crate) fn solve_revised(
 
     if has_artificials {
         // ---- Phase 1: minimize the sum of artificials. ----
+        oic_obs::counter!("lp.phase1_entries", "count").incr();
         let zero_costs = vec![0.0; n];
         state.primal(&zero_costs, 1.0)?;
         let infeasibility: f64 = state

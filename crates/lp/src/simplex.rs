@@ -231,6 +231,7 @@ pub(crate) fn solve_standard(
 
     // ---- Phase 1: minimize the sum of artificial variables. ----
     if n_art > 0 {
+        oic_obs::counter!("lp.phase1_entries", "count").incr();
         // Objective row: cost 1 on artificials, reduced by the basic rows so
         // artificial columns start with reduced cost zero.
         for j in tab.art_start..tab.n {

@@ -1,0 +1,109 @@
+//! Zero-dependency telemetry for the OIC workspace.
+//!
+//! Two facilities, both pure `std`:
+//!
+//! * a **metrics registry** ([`metrics`]) — atomics-backed counters,
+//!   gauges, and log-bucketed histograms, sharded across workers and
+//!   merged in deterministic shard order, snapshot-able to a JSON report
+//!   ([`metrics_snapshot`]);
+//! * **span tracing** ([`trace`]) — lightweight begin/end spans with
+//!   monotonic timestamps collected into per-worker ring buffers and
+//!   exportable as Chrome trace-event JSON ([`chrome_trace_json`]),
+//!   loadable in Perfetto or `chrome://tracing`.
+//!
+//! The non-negotiable invariant: telemetry lives entirely **off the
+//! result path**. Recording is disabled by default, every hook starts
+//! with a relaxed atomic load and returns immediately when its facility
+//! is off, and nothing recorded ever feeds back into computation — so
+//! deterministic reports (`BENCH_batch.json`) are byte-identical with
+//! telemetry on or off, at any thread count. Counter and histogram
+//! merges are integer sums, which are exactly associative and
+//! commutative: a snapshot does not depend on which worker recorded
+//! what.
+//!
+//! # Examples
+//!
+//! ```
+//! oic_obs::reset_metrics();
+//! oic_obs::set_metrics_enabled(true);
+//! oic_obs::counter!("demo.events", "events").add(3);
+//! oic_obs::histogram!("demo.latency_ns", "ns").record(1500);
+//! let snapshot = oic_obs::metrics_snapshot();
+//! assert_eq!(snapshot.counter("demo.events"), Some(3));
+//! oic_obs::set_metrics_enabled(false);
+//! ```
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    metrics_snapshot, registry, reset_metrics, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsSnapshot, Stopwatch,
+};
+pub use trace::{
+    chrome_trace_json, drain_trace, dropped_spans, reset_trace, set_trace_capacity, span,
+    span_with, SpanGuard, SpanRecord,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether metric recording is on (one relaxed load — this is the whole
+/// cost of every disabled hook).
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metric recording on or off process-wide.
+pub fn set_metrics_enabled(enabled: bool) {
+    METRICS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether span recording is on (one relaxed load when off).
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off process-wide.
+///
+/// The first enable fixes the trace epoch: all span timestamps are
+/// monotonic nanoseconds since that instant.
+pub fn set_trace_enabled(enabled: bool) {
+    if enabled {
+        trace::ensure_epoch();
+    }
+    TRACE_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hooks_record_nothing() {
+        // Serialize against other tests that flip the global switches.
+        let _guard = metrics::test_lock();
+        reset_metrics();
+        set_metrics_enabled(false);
+        counter!("lib.disabled", "events").add(7);
+        histogram!("lib.disabled_ns", "ns").record(1);
+        let snap = metrics_snapshot();
+        assert_eq!(snap.counter("lib.disabled"), Some(0));
+        assert!(snap.histogram("lib.disabled_ns").unwrap().count == 0);
+    }
+
+    #[test]
+    fn enable_disable_roundtrip() {
+        let _guard = metrics::test_lock();
+        reset_metrics();
+        set_metrics_enabled(true);
+        counter!("lib.roundtrip", "events").add(2);
+        set_metrics_enabled(false);
+        counter!("lib.roundtrip", "events").add(40);
+        assert_eq!(metrics_snapshot().counter("lib.roundtrip"), Some(2));
+    }
+}

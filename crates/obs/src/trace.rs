@@ -1,0 +1,421 @@
+//! Span tracing with per-thread ring buffers and Chrome trace export.
+//!
+//! A span is opened with [`span`] (or [`span_with`] for a lazily-built
+//! argument string) and closed when the returned [`SpanGuard`] drops.
+//! Complete spans land in a ring buffer owned by the recording thread;
+//! buffers are registered globally so spans survive worker-thread exit
+//! (the work-stealing pool tears its threads down after every sweep).
+//! [`drain_trace`] collects everything recorded so far and
+//! [`chrome_trace_json`] renders it as the Chrome trace-event format
+//! that Perfetto and `chrome://tracing` load.
+//!
+//! Timestamps are monotonic nanoseconds since the trace epoch — the
+//! instant tracing was first enabled ([`crate::set_trace_enabled`]).
+//! When the ring overflows, the *oldest* spans are dropped and counted;
+//! the kept window stays well-formed because guards nest like a stack.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-thread ring capacity (spans). A full 66-cell sweep emits
+/// on the order of 10⁵ spans spread across workers, so the default holds
+/// the whole run.
+const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One completed span: a named interval on one thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (the `name` field of the Chrome event).
+    pub name: &'static str,
+    /// Category (the `cat` field; used for filtering in Perfetto).
+    pub cat: &'static str,
+    /// Recording thread's trace ordinal (the `tid` field).
+    pub tid: u64,
+    /// Start, in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Optional free-form argument, rendered as `args: {"detail": ...}`.
+    pub arg: Option<String>,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    ring: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl ThreadBuf {
+    fn push(&mut self, rec: SpanRecord) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(rec);
+    }
+}
+
+/// All thread buffers ever created, in registration order. Buffers are
+/// kept alive here after their thread exits so late drains see them.
+static BUFFERS: Mutex<Vec<Arc<Mutex<ThreadBuf>>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static LOCAL: Arc<Mutex<ThreadBuf>> = {
+        let buf = Arc::new(Mutex::new(ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            ring: VecDeque::new(),
+            capacity: CAPACITY.load(Ordering::Relaxed),
+            dropped: 0,
+        }));
+        BUFFERS
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(Arc::clone(&buf));
+        buf
+    };
+}
+
+/// Fixes the trace epoch if it is not set yet. Called by
+/// [`crate::set_trace_enabled`] so the first enable anchors all
+/// timestamps.
+pub(crate) fn ensure_epoch() {
+    let _ = EPOCH.get_or_init(Instant::now);
+}
+
+fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Sets the per-thread ring capacity (spans) for buffers created from
+/// now on; existing buffers keep their capacity. Clamped to ≥ 16.
+pub fn set_trace_capacity(spans: usize) {
+    CAPACITY.store(spans.max(16), Ordering::Relaxed);
+}
+
+/// RAII span: records an interval from construction to drop. Inert
+/// (no clock reads, no allocation) when tracing is disabled at
+/// construction time.
+#[must_use = "a span measures the scope holding the guard"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    arg: Option<String>,
+}
+
+impl SpanGuard {
+    #[inline]
+    fn disabled() -> Self {
+        SpanGuard { inner: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let end = now_ns();
+            LOCAL.with(|buf| {
+                let mut b = buf.lock().unwrap_or_else(|p| p.into_inner());
+                let tid = b.tid;
+                b.push(SpanRecord {
+                    name: inner.name,
+                    cat: inner.cat,
+                    tid,
+                    start_ns: inner.start_ns,
+                    dur_ns: end.saturating_sub(inner.start_ns),
+                    arg: inner.arg,
+                });
+            });
+        }
+    }
+}
+
+/// Opens a span; the interval ends when the returned guard drops.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    if !crate::trace_enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard {
+        inner: Some(SpanInner {
+            name,
+            cat,
+            start_ns: now_ns(),
+            arg: None,
+        }),
+    }
+}
+
+/// Like [`span`], with an argument string built **only when tracing is
+/// enabled** — keep formatting costs off the disabled path.
+#[inline]
+pub fn span_with(name: &'static str, cat: &'static str, arg: impl FnOnce() -> String) -> SpanGuard {
+    if !crate::trace_enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard {
+        inner: Some(SpanInner {
+            name,
+            cat,
+            start_ns: now_ns(),
+            arg: Some(arg()),
+        }),
+    }
+}
+
+/// Collects every span recorded so far, across all threads (including
+/// exited ones), ordered by `(tid, start_ns)`. Does not clear buffers.
+pub fn drain_trace() -> Vec<SpanRecord> {
+    let buffers = BUFFERS.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = Vec::new();
+    for buf in buffers.iter() {
+        let b = buf.lock().unwrap_or_else(|p| p.into_inner());
+        out.extend(b.ring.iter().cloned());
+    }
+    out.sort_by(|a, b| (a.tid, a.start_ns, b.dur_ns).cmp(&(b.tid, b.start_ns, a.dur_ns)));
+    out
+}
+
+/// Total spans dropped to ring overflow, across all threads.
+pub fn dropped_spans() -> u64 {
+    let buffers = BUFFERS.lock().unwrap_or_else(|p| p.into_inner());
+    buffers
+        .iter()
+        .map(|b| b.lock().unwrap_or_else(|p| p.into_inner()).dropped)
+        .sum()
+}
+
+/// Clears all recorded spans and drop counts (buffers stay registered).
+pub fn reset_trace() {
+    let buffers = BUFFERS.lock().unwrap_or_else(|p| p.into_inner());
+    for buf in buffers.iter() {
+        let mut b = buf.lock().unwrap_or_else(|p| p.into_inner());
+        b.ring.clear();
+        b.dropped = 0;
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `(name, cat, tid)` identity of an event being emitted.
+type EventId<'a> = (&'a str, &'a str, u64);
+
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    ph: char,
+    id: EventId,
+    ts_ns: u64,
+    arg: Option<&str>,
+) {
+    let (name, cat, tid) = id;
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    // Chrome trace timestamps are microseconds; keep ns precision via
+    // the fractional part.
+    let whole = ts_ns / 1_000;
+    let frac = ts_ns % 1_000;
+    out.push_str("{\"ph\":\"");
+    out.push(ph);
+    out.push_str("\",\"name\":\"");
+    escape_json(name, out);
+    out.push_str("\",\"cat\":\"");
+    escape_json(cat, out);
+    out.push_str("\",\"pid\":1,\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push_str(",\"ts\":");
+    out.push_str(&format!("{whole}.{frac:03}"));
+    if let Some(arg) = arg {
+        out.push_str(",\"args\":{\"detail\":\"");
+        escape_json(arg, out);
+        out.push_str("\"}");
+    }
+    out.push('}');
+}
+
+/// Renders spans as Chrome trace-event JSON (`{"traceEvents": [...]}`)
+/// with balanced `B`/`E` duration events per thread.
+///
+/// Guards nest like a stack on their thread, so sorting a thread's
+/// spans by `(start asc, dur desc)` visits parents before children; an
+/// explicit stack then closes every enclosing span whose end precedes
+/// the next start, which keeps B/E events balanced even when the ring
+/// dropped old spans.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by(|a, b| (a.tid, a.start_ns, b.dur_ns).cmp(&(b.tid, b.start_ns, a.dur_ns)));
+
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    // Stack of (name, cat, tid, end_ns) for currently-open spans.
+    let mut open: Vec<(&str, &str, u64, u64)> = Vec::new();
+    let mut cur_tid: Option<u64> = None;
+
+    for rec in sorted {
+        if cur_tid != Some(rec.tid) {
+            while let Some((name, cat, tid, end)) = open.pop() {
+                push_event(&mut out, &mut first, 'E', (name, cat, tid), end, None);
+            }
+            cur_tid = Some(rec.tid);
+        }
+        let end_ns = rec.start_ns.saturating_add(rec.dur_ns);
+        while let Some(&(name, cat, tid, open_end)) = open.last() {
+            if open_end <= rec.start_ns {
+                push_event(&mut out, &mut first, 'E', (name, cat, tid), open_end, None);
+                open.pop();
+            } else {
+                break;
+            }
+        }
+        push_event(
+            &mut out,
+            &mut first,
+            'B',
+            (rec.name, rec.cat, rec.tid),
+            rec.start_ns,
+            rec.arg.as_deref(),
+        );
+        open.push((rec.name, rec.cat, rec.tid, end_ns));
+    }
+    while let Some((name, cat, tid, end)) = open.pop() {
+        push_event(&mut out, &mut first, 'E', (name, cat, tid), end, None);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tid: u64, start_ns: u64, dur_ns: u64, name: &'static str) -> SpanRecord {
+        SpanRecord {
+            name,
+            cat: "test",
+            tid,
+            start_ns,
+            dur_ns,
+            arg: None,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut buf = ThreadBuf {
+            tid: 0,
+            ring: VecDeque::new(),
+            capacity: 2,
+            dropped: 0,
+        };
+        buf.push(rec(0, 0, 1, "a"));
+        buf.push(rec(0, 1, 1, "b"));
+        buf.push(rec(0, 2, 1, "c"));
+        assert_eq!(buf.dropped, 1);
+        let names: Vec<_> = buf.ring.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn chrome_export_balances_nested_spans() {
+        // outer [0, 100] wraps inner [10, 30] and inner2 [40, 80].
+        let spans = [
+            rec(3, 10, 20, "inner"),
+            rec(3, 0, 100, "outer"),
+            rec(3, 40, 40, "inner2"),
+        ];
+        let json = chrome_trace_json(&spans);
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, 3);
+        assert_eq!(e, 3);
+        // Nesting order: outer opens first, closes last.
+        let first_b = json.find("\"ph\":\"B\"").unwrap();
+        assert!(json[first_b..]
+            .trim_start_matches("\"ph\":\"B\",\"name\":\"")
+            .starts_with("outer"));
+        assert!(json.ends_with("]}"));
+        assert!(json.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn chrome_export_separates_tids() {
+        let spans = [rec(1, 0, 10, "a"), rec(2, 5, 10, "b")];
+        let json = chrome_trace_json(&spans);
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn spans_record_through_ring_and_drain() {
+        let _guard = crate::metrics::test_lock();
+        reset_trace();
+        crate::set_trace_enabled(true);
+        {
+            let _outer = span("test.outer", "test");
+            let _inner = span_with("test.inner", "test", || "detail".to_string());
+        }
+        crate::set_trace_enabled(false);
+        let spans = drain_trace();
+        let outer = spans.iter().find(|s| s.name == "test.outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "test.inner").unwrap();
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+        assert_eq!(inner.arg.as_deref(), Some("detail"));
+        assert_eq!(inner.tid, outer.tid);
+        let json = chrome_trace_json(&spans);
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count()
+        );
+        reset_trace();
+        assert!(drain_trace().is_empty());
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = crate::metrics::test_lock();
+        reset_trace();
+        crate::set_trace_enabled(false);
+        {
+            let _s = span("test.never", "test");
+        }
+        assert!(drain_trace().iter().all(|s| s.name != "test.never"));
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        let mut s = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

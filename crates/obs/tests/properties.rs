@@ -1,0 +1,126 @@
+//! Property tests: the sharded metric registry merges to exactly the
+//! values a single-threaded reference run produces, no matter how the
+//! recordings are partitioned across workers or ordered within one.
+//!
+//! This is the load-bearing determinism claim of `oic-obs`: counter and
+//! histogram merges are integer sums (associative, commutative), so a
+//! snapshot cannot depend on thread scheduling.
+
+use oic_obs::metrics::test_lock;
+use oic_obs::{metrics_snapshot, reset_metrics, set_metrics_enabled, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Round-robin partition of `values` into `threads` slices.
+fn partition(values: &[u64], threads: usize) -> Vec<Vec<u64>> {
+    (0..threads)
+        .map(|t| values.iter().skip(t).step_by(threads).copied().collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Counter totals are partition-independent: recording a value list
+    /// from N worker threads (each in reversed order, to scramble any
+    /// accidental order dependence) equals recording it sequentially.
+    #[test]
+    fn sharded_counter_merge_matches_single_thread(
+        values in prop::collection::vec(0u64..10_000, 1..64),
+        threads in 1usize..8,
+    ) {
+        let _guard = test_lock();
+        reset_metrics();
+        set_metrics_enabled(true);
+        for v in &values {
+            oic_obs::counter!("prop.counter", "events").add(*v);
+        }
+        let reference = metrics_snapshot().counter("prop.counter");
+
+        reset_metrics();
+        std::thread::scope(|s| {
+            for chunk in partition(&values, threads) {
+                s.spawn(move || {
+                    for v in chunk.iter().rev() {
+                        oic_obs::counter!("prop.counter", "events").add(*v);
+                    }
+                });
+            }
+        });
+        let sharded = metrics_snapshot().counter("prop.counter");
+        set_metrics_enabled(false);
+        prop_assert_eq!(sharded, reference);
+    }
+
+    /// Histogram merges (count, sum, min, max, every bucket) are
+    /// partition-independent too, and both match a plain in-memory
+    /// [`HistogramSnapshot`] fold over the same values.
+    #[test]
+    fn sharded_histogram_merge_matches_single_thread(
+        values in prop::collection::vec(0u64..(1u64 << 50), 1..64),
+        threads in 1usize..8,
+    ) {
+        let _guard = test_lock();
+        reset_metrics();
+        set_metrics_enabled(true);
+        for v in &values {
+            oic_obs::histogram!("prop.hist", "ns").record(*v);
+        }
+        let reference = metrics_snapshot().histogram("prop.hist").cloned();
+
+        reset_metrics();
+        std::thread::scope(|s| {
+            for chunk in partition(&values, threads) {
+                s.spawn(move || {
+                    for v in chunk.iter().rev() {
+                        oic_obs::histogram!("prop.hist", "ns").record(*v);
+                    }
+                });
+            }
+        });
+        let sharded = metrics_snapshot().histogram("prop.hist").cloned();
+        set_metrics_enabled(false);
+
+        prop_assert_eq!(&sharded, &reference);
+        // Cross-check against a sequential fold with the value-level API.
+        let mut folded = HistogramSnapshot::empty();
+        for v in &values {
+            folded.record(*v);
+        }
+        let sharded = sharded.unwrap();
+        prop_assert_eq!(sharded.count, folded.count);
+        prop_assert_eq!(sharded.sum, folded.sum);
+        prop_assert_eq!(sharded.min, folded.min);
+        prop_assert_eq!(sharded.max, folded.max);
+        prop_assert_eq!(&sharded.buckets, &folded.buckets);
+    }
+
+    /// Interleaving many metrics at once never cross-contaminates names:
+    /// each counter ends at the sum of its own stream.
+    #[test]
+    fn concurrent_streams_stay_isolated(
+        a in prop::collection::vec(0u64..100, 0..32),
+        b in prop::collection::vec(0u64..100, 0..32),
+    ) {
+        let _guard = test_lock();
+        reset_metrics();
+        set_metrics_enabled(true);
+        std::thread::scope(|s| {
+            let a = &a;
+            let b = &b;
+            s.spawn(move || {
+                for v in a {
+                    oic_obs::counter!("prop.stream_a", "events").add(*v);
+                }
+            });
+            s.spawn(move || {
+                for v in b {
+                    oic_obs::counter!("prop.stream_b", "events").add(*v);
+                }
+            });
+        });
+        let snap = metrics_snapshot();
+        set_metrics_enabled(false);
+        prop_assert_eq!(snap.counter("prop.stream_a"), Some(a.iter().sum()));
+        prop_assert_eq!(snap.counter("prop.stream_b"), Some(b.iter().sum()));
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration test: the Chrome trace-event export is structurally valid
+//! — the invariants Perfetto / `chrome://tracing` need to load a file.
+//!
+//! Validated by parsing the emitted JSON back (with a minimal scanner,
+//! since the workspace is dependency-free): the envelope shape, balanced
+//! `B`/`E` pairs per thread, and non-decreasing timestamps per thread.
+
+use oic_obs::{chrome_trace_json, drain_trace, reset_trace, set_trace_enabled, span, span_with};
+
+/// One parsed trace event: phase, name, tid, timestamp in microseconds.
+#[derive(Debug)]
+struct Event {
+    ph: char,
+    name: String,
+    tid: u64,
+    ts: f64,
+}
+
+/// Extracts `"key":` scalar values from one event object (the exporter
+/// emits a fixed field order, but this scanner does not rely on it).
+fn field<'a>(obj: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = obj
+        .find(&pat)
+        .unwrap_or_else(|| panic!("missing {key} in {obj}"))
+        + pat.len();
+    let rest = &obj[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        &stripped[..stripped.find('"').expect("closing quote")]
+    } else {
+        let end = rest
+            .find([',', '}'])
+            .unwrap_or_else(|| panic!("unterminated value for {key}"));
+        &rest[..end]
+    }
+}
+
+/// Splits the `traceEvents` array into event objects and parses each.
+/// Span names in these tests contain no braces, so brace counting is a
+/// safe delimiter.
+fn parse_events(json: &str) -> Vec<Event> {
+    assert!(json.starts_with("{\"traceEvents\":["), "envelope: {json}");
+    assert!(json.ends_with("]}"), "envelope: {json}");
+    let body = &json["{\"traceEvents\":[".len()..json.len() - 2];
+    let mut events = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    let obj = &body[start..=i];
+                    events.push(Event {
+                        ph: field(obj, "ph").chars().next().expect("phase char"),
+                        name: field(obj, "name").to_string(),
+                        tid: field(obj, "tid").parse().expect("numeric tid"),
+                        ts: field(obj, "ts").parse().expect("numeric ts"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    events
+}
+
+#[test]
+fn exported_trace_is_balanced_and_monotone() {
+    let _guard = oic_obs::metrics::test_lock();
+    reset_trace();
+    set_trace_enabled(true);
+    // Nested spans on the test thread plus concurrent workers: the
+    // export must keep every thread's lane independently well-formed.
+    {
+        let _outer = span("outer", "test");
+        for i in 0..3 {
+            let _inner = span_with("inner", "test", || format!("iteration {i}"));
+            std::hint::black_box(i);
+        }
+    }
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| {
+                for _ in 0..5 {
+                    let _span = span("worker", "test");
+                    std::hint::black_box(0);
+                }
+            });
+        }
+    });
+    set_trace_enabled(false);
+    let spans = drain_trace();
+    let json = chrome_trace_json(&spans);
+    let events = parse_events(&json);
+    assert_eq!(events.len(), 2 * spans.len(), "one B and one E per span");
+
+    let mut stacks: std::collections::HashMap<u64, Vec<String>> = std::collections::HashMap::new();
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for event in &events {
+        let prev = last_ts.entry(event.tid).or_insert(0.0);
+        assert!(
+            event.ts >= *prev,
+            "timestamps must be non-decreasing per tid ({} < {prev} on tid {})",
+            event.ts,
+            event.tid
+        );
+        *prev = event.ts;
+        let stack = stacks.entry(event.tid).or_default();
+        match event.ph {
+            'B' => stack.push(event.name.clone()),
+            'E' => {
+                let open = stack.pop().expect("E without a matching B");
+                assert_eq!(open, event.name, "E must close the innermost open B");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(
+        stacks.values().all(Vec::is_empty),
+        "every B must be closed: {stacks:?}"
+    );
+    // The nesting survived the round trip: "inner" opens under "outer".
+    let test_tid = events
+        .iter()
+        .find(|e| e.name == "outer")
+        .expect("outer span present")
+        .tid;
+    let lane: Vec<&Event> = events.iter().filter(|e| e.tid == test_tid).collect();
+    assert_eq!(lane.first().map(|e| e.name.as_str()), Some("outer"));
+    assert_eq!(lane.last().map(|e| e.name.as_str()), Some("outer"));
+    assert!(lane.iter().filter(|e| e.name == "inner").count() == 6);
+}
+
+#[test]
+fn empty_trace_exports_an_empty_envelope() {
+    let _guard = oic_obs::metrics::test_lock();
+    let json = chrome_trace_json(&[]);
+    assert_eq!(json, "{\"traceEvents\":[]}");
+}

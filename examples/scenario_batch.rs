@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "scheduler: {} chunk tasks on {} workers ({} steals, {} injector refills)",
-        stats.executed, stats.workers, stats.steals, stats.injector_grabs
+        stats.steal.executed, stats.steal.workers, stats.steal.steals, stats.steal.injector_grabs
     );
 
     let path = std::env::temp_dir().join("oic_scenario_batch.json");

@@ -167,7 +167,10 @@ fn hundred_thousand_episode_sweep_streams_without_episode_records() {
     assert!(cell.min_safe_slack <= cell.max_safe_slack);
     assert!(cell.var_skip_rate >= 0.0);
     // 100k episodes / auto chunk 1024 → 98 tasks, all executed.
-    assert_eq!(stats.executed, 100_000usize.div_ceil(config.chunk_size()));
+    assert_eq!(
+        stats.steal.executed,
+        100_000usize.div_ceil(config.chunk_size())
+    );
 }
 
 /// The registry-wide certification sweep the batch bin relies on: all
