@@ -5,7 +5,15 @@
 //! Usage: `cargo run --release -p oic-bench --bin batch -- [--cases N]
 //! [--steps N] [--seed N] [--threads N] [--chunk N] [--stream|--detail]
 //! [--policies drl:<path>[,drl:<path>…]] [--out report.json]
-//! [--metrics metrics.json] [--trace trace.json]`
+//! [--metrics metrics.json] [--trace trace.json] [--cache-dir DIR]
+//! [--shard i/n]`
+//!
+//! `--cache-dir` answers already-computed cells from the
+//! content-addressed store under `DIR` (and fills it as new cells
+//! complete); `--shard i/n` runs the cells whose global index is `i`
+//! modulo `n`, for fan-out across machines — `serve merge` interleaves
+//! the shard reports back into the unsharded bytes. Neither flag
+//! changes a single report byte (see `docs/PROTOCOL.md`).
 //!
 //! The roster is the five analytic policies plus the committed golden
 //! learned policies (`drl-acc`, `drl-double-integrator`); `--policies
@@ -56,15 +64,24 @@ fn main() {
             // and the machine-readable dump can never disagree.
             let snapshot = oic_obs::metrics_snapshot();
             eprintln!(
-                "wall-clock: {:.3}s for {} episodes in {} cells ({:.0} episodes/s; {} tasks on {} workers, {} steals)",
-                elapsed.as_secs_f64(),
-                episodes,
-                report.cells.len(),
-                episodes as f64 / elapsed.as_secs_f64().max(1e-9),
-                snapshot.counter("engine.tasks_executed").unwrap_or(0),
-                snapshot.gauge("engine.workers").unwrap_or(0),
-                snapshot.counter("engine.steals").unwrap_or(0),
+                "{}",
+                batch::wall_clock_line(
+                    elapsed.as_secs_f64(),
+                    episodes,
+                    report.cells.len(),
+                    snapshot.counter("engine.tasks_executed").unwrap_or(0),
+                    snapshot.gauge("engine.workers").unwrap_or(0),
+                    snapshot.counter("engine.steals").unwrap_or(0),
+                )
             );
+            if scale.cache_dir.is_some() {
+                eprintln!(
+                    "cache: {} of {} cells answered from the store, {} ran",
+                    stats.cells_from_cache,
+                    report.cells.len(),
+                    report.cells.len() - stats.cells_from_cache,
+                );
+            }
             if stats.cells_skipped_incompatible > 0 {
                 eprintln!(
                     "skipped {} (scenario, policy) cells whose network dimensions do not fit the plant",

@@ -43,6 +43,15 @@ pub struct ExperimentScale {
     /// Optional path for the Chrome trace export (`--trace`); also turns
     /// span recording on for the run.
     pub trace_out: Option<String>,
+    /// Optional content-addressed cell-cache directory (`--cache-dir`):
+    /// cells already stored there are answered without running episodes,
+    /// new cells are stored as they complete. Results stay byte-identical
+    /// either way.
+    pub cache_dir: Option<String>,
+    /// Optional shard assignment (`--shard i/n`): run only the cells
+    /// whose global index `g` satisfies `g % n == i`; merge shard
+    /// reports back with `serve merge`.
+    pub shard: Option<String>,
 }
 
 impl Default for ExperimentScale {
@@ -59,6 +68,8 @@ impl Default for ExperimentScale {
             out: None,
             metrics_out: None,
             trace_out: None,
+            cache_dir: None,
+            shard: None,
         }
     }
 }
@@ -124,6 +135,16 @@ impl ExperimentScale {
                 "--trace" => {
                     if let Some(v) = args.next() {
                         scale.trace_out = Some(v);
+                    }
+                }
+                "--cache-dir" => {
+                    if let Some(v) = args.next() {
+                        scale.cache_dir = Some(v);
+                    }
+                }
+                "--shard" => {
+                    if let Some(v) = args.next() {
+                        scale.shard = Some(v);
                     }
                 }
                 _ => {}
@@ -252,6 +273,19 @@ mod tests {
         assert!(!scale.stream);
         let streamed = ExperimentScale::from_args(["--stream".to_string()]);
         assert!(streamed.stream);
+    }
+
+    #[test]
+    fn scale_parsing_cache_and_shard() {
+        let scale = ExperimentScale::from_args(
+            ["--cache-dir", "/tmp/cells", "--shard", "1/4"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(scale.cache_dir.as_deref(), Some("/tmp/cells"));
+        assert_eq!(scale.shard.as_deref(), Some("1/4"));
+        let default = ExperimentScale::default();
+        assert!(default.cache_dir.is_none() && default.shard.is_none());
     }
 
     #[test]

@@ -117,7 +117,7 @@ const VALIDATION_SEED: u64 = 9001;
 ///
 /// DQN trajectories through a near-flat objective landscape oscillate
 /// around the best achievable skip rate, so the harness does checkpoint
-/// **selection**: every [`CHECKPOINT_EVERY`] episodes the current greedy
+/// **selection**: every `CHECKPOINT_EVERY` episodes the current greedy
 /// policy is swept through the engine (validation seed, benchmark
 /// episode shape) and the blob with the highest violation-free skip rate
 /// wins.

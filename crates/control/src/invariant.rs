@@ -7,10 +7,10 @@
 //!   autonomous perturbed loop `x⁺ = A_K x + w` inside a constraint set,
 //!   by the standard fixpoint iteration `Ω ← Ω ∩ Pre(Ω)`.
 //! * [`max_rci`] — maximal robust *control* invariant set of
-//!   `x⁺ = Ax + Bu + w` (paper reference [17]); `Pre` gains an `∃u ∈ U`
+//!   `x⁺ = Ax + Bu + w` (paper reference \[17\]); `Pre` gains an `∃u ∈ U`
 //!   which is resolved by polytope projection.
 //! * [`rakovic_rpi`] — the Raković et al. outer approximation of the
-//!   *minimal* RPI set (paper reference [19]), the paper's
+//!   *minimal* RPI set (paper reference \[19\]), the paper's
 //!   `XI = α(W ⊕ A_K W ⊕ … ⊕ A_Kⁿ W)` formula, computed exactly on
 //!   zonotopes.
 //!
@@ -154,7 +154,7 @@ pub fn robust_controllable_pre(
 }
 
 /// Computes the maximal robust control invariant set of a constrained plant
-/// inside its safe set `X` (paper reference [17]).
+/// inside its safe set `X` (paper reference \[17\]).
 ///
 /// # Errors
 ///
@@ -335,7 +335,7 @@ const DIR_MATCH_TOL: f64 = 1e-5;
 /// The pre-refactor planar exact-hull certification survives as
 /// [`rakovic_rpi_certified_2d_reference`]; the template result is an outer
 /// approximation of it (a few percent looser in support radius, bounded by
-/// [`PUSH_TAIL`]), and the ACC pin test enforces both the containment and
+/// `PUSH_TAIL`), and the ACC pin test enforces both the containment and
 /// the agreement. Committed engine baselines (`BENCH_batch.json`) do not
 /// depend on either path.
 ///
@@ -400,7 +400,7 @@ pub fn rakovic_rpi_certified(
 /// The template directions are the facet normals of the (order-reduced)
 /// seed plus the standard axes, **closed under the normalized `Aᵀ`-push**
 /// `a ↦ Aᵀa / ‖Aᵀa‖` until the cumulative contraction falls below
-/// [`PUSH_TAIL`]. Offsets start at the exact hull-limit support
+/// `PUSH_TAIL`. Offsets start at the exact hull-limit support
 /// `sup_j [h_seed((Aᵀ)ʲa) + h_{F_j}(a)]` (all analytic zonotope queries)
 /// and are then closed by the scalar backward recursion
 ///

@@ -3,13 +3,13 @@
 //!
 //! This crate is the "underlying safe controller" layer of the paper: it
 //! provides the robust MPC `κ_R` (Chisci–Rossiter–Zappa tube MPC, paper
-//! reference [1]) and the linear feedback `κ(x) = Kx`, plus the invariant-set
+//! reference \[1\]) and the linear feedback `κ(x) = Kx`, plus the invariant-set
 //! algorithms the safety analysis needs:
 //!
 //! * [`max_rpi`] — maximal robust positively invariant set of a closed loop,
-//! * [`max_rci`] — maximal robust *control* invariant set (paper ref. [17]),
+//! * [`max_rci`] — maximal robust *control* invariant set (paper ref. \[17\]),
 //! * [`rakovic_rpi`] — the Raković outer approximation of the minimal RPI
-//!   set, the paper's `α(W ⊕ (A+BK)W ⊕ … )` formula (paper ref. [19]),
+//!   set, the paper's `α(W ⊕ (A+BK)W ⊕ … )` formula (paper ref. \[19\]),
 //! * [`TubeMpc::feasible_set`] — the feasible region `X_F` of the robust
 //!   MPC, which Proposition 1 identifies with the robust control invariant
 //!   set `X_I`.

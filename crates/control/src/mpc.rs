@@ -1,5 +1,5 @@
 //! Tube (robust) model predictive control — the paper's underlying safe
-//! controller `κ_R` (Chisci–Rossiter–Zappa, paper reference [1]).
+//! controller `κ_R` (Chisci–Rossiter–Zappa, paper reference \[1\]).
 //!
 //! The online optimization is paper Eq. (5): a 1-norm cost over the nominal
 //! prediction, state constraints tightened by the accumulated disturbance,

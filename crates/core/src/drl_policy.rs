@@ -328,7 +328,7 @@ impl SkipPolicy for DrlPolicy {
 ///
 /// Unlike [`DrlPolicy`] this carries no agent (no replay buffer, no
 /// optimizer, no exploration RNG) — just the network behind an [`Arc`]
-/// plus the scenario's [`StateEncoder`]. That makes it the right shape
+/// plus the scenario's `StateEncoder`. That makes it the right shape
 /// for the batch engine: the weight blob is decoded **once per policy**,
 /// the `Arc` is shared across all worker deques, and per-episode
 /// instantiation is a cheap clone. Action selection is greedy argmax with

@@ -60,7 +60,7 @@ impl Default for DqnConfig {
     }
 }
 
-/// Double deep Q-learning agent (van Hasselt et al., paper reference [24]).
+/// Double deep Q-learning agent (van Hasselt et al., paper reference \[24\]).
 ///
 /// The online network selects the bootstrap action, the target network
 /// evaluates it: `y = r + γ·Q_tgt(s′, argmax_a Q_on(s′, a))`. This decouples

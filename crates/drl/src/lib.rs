@@ -1,4 +1,4 @@
-//! Double deep Q-learning (paper reference [24], van Hasselt et al.).
+//! Double deep Q-learning (paper reference \[24\], van Hasselt et al.).
 //!
 //! The paper's skipping decision function `Ω` is a DQN with two actions
 //! (skip / run the controller) trained online. This crate provides the

@@ -1,0 +1,517 @@
+//! Content-addressed cell-result cache: in-memory LRU over an optional
+//! on-disk store, keyed by [`cell_hash`](crate::spec::cell_hash).
+//!
+//! A cell's aggregates are a pure function of its hashed spec, so a
+//! cache hit can substitute for the whole episode loop — the byte-level
+//! report is unchanged (the warm-run integration tests pin this). Disk
+//! entries use a fixed little-endian binary codec that stores every
+//! float as its raw bit pattern: round-tripping a cell through the
+//! store is **bitwise** exact, including negative zero and infinities
+//! (the property test sweeps random bit patterns).
+//!
+//! Cache traffic is counted twice: always into the cache's own relaxed
+//! atomics (so callers can report hit rates without enabling
+//! telemetry), and into the `oic-obs` registry (`cache.mem_hits`,
+//! `cache.disk_hits`, `cache.misses`, `cache.stores`,
+//! `cache.rejected`, `cache.bytes_read`, `cache.bytes_written`) when
+//! metrics are on. Neither path feeds back into results.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::hashing::to_hex;
+use crate::report::CellReport;
+
+const MAGIC: &[u8; 8] = b"OICCELL1";
+
+/// Errors from the cell codec and store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The blob is not a cell record (bad magic, truncation, trailing
+    /// bytes, or a non-UTF-8 name).
+    Malformed(&'static str),
+    /// Cells carrying per-episode detail are not cacheable.
+    DetailNotCacheable,
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Malformed(what) => write!(f, "malformed cell record: {what}"),
+            CacheError::DetailNotCacheable => {
+                write!(f, "cells with per-episode detail cannot be cached")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Serializes a cell's aggregates to the on-disk record format.
+///
+/// Layout (all integers little-endian): the 8-byte magic `OICCELL1`,
+/// two `u32`-length-prefixed UTF-8 strings (scenario, policy label),
+/// eight `u64` tallies, then six `f64`s stored as raw bit patterns.
+///
+/// # Errors
+///
+/// [`CacheError::DetailNotCacheable`] when the cell carries per-episode
+/// records (the cache stores aggregates only — detail is O(episodes)).
+pub fn encode_cell(cell: &CellReport) -> Result<Vec<u8>, CacheError> {
+    if !cell.episodes_detail.is_empty() {
+        return Err(CacheError::DetailNotCacheable);
+    }
+    let mut out = Vec::with_capacity(128 + cell.scenario.len() + cell.policy.len());
+    out.extend_from_slice(MAGIC);
+    for text in [&cell.scenario, &cell.policy] {
+        out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+        out.extend_from_slice(text.as_bytes());
+    }
+    for tally in [
+        cell.episodes,
+        cell.steps_per_episode,
+        cell.total_steps,
+        cell.skipped_steps,
+        cell.forced_runs,
+        cell.policy_runs,
+        cell.safety_violations,
+        cell.invariant_violations,
+    ] {
+        out.extend_from_slice(&(tally as u64).to_le_bytes());
+    }
+    for float in [
+        cell.mean_skip_rate,
+        cell.var_skip_rate,
+        cell.mean_actuation_effort,
+        cell.var_actuation_effort,
+        cell.min_safe_slack,
+        cell.max_safe_slack,
+    ] {
+        out.extend_from_slice(&float.to_bits().to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Deserializes a cell record written by [`encode_cell`].
+///
+/// # Errors
+///
+/// [`CacheError::Malformed`] on any structural violation; decoding
+/// never panics on corrupt input.
+pub fn decode_cell(bytes: &[u8]) -> Result<CellReport, CacheError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    if cursor.take(8)? != MAGIC {
+        return Err(CacheError::Malformed("bad magic"));
+    }
+    let scenario = cursor.string()?;
+    let policy = cursor.string()?;
+    let mut tallies = [0u64; 8];
+    for slot in &mut tallies {
+        *slot = cursor.u64()?;
+    }
+    let mut floats = [0f64; 6];
+    for slot in &mut floats {
+        *slot = f64::from_bits(cursor.u64()?);
+    }
+    if cursor.pos != bytes.len() {
+        return Err(CacheError::Malformed("trailing bytes"));
+    }
+    Ok(CellReport {
+        scenario,
+        policy,
+        episodes: tallies[0] as usize,
+        steps_per_episode: tallies[1] as usize,
+        total_steps: tallies[2] as usize,
+        skipped_steps: tallies[3] as usize,
+        forced_runs: tallies[4] as usize,
+        policy_runs: tallies[5] as usize,
+        safety_violations: tallies[6] as usize,
+        invariant_violations: tallies[7] as usize,
+        mean_skip_rate: floats[0],
+        var_skip_rate: floats[1],
+        mean_actuation_effort: floats[2],
+        var_actuation_effort: floats[3],
+        min_safe_slack: floats[4],
+        max_safe_slack: floats[5],
+        episodes_detail: Vec::new(),
+    })
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CacheError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(CacheError::Malformed("truncated record"))?;
+        self.pos += n;
+        Ok(chunk)
+    }
+
+    fn u64(&mut self) -> Result<u64, CacheError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte chunk"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, CacheError> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte chunk")) as usize;
+        let text = std::str::from_utf8(self.take(len)?)
+            .map_err(|_| CacheError::Malformed("non-UTF-8 name"))?;
+        Ok(text.to_string())
+    }
+}
+
+/// Cache traffic counters (monotonic, relaxed; always on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Hits served from the in-memory LRU.
+    pub mem_hits: u64,
+    /// Hits served from the on-disk store (then promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Cells written to the cache.
+    pub stores: u64,
+    /// Disk entries discarded as corrupt or mismatched.
+    pub rejected: u64,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+}
+
+impl CacheStats {
+    /// Total hits, both tiers.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+struct MemTier {
+    map: HashMap<[u8; 32], CellReport>,
+    /// Keys in least-recently-used-first order.
+    order: Vec<[u8; 32]>,
+}
+
+/// The two-tier content-addressed cell cache.
+///
+/// Thread-safe: the memory tier sits behind one mutex (lookups are a
+/// hash probe plus an LRU touch — microseconds against episode loops
+/// that run milliseconds to seconds), disk I/O happens outside it.
+/// Disk writes go through a temp file + atomic rename, so a crashed or
+/// concurrent writer can never leave a torn entry behind; corrupt or
+/// mismatched disk entries are discarded and recounted as misses.
+pub struct CellCache {
+    mem: Mutex<MemTier>,
+    capacity: usize,
+    dir: Option<PathBuf>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    rejected: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl std::fmt::Debug for CellCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellCache")
+            .field("capacity", &self.capacity)
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CellCache {
+    /// A cache holding up to `capacity` cells in memory, optionally
+    /// backed by a directory of content-addressed files (created on
+    /// first write). `capacity` 0 means memory-only lookups never hit —
+    /// useful to exercise the disk tier.
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
+        Self {
+            mem: Mutex::new(MemTier {
+                map: HashMap::new(),
+                order: Vec::new(),
+            }),
+            capacity,
+            dir,
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        }
+    }
+
+    /// A memory-only cache with the default capacity (4096 cells — a
+    /// cell record is ~150 bytes, so the tier tops out well under a
+    /// megabyte).
+    pub fn in_memory() -> Self {
+        Self::new(4096, None)
+    }
+
+    /// The on-disk path of a key: `<dir>/<first 2 hex chars>/<hex>.cell`
+    /// (one fan-out level keeps directories small at millions of cells).
+    pub fn entry_path(dir: &Path, key: &[u8; 32]) -> PathBuf {
+        let hex = to_hex(key);
+        dir.join(&hex[..2]).join(format!("{hex}.cell"))
+    }
+
+    /// Looks a cell up by its content address.
+    ///
+    /// Memory first, then disk; a disk hit is decoded, validated, and
+    /// promoted into the memory tier. Corrupt disk entries are deleted
+    /// and counted as `rejected` + `misses`, never surfaced.
+    pub fn get(&self, key: &[u8; 32]) -> Option<CellReport> {
+        {
+            let mut mem = self.mem.lock().expect("cache mem lock");
+            if let Some(cell) = mem.map.get(key).cloned() {
+                Self::touch(&mut mem.order, key);
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                oic_obs::counter!("cache.mem_hits", "cells").incr();
+                return Some(cell);
+            }
+        }
+        if let Some(dir) = &self.dir {
+            let path = Self::entry_path(dir, key);
+            if let Ok(bytes) = std::fs::read(&path) {
+                self.bytes_read
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                oic_obs::counter!("cache.bytes_read", "bytes").add(bytes.len() as u64);
+                match decode_cell(&bytes) {
+                    Ok(cell) => {
+                        self.insert_mem(key, &cell);
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        oic_obs::counter!("cache.disk_hits", "cells").incr();
+                        return Some(cell);
+                    }
+                    Err(_) => {
+                        // A torn or foreign file under our key: drop it so
+                        // the slot heals on the next store.
+                        let _ = std::fs::remove_file(&path);
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        oic_obs::counter!("cache.rejected", "cells").incr();
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        oic_obs::counter!("cache.misses", "cells").incr();
+        None
+    }
+
+    /// Stores a cell under its content address (both tiers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors (detail cells) and disk I/O failures;
+    /// the memory tier is updated regardless, so a read-only disk
+    /// degrades the cache rather than the sweep.
+    pub fn put(&self, key: &[u8; 32], cell: &CellReport) -> Result<(), String> {
+        let bytes = encode_cell(cell).map_err(|e| e.to_string())?;
+        self.insert_mem(key, cell);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        oic_obs::counter!("cache.stores", "cells").incr();
+        if let Some(dir) = &self.dir {
+            let path = Self::entry_path(dir, key);
+            let parent = path.parent().expect("entry path has a parent");
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            // Temp file + rename: concurrent writers of the same key race
+            // benignly (identical contents), and readers never see a
+            // half-written record.
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            std::fs::write(&tmp, &bytes)
+                .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+            std::fs::rename(&tmp, &path)
+                .map_err(|e| format!("cannot rename into {}: {e}", path.display()))?;
+            self.bytes_written
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            oic_obs::counter!("cache.bytes_written", "bytes").add(bytes.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cells currently held in the memory tier.
+    pub fn mem_len(&self) -> usize {
+        self.mem.lock().expect("cache mem lock").map.len()
+    }
+
+    fn insert_mem(&self, key: &[u8; 32], cell: &CellReport) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut mem = self.mem.lock().expect("cache mem lock");
+        if mem.map.insert(*key, cell.clone()).is_none() {
+            mem.order.push(*key);
+            if mem.map.len() > self.capacity {
+                let evict = mem.order.remove(0);
+                mem.map.remove(&evict);
+            }
+        } else {
+            Self::touch(&mut mem.order, key);
+        }
+    }
+
+    fn touch(order: &mut Vec<[u8; 32]>, key: &[u8; 32]) {
+        if let Some(at) = order.iter().position(|k| k == key) {
+            let k = order.remove(at);
+            order.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::EpisodeRecord;
+    use oic_core::RunStats;
+
+    fn cell(scenario: &str, policy: &str) -> CellReport {
+        CellReport::from_episodes(
+            scenario,
+            policy,
+            10,
+            vec![EpisodeRecord {
+                episode: 0,
+                seed: 7,
+                stats: RunStats {
+                    steps: 10,
+                    skipped: 4,
+                    forced_runs: 1,
+                    policy_runs: 5,
+                    actuation_effort: 2.5,
+                },
+                safety_violations: 0,
+                invariant_violations: 0,
+                min_safe_slack: 0.75,
+            }],
+        )
+        .without_detail()
+    }
+
+    trait WithoutDetail {
+        fn without_detail(self) -> Self;
+    }
+    impl WithoutDetail for CellReport {
+        fn without_detail(mut self) -> Self {
+            self.episodes_detail.clear();
+            self
+        }
+    }
+
+    fn key(tag: u8) -> [u8; 32] {
+        [tag; 32]
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_corruption() {
+        let original = cell("acc", "bang-bang");
+        let bytes = encode_cell(&original).unwrap();
+        assert_eq!(decode_cell(&bytes).unwrap(), original);
+        for cut in [0, 7, 8, bytes.len() - 1] {
+            assert!(decode_cell(&bytes[..cut]).is_err(), "truncated at {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode_cell(&extended).is_err(), "trailing bytes");
+        let mut wrong_magic = bytes;
+        wrong_magic[0] ^= 0xFF;
+        assert!(decode_cell(&wrong_magic).is_err(), "magic");
+    }
+
+    #[test]
+    fn detail_cells_are_refused() {
+        let mut detailed = cell("acc", "bang-bang");
+        detailed.episodes_detail.push(EpisodeRecord {
+            episode: 0,
+            seed: 1,
+            stats: RunStats::default(),
+            safety_violations: 0,
+            invariant_violations: 0,
+            min_safe_slack: 0.0,
+        });
+        assert_eq!(
+            encode_cell(&detailed).unwrap_err(),
+            CacheError::DetailNotCacheable
+        );
+    }
+
+    #[test]
+    fn memory_tier_hits_and_evicts_lru() {
+        let cache = CellCache::new(2, None);
+        assert!(cache.get(&key(1)).is_none());
+        cache.put(&key(1), &cell("a", "p")).unwrap();
+        cache.put(&key(2), &cell("b", "p")).unwrap();
+        assert!(cache.get(&key(1)).is_some(), "1 is now most recent");
+        cache.put(&key(3), &cell("c", "p")).unwrap();
+        assert!(cache.get(&key(2)).is_none(), "2 was LRU, evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.mem_hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.stores, 3);
+        assert_eq!(cache.mem_len(), 2);
+    }
+
+    #[test]
+    fn disk_tier_persists_across_instances() {
+        let dir = std::env::temp_dir().join(format!("oic-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stored = cell("acc", "bang-bang");
+        {
+            let cache = CellCache::new(8, Some(dir.clone()));
+            cache.put(&key(9), &stored).unwrap();
+            assert!(cache.stats().bytes_written > 0);
+        }
+        // A fresh instance (cold memory) must hit disk and promote.
+        let cache = CellCache::new(8, Some(dir.clone()));
+        assert_eq!(cache.get(&key(9)), Some(stored.clone()));
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.mem_hits, 0);
+        assert_eq!(cache.get(&key(9)), Some(stored));
+        assert_eq!(cache.stats().mem_hits, 1, "promoted after the disk hit");
+        // Corrupt the file: the entry is rejected, deleted, and missed.
+        let path = CellCache::entry_path(&dir, &key(9));
+        std::fs::write(&path, b"garbage").unwrap();
+        let cold = CellCache::new(8, Some(dir.clone()));
+        assert!(cold.get(&key(9)).is_none());
+        assert_eq!(cold.stats().rejected, 1);
+        assert!(!path.exists(), "corrupt entry is removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_memory_tier() {
+        let cache = CellCache::new(0, None);
+        cache.put(&key(4), &cell("a", "p")).unwrap();
+        assert!(cache.get(&key(4)).is_none());
+        assert_eq!(cache.mem_len(), 0);
+    }
+}

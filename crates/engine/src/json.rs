@@ -1,10 +1,17 @@
-//! A minimal JSON document builder and serializer.
+//! A minimal JSON document builder, serializer, and parser.
 //!
 //! No serde is available offline, so reports are assembled as explicit
 //! [`JsonValue`] trees and rendered with a deterministic writer: object
 //! keys keep insertion order, floats render via Rust's shortest-roundtrip
 //! formatting, and the output is stable byte-for-byte across runs — which
 //! is what makes `BENCH_*.json` trajectories diffable.
+//!
+//! [`JsonValue::parse`] is the inverse: a strict recursive-descent reader
+//! used by the sweep service (`oic-serve`) to accept request specs and by
+//! the shard `merge` tool to re-read reports. Parsing a document this
+//! writer produced and re-rendering it is byte-identical — numbers render
+//! shortest-roundtrip in both directions, which is what makes the
+//! shard/merge byte-identity contract (`docs/PROTOCOL.md`) hold.
 
 use std::fmt::Write as _;
 
@@ -60,6 +67,78 @@ impl JsonValue {
             JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Number(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= 9.0e15 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entry list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document (strict: no trailing garbage, no
+    /// comments, no trailing commas; `\uXXXX` escapes incl. surrogate
+    /// pairs are decoded).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] naming the byte offset of the first
+    /// violation.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing characters after the document"));
+        }
+        Ok(value)
     }
 
     /// Renders compact JSON.
@@ -141,6 +220,259 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+/// A parse failure: the byte offset of the first violation plus a
+/// human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character {:?}", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // A high surrogate must be followed by
+                                // `\uXXXX` carrying the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("unpaired low surrogate"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    out.push_str(std::str::from_utf8(&rest[..len]).expect("input is valid UTF-8"));
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(chunk).map_err(|_| self.err("non-ASCII \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape digits"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
+        let x: f64 = text.parse().map_err(|_| JsonParseError {
+            offset: start,
+            message: format!("unparsable number {text:?}"),
+        })?;
+        Ok(JsonValue::Number(x))
     }
 }
 
@@ -247,5 +579,89 @@ mod tests {
     fn non_finite_numbers_render_null() {
         assert_eq!(JsonValue::Number(f64::INFINITY).to_json(), "null");
         assert_eq!(JsonValue::Number(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output_byte_identically() {
+        let doc = JsonValue::object()
+            .with("name", "batch")
+            .with("count", 3usize)
+            .with("rate", 0.1 + 0.2) // a value whose shortest form is long
+            .with("neg", -17.25)
+            .with("tiny", 5e-324)
+            .with("ok", true)
+            .with("none", JsonValue::Null)
+            .with("items", vec![1.0, 2.5])
+            .with("nested", JsonValue::object().with("k", "v\n\"x\""));
+        for rendered in [doc.to_json(), doc.to_json_pretty()] {
+            let parsed = JsonValue::parse(&rendered).unwrap();
+            assert_eq!(parsed, doc);
+            assert_eq!(parsed.to_json(), doc.to_json(), "re-render is stable");
+        }
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_unicode() {
+        let parsed = JsonValue::parse(r#""a\u0041\n\t\\\"\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(parsed, JsonValue::from("aA\n\t\\\"é😀"));
+        // Raw multi-byte UTF-8 passes through.
+        let parsed = JsonValue::parse("\"héllo\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "nul",
+            "01x",
+            "1 2",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "[1 2]",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+            "--1",
+            "1.",
+            "1e",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        let doc =
+            JsonValue::parse(r#"{"n": 42, "s": "x", "b": false, "a": [1], "f": 1.5}"#).unwrap();
+        assert_eq!(doc.get("n").and_then(JsonValue::as_usize), Some(42));
+        assert_eq!(doc.get("f").and_then(JsonValue::as_usize), None);
+        assert_eq!(doc.get("f").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(doc.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(doc.get("b").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(
+            doc.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(doc.as_object().map(<[_]>::len), Some(5));
+    }
+
+    #[test]
+    fn parsed_numbers_rerender_shortest_roundtrip() {
+        // The byte-identity contract for shard merging: any number our
+        // writer emits reparses to the same f64 and re-renders to the
+        // same bytes.
+        for (text, expected) in [
+            ("3", "3"),
+            ("0.25", "0.25"),
+            ("-0.1", "-0.1"),
+            ("1e3", "1000"),
+        ] {
+            let v = JsonValue::parse(text).unwrap();
+            assert_eq!(v.to_json(), expected);
+        }
     }
 }

@@ -19,7 +19,13 @@
 //!   results are byte-identical for any number of workers;
 //! * [`BatchReport`] aggregates [`oic_core::RunStats`] per cell (skip
 //!   rate, forced runs, actuation effort, safety violations) and emits
-//!   machine-readable JSON via the dependency-free [`JsonValue`] writer.
+//!   machine-readable JSON via the dependency-free [`JsonValue`]
+//!   writer/parser;
+//! * every cell is a pure function of its canonical spec: [`SweepSpec`]
+//!   pins the canonical wire form, [`cell_hash`] content-addresses each
+//!   `(scenario, policy)` cell, and [`run_batch_opts`] layers the
+//!   [`CellCache`], shard selection ([`ShardInfo`]), and streaming
+//!   cell callbacks over the same byte-identical results.
 //!
 //! [`IntermittentController`]: oic_core::IntermittentController
 //!
@@ -38,16 +44,25 @@
 //! ```
 
 mod accumulator;
+mod cache;
+mod hashing;
 mod json;
 mod report;
 mod runner;
+mod spec;
 mod steal;
 
 pub use accumulator::{CellAccumulator, Moments};
-pub use json::JsonValue;
+pub use cache::{decode_cell, encode_cell, CacheError, CacheStats, CellCache};
+pub use hashing::{from_hex, sha256, to_hex, Sha256};
+pub use json::{JsonParseError, JsonValue};
 pub use report::{BatchReport, CellReport, EpisodeRecord};
 pub use runner::{
-    episode_seed, run_batch, run_batch_with_stats, run_episode, BatchConfig, CellTiming,
-    EngineError, PolicySpec, PreparedPolicy, SweepStats,
+    episode_seed, run_batch, run_batch_opts, run_batch_with_stats, run_episode, BatchConfig,
+    CellTiming, EngineError, PolicySpec, PreparedPolicy, SweepOptions, SweepStats,
+};
+pub use spec::{
+    canonical_policy, cell_hash, cell_hash_canonical, parse_policy, ShardInfo, SweepSpec,
+    CACHE_EPOCH,
 };
 pub use steal::{run_work_stealing, StealStats};

@@ -4,6 +4,7 @@ use oic_core::RunStats;
 
 use crate::accumulator::CellAccumulator;
 use crate::json::JsonValue;
+use crate::spec::ShardInfo;
 
 /// The outcome of one episode.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,6 +164,10 @@ impl CellReport {
 pub struct BatchReport {
     /// The base seed the batch derived everything from.
     pub seed: u64,
+    /// Which shard of the materialized cell grid this report covers
+    /// (`None` for a complete run; `Some` reports interleave back into
+    /// the unsharded byte stream via `merge`).
+    pub shard: Option<ShardInfo>,
     /// One cell per (scenario, policy) pair, in scenario-major order.
     pub cells: Vec<CellReport>,
 }
@@ -185,15 +190,18 @@ impl BatchReport {
     /// The output is deterministic for a given seed and configuration —
     /// wall-clock timing is intentionally excluded.
     pub fn to_json(&self, detail: bool) -> JsonValue {
-        JsonValue::object()
+        let mut doc = JsonValue::object()
             .with("kind", "oic-engine-batch")
             .with("version", 2usize)
-            .with("seed", self.seed.to_string())
-            .with(
-                "cells",
-                JsonValue::Array(self.cells.iter().map(|c| c.to_json(detail)).collect()),
-            )
-            .with("total_safety_violations", self.total_safety_violations())
+            .with("seed", self.seed.to_string());
+        if let Some(shard) = &self.shard {
+            doc = doc.with("shard", format!("{}/{}", shard.index, shard.of));
+        }
+        doc.with(
+            "cells",
+            JsonValue::Array(self.cells.iter().map(|c| c.to_json(detail)).collect()),
+        )
+        .with("total_safety_violations", self.total_safety_violations())
     }
 
     /// A plain-text summary table.
@@ -263,6 +271,7 @@ mod tests {
     fn json_roundtrip_fields() {
         let report = BatchReport {
             seed: 7,
+            shard: None,
             cells: vec![CellReport::from_episodes(
                 "demo",
                 "p",
@@ -286,6 +295,7 @@ mod tests {
     fn table_renders_every_cell() {
         let report = BatchReport {
             seed: 1,
+            shard: None,
             cells: vec![
                 CellReport::from_episodes("a", "p1", 10, vec![record(0, 3)]),
                 CellReport::from_episodes("b", "p2", 10, vec![record(0, 5)]),

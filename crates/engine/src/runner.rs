@@ -27,7 +27,9 @@ use oic_nn::Mlp;
 use oic_scenarios::{Scenario, ScenarioInstance, ScenarioRegistry};
 
 use crate::accumulator::CellAccumulator;
+use crate::cache::CellCache;
 use crate::report::{BatchReport, CellReport, EpisodeRecord};
+use crate::spec::ShardInfo;
 use crate::steal::{run_work_stealing, StealStats};
 
 /// Errors surfaced by the batch engine.
@@ -84,6 +86,9 @@ pub struct SweepStats {
     /// `(scenario, Drl)` cells omitted because the network's input layer
     /// does not fit the scenario's state/disturbance dimensions.
     pub cells_skipped_incompatible: usize,
+    /// Cells answered from the content-addressed cache instead of
+    /// running episodes (always 0 without [`SweepOptions::cache`]).
+    pub cells_from_cache: usize,
     /// Per-cell episode counts and wall time, in report cell order.
     pub cell_timings: Vec<CellTiming>,
 }
@@ -406,6 +411,8 @@ struct CellJob<'a> {
     instance: ScenarioInstance,
     prepared: PreparedPolicy,
     label: String,
+    /// The cell's content address (see [`crate::spec::cell_hash`]).
+    hash: [u8; 32],
 }
 
 /// The scheduling unit: one episode chunk of one cell.
@@ -461,6 +468,51 @@ impl CellMerge {
     }
 }
 
+/// Optional sweep behaviors layered over the plain batch run: scenario
+/// filtering, shard selection, the content-addressed cell cache, and a
+/// cell-completion callback.
+///
+/// Every option preserves the byte-identity contract: a filtered,
+/// sharded, cached, or streamed sweep produces exactly the cell bytes
+/// the plain sweep would for the cells it covers.
+#[derive(Default)]
+pub struct SweepOptions<'a> {
+    /// Run only these scenarios (`None` runs every registered one).
+    /// Registry order still decides cell order; unknown names are an
+    /// error, not an empty report.
+    pub scenarios: Option<&'a [String]>,
+    /// Own only the cells whose global index `g` over the materialized
+    /// grid satisfies [`ShardInfo::owns`]; the report records the shard
+    /// so `merge` can interleave the pieces back.
+    pub shard: Option<ShardInfo>,
+    /// Content-addressed cell cache: hits skip the episode loop
+    /// entirely, completed cells are stored under their
+    /// [`cell_hash`](crate::spec::cell_hash). Ignored when
+    /// `config.detail` is set — the cache stores aggregates only.
+    pub cache: Option<&'a CellCache>,
+    /// Called once per owned cell as it completes — cache hits
+    /// immediately, run cells when their last chunk merges — with the
+    /// cell's global index. Cells complete out of order and the callback
+    /// runs on worker threads; callers that need report order must
+    /// buffer on the index.
+    pub on_cell: Option<CellCallback<'a>>,
+}
+
+/// The [`SweepOptions::on_cell`] completion callback: `(global cell
+/// index, completed cell)`, invoked from worker threads.
+pub type CellCallback<'a> = &'a (dyn Fn(usize, &CellReport) + Sync);
+
+impl std::fmt::Debug for SweepOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("scenarios", &self.scenarios)
+            .field("shard", &self.shard)
+            .field("cache", &self.cache.is_some())
+            .field("on_cell", &self.on_cell.is_some())
+            .finish()
+    }
+}
+
 /// Runs the full batch: every scenario × every policy × `episodes`
 /// episodes, chunked and drained by one work-stealing pool across all
 /// cells at once.
@@ -493,6 +545,23 @@ pub fn run_batch_with_stats(
     policies: &[PolicySpec],
     config: &BatchConfig,
 ) -> Result<(BatchReport, SweepStats), EngineError> {
+    run_batch_opts(registry, policies, config, &SweepOptions::default())
+}
+
+/// [`run_batch_with_stats`] with [`SweepOptions`] — the cell-granular
+/// entry point the serve layer and the sharded/cached bench runs build
+/// on.
+///
+/// # Errors
+///
+/// The [`run_batch`] contract, plus [`EngineError::InvalidConfig`] for
+/// invalid shards and scenario filters naming unregistered scenarios.
+pub fn run_batch_opts(
+    registry: &ScenarioRegistry,
+    policies: &[PolicySpec],
+    config: &BatchConfig,
+    opts: &SweepOptions<'_>,
+) -> Result<(BatchReport, SweepStats), EngineError> {
     if registry.is_empty() {
         return Err(EngineError::InvalidConfig("no scenarios registered"));
     }
@@ -503,6 +572,25 @@ pub fn run_batch_with_stats(
         return Err(EngineError::InvalidConfig(
             "episodes and steps must be positive",
         ));
+    }
+    if let Some(shard) = &opts.shard {
+        if shard.validate().is_err() {
+            return Err(EngineError::InvalidConfig(
+                "invalid shard: need 0 <= index < of",
+            ));
+        }
+    }
+    if let Some(filter) = opts.scenarios {
+        if filter.is_empty() {
+            return Err(EngineError::InvalidConfig("empty scenario filter"));
+        }
+        for name in filter {
+            if !registry.iter().any(|s| s.name() == name) {
+                return Err(EngineError::InvalidConfig(
+                    "scenario filter names an unregistered scenario",
+                ));
+            }
+        }
     }
     for policy in policies {
         policy.validate().map_err(EngineError::InvalidConfig)?;
@@ -523,6 +611,9 @@ pub fn run_batch_with_stats(
         );
     }
     let labels = dedup_labels(policies);
+    // Canonical policy strings feed cell hashes; computed once so drl
+    // weight blobs are digested per policy, not per cell.
+    let canonical: Vec<String> = policies.iter().map(crate::spec::canonical_policy).collect();
 
     // Build every cell up front (instance construction — invariant-set
     // synthesis — is the expensive, non-parallel part and is shared by
@@ -530,11 +621,18 @@ pub fn run_batch_with_stats(
     let mut jobs = Vec::with_capacity(registry.len() * policies.len());
     let mut cells_skipped_incompatible = 0usize;
     for scenario in registry.iter() {
+        if let Some(filter) = opts.scenarios {
+            if !filter.iter().any(|name| name == scenario.name()) {
+                continue;
+            }
+        }
         let instance = scenario.build().map_err(|source| EngineError::Episode {
             context: format!("{}/build", scenario.name()),
             source,
         })?;
-        for ((policy, network), label) in policies.iter().zip(&networks).zip(&labels) {
+        for (((policy, network), label), canon) in
+            policies.iter().zip(&networks).zip(&labels).zip(&canonical)
+        {
             let prepared = match network {
                 // Learned policies only apply where the architecture fits
                 // the plant (see `PolicySpec::Drl`); other cells are
@@ -560,6 +658,7 @@ pub fn run_batch_with_stats(
                 instance: instance.clone(),
                 prepared,
                 label: label.clone(),
+                hash: crate::spec::cell_hash_canonical(scenario.name(), label, canon, config),
             });
         }
     }
@@ -582,23 +681,62 @@ pub fn run_batch_with_stats(
         }
     }
 
+    // Shard selection happens over the *materialized* grid (after the
+    // dimension-compatibility skips above), so every shard of a sweep
+    // agrees on the global index of every cell.
+    let owned: Vec<usize> = (0..jobs.len())
+        .filter(|&g| opts.shard.is_none_or(|shard| shard.owns(g)))
+        .collect();
+
+    // The cache stores aggregates only; detail sweeps bypass it both
+    // ways rather than serve a cell without the rows the caller asked
+    // for.
+    let cache = if config.detail { None } else { opts.cache };
+
+    // One result slot per owned cell (report order); cache hits fill
+    // theirs immediately, the rest at last-chunk merge time.
+    let slots: Vec<Mutex<Option<CellReport>>> = owned.iter().map(|_| Mutex::new(None)).collect();
+    let mut cells_from_cache = 0usize;
+    let mut run: Vec<usize> = Vec::with_capacity(owned.len());
+    for (slot_idx, &g) in owned.iter().enumerate() {
+        let job = &jobs[g];
+        if let Some(cache) = cache {
+            if let Some(cell) = cache.get(&job.hash) {
+                // The names are part of the hash preimage; a mismatch
+                // means a corrupted store — rerun rather than mislabel.
+                if cell.scenario == job.instance.name() && cell.policy == job.label {
+                    cells_from_cache += 1;
+                    oic_obs::counter!("engine.cells_from_cache", "cells").incr();
+                    if let Some(on_cell) = opts.on_cell {
+                        on_cell(g, &cell);
+                    }
+                    *slots[slot_idx].lock().expect("cell slot") = Some(cell);
+                    continue;
+                }
+            }
+        }
+        run.push(slot_idx);
+    }
+
     let chunk_size = config.chunk_size();
     let chunks_per_cell = config.episodes.div_ceil(chunk_size);
-    let mut tasks = Vec::with_capacity(jobs.len() * chunks_per_cell);
-    for cell in 0..jobs.len() {
+    let mut tasks = Vec::with_capacity(run.len() * chunks_per_cell);
+    for cell in 0..run.len() {
         for chunk in 0..chunks_per_cell {
             tasks.push(ChunkTask { cell, chunk });
         }
     }
 
-    let merges: Vec<Mutex<CellMerge>> = jobs.iter().map(|_| Mutex::new(CellMerge::new())).collect();
+    let merges: Vec<Mutex<CellMerge>> = run.iter().map(|_| Mutex::new(CellMerge::new())).collect();
     // Lowest (cell, chunk, episode) failure among those observed before
     // the abort landed (the abort is cooperative, so the observed set —
     // not the selection rule — can vary with interleaving).
     let failure: Mutex<Option<(ChunkTask, usize, CoreError)>> = Mutex::new(None);
 
     let steal = run_work_stealing(tasks, config.worker_count(), |_, task: ChunkTask| {
-        let job = &jobs[task.cell];
+        let slot_idx = run[task.cell];
+        let g = owned[slot_idx];
+        let job = &jobs[g];
         let _span = oic_obs::span_with("engine.chunk", "engine", || {
             format!("{}/{} chunk {}", job.instance.name(), job.label, task.chunk)
         });
@@ -639,7 +777,8 @@ pub fn run_batch_with_stats(
         }
         let wall_ns = chunk_started.elapsed().as_nanos() as u64;
         oic_obs::histogram!("engine.chunk_ns", "ns").record(wall_ns);
-        merges[task.cell].lock().expect("cell merge lock").submit(
+        let mut merge = merges[task.cell].lock().expect("cell merge lock");
+        merge.submit(
             task.chunk,
             ChunkOutput {
                 acc,
@@ -647,42 +786,75 @@ pub fn run_batch_with_stats(
                 wall_ns,
             },
         );
+        if merge.next == chunks_per_cell {
+            // Last chunk in: the cell is final. Build it here so the
+            // cache and the streaming callback see completed cells as
+            // they land, not at sweep teardown.
+            let mut cell = CellReport::from_accumulator(
+                job.instance.name(),
+                &job.label,
+                config.steps,
+                &merge.acc,
+            );
+            cell.episodes_detail = std::mem::take(&mut merge.detail);
+            drop(merge);
+            if let Some(cache) = cache {
+                // A full disk (or read-only cache dir) degrades the
+                // cache, not the sweep: the memory tier is already
+                // updated and the error carries no result data.
+                let _ = cache.put(&job.hash, &cell);
+            }
+            if let Some(on_cell) = opts.on_cell {
+                on_cell(g, &cell);
+            }
+            *slots[slot_idx].lock().expect("cell slot") = Some(cell);
+        }
         true
     });
 
     if let Some((task, episode, source)) = failure.into_inner().expect("workers joined") {
-        let job = &jobs[task.cell];
+        let job = &jobs[owned[run[task.cell]]];
         return Err(EngineError::Episode {
             context: format!("{}/{}#{}", job.instance.name(), job.label, episode),
             source,
         });
     }
 
-    let mut cells = Vec::with_capacity(jobs.len());
-    let mut cell_timings = Vec::with_capacity(jobs.len());
-    for (job, merge) in jobs.iter().zip(merges) {
+    // Wall-time accounting for the cells that actually ran; cached
+    // cells report zero wall time (their episodes never executed).
+    let mut wall_by_slot: Vec<u64> = vec![0; owned.len()];
+    for (&slot_idx, merge) in run.iter().zip(merges) {
         let merge = merge.into_inner().expect("workers joined");
         debug_assert_eq!(merge.next, chunks_per_cell, "all chunks merged in order");
-        let mut cell =
-            CellReport::from_accumulator(job.instance.name(), &job.label, config.steps, &merge.acc);
-        cell.episodes_detail = merge.detail;
         oic_obs::histogram!("engine.cell_ns", "ns").record(merge.wall_ns);
+        wall_by_slot[slot_idx] = merge.wall_ns;
+    }
+
+    let mut cells = Vec::with_capacity(owned.len());
+    let mut cell_timings = Vec::with_capacity(owned.len());
+    for (slot_idx, slot) in slots.into_iter().enumerate() {
+        let cell = slot
+            .into_inner()
+            .expect("workers joined")
+            .expect("every owned cell completed or the sweep errored");
         cell_timings.push(CellTiming {
-            scenario: job.instance.name().to_string(),
-            policy: job.label.clone(),
+            scenario: cell.scenario.clone(),
+            policy: cell.policy.clone(),
             episodes: cell.episodes,
-            wall_ns: merge.wall_ns,
+            wall_ns: wall_by_slot[slot_idx],
         });
         cells.push(cell);
     }
     Ok((
         BatchReport {
             seed: config.seed,
+            shard: opts.shard,
             cells,
         },
         SweepStats {
             steal,
             cells_skipped_incompatible,
+            cells_from_cache,
             cell_timings,
         },
     ))

@@ -1,0 +1,200 @@
+//! The sweep service CLI: `serve <subcommand>`.
+//!
+//! * `serve listen [--addr HOST:PORT] [--cache-dir DIR] [--mem-cells N]`
+//!   — run the server over the standard scenario registry. `--addr`
+//!   defaults to `127.0.0.1:8787`; `--cache-dir` persists the cell
+//!   store across restarts; `--mem-cells` sizes the in-memory LRU.
+//! * `serve query [--addr HOST:PORT] [SPEC.json]` — POST a spec file
+//!   (or stdin when omitted/`-`) to a running server and print the
+//!   NDJSON response body to stdout.
+//! * `serve merge --out MERGED.json SHARD.json…` — interleave shard
+//!   reports (`batch --shard i/n`) into the byte-identical unsharded
+//!   report (`--out -` prints to stdout).
+//!
+//! Protocol, canonicalization, and shard contracts: `docs/PROTOCOL.md`.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use oic_engine::CellCache;
+use oic_scenarios::ScenarioRegistry;
+use oic_serve::{merge_reports, SweepServer};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let command = if args.is_empty() {
+        "listen".to_string()
+    } else {
+        args.remove(0)
+    };
+    let code = match command.as_str() {
+        "listen" => listen(&args),
+        "query" => query(&args),
+        "merge" => merge(&args),
+        "--help" | "help" | "-h" => {
+            eprintln!("usage: serve [listen|query|merge] …  (see crate docs / docs/PROTOCOL.md)");
+            0
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?} (expected listen, query, or merge)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|at| args.get(at + 1).cloned())
+}
+
+fn listen(args: &[String]) -> i32 {
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8787".to_string());
+    let cache_dir = flag_value(args, "--cache-dir").map(std::path::PathBuf::from);
+    let mem_cells = flag_value(args, "--mem-cells")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096);
+    // Metrics on by default: the /v1/metrics endpoint is the only place
+    // cache/coalescing evidence surfaces (never in response bodies), so
+    // a server without metrics would be flying blind.
+    oic_obs::set_metrics_enabled(true);
+    let listener = match TcpListener::bind(&addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    let server = SweepServer::new(
+        ScenarioRegistry::standard(),
+        CellCache::new(mem_cells, cache_dir.clone()),
+    );
+    eprintln!(
+        "serve: listening on {bound} ({} scenarios, cache: {})",
+        ScenarioRegistry::standard().len(),
+        cache_dir
+            .as_deref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "memory-only".to_string()),
+    );
+    server.serve(listener);
+    0
+}
+
+fn query(args: &[String]) -> i32 {
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8787".to_string());
+    let positional: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.starts_with("--") {
+                    skip_next = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let spec = match positional.first().map(|s| s.as_str()) {
+        None | Some("-") => {
+            let mut text = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("cannot read spec from stdin: {e}");
+                return 1;
+            }
+            text
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read spec {path:?}: {e}");
+                return 1;
+            }
+        },
+    };
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let request = format!(
+        "POST /v1/sweep HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{spec}",
+        spec.len()
+    );
+    if let Err(e) = stream.write_all(request.as_bytes()) {
+        eprintln!("cannot send request: {e}");
+        return 1;
+    }
+    let mut response = Vec::new();
+    if let Err(e) = stream.read_to_end(&mut response) {
+        eprintln!("cannot read response: {e}");
+        return 1;
+    }
+    let text = String::from_utf8_lossy(&response);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        eprintln!("malformed response (no header/body separator)");
+        return 1;
+    };
+    print!("{body}");
+    if head.starts_with("HTTP/1.1 200") {
+        0
+    } else {
+        eprintln!("{}", head.lines().next().unwrap_or("request failed"));
+        1
+    }
+}
+
+fn merge(args: &[String]) -> i32 {
+    let out = flag_value(args, "--out").unwrap_or_else(|| "-".to_string());
+    let inputs: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.starts_with("--") {
+                    skip_next = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let mut texts = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        match std::fs::read_to_string(path) {
+            Ok(text) => texts.push(text),
+            Err(e) => {
+                eprintln!("cannot read shard report {path:?}: {e}");
+                return 1;
+            }
+        }
+    }
+    match merge_reports(&texts) {
+        Ok(merged) => {
+            if out == "-" {
+                print!("{merged}");
+            } else if let Err(e) = std::fs::write(&out, &merged) {
+                eprintln!("cannot write {out:?}: {e}");
+                return 1;
+            } else {
+                eprintln!("merged {} shards into {out}", texts.len());
+            }
+            0
+        }
+        Err(message) => {
+            eprintln!("merge failed: {message}");
+            1
+        }
+    }
+}

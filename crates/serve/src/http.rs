@@ -1,0 +1,204 @@
+//! A deliberately small HTTP/1.1 + line-protocol front end.
+//!
+//! The server speaks two dialects on one port, decided by the first
+//! request line:
+//!
+//! * **HTTP**: `GET /healthz`, `GET /v1/metrics`, `POST /v1/sweep`
+//!   (body length from `Content-Length`). Responses close the
+//!   connection (`Connection: close`), so sweep bodies can stream
+//!   without chunked encoding and `curl` just works.
+//! * **Line protocol** (netcat-friendly): one command per connection —
+//!   `health`, `metrics`, or `sweep <compact spec JSON>` — answered
+//!   with the same bytes an HTTP response would carry in its body.
+//!
+//! Only the features the protocol needs are implemented; this is not a
+//! general HTTP stack (no keep-alive, no chunked requests, no
+//! multi-line header folding).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed inbound request, either dialect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// An HTTP request: method, path, and (possibly empty) body.
+    Http {
+        /// Request method (`GET`, `POST`, …), uppercased by the client.
+        method: String,
+        /// Request path, query string included verbatim.
+        path: String,
+        /// Request body (`Content-Length` bytes).
+        body: Vec<u8>,
+    },
+    /// A line-protocol command: the verb and the rest of the line.
+    Line {
+        /// Command verb (`health`, `metrics`, `sweep`).
+        verb: String,
+        /// Remainder of the line after the verb, trimmed.
+        rest: String,
+    },
+}
+
+/// Maximum accepted request body (64 MiB) — a roster of weight blobs
+/// fits comfortably; anything larger is a client error, not an
+/// allocation request.
+pub const MAX_BODY: usize = 64 << 20;
+
+/// Reads one request from the stream, auto-detecting the dialect.
+///
+/// # Errors
+///
+/// Returns a short message for malformed requests (bad request line,
+/// missing or oversized `Content-Length`, truncated body).
+pub fn read_request(stream: &mut TcpStream) -> Result<(Request, BufReader<TcpStream>), String> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut first = String::new();
+    reader
+        .read_line(&mut first)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let first = first.trim_end_matches(['\r', '\n']).to_string();
+    if first.is_empty() {
+        return Err("empty request".to_string());
+    }
+
+    let mut parts = first.splitn(3, ' ');
+    let head = parts.next().unwrap_or("");
+    let is_http =
+        matches!(head, "GET" | "POST" | "HEAD" | "PUT" | "DELETE") && first.contains(" HTTP/");
+    if !is_http {
+        let mut words = first.splitn(2, ' ');
+        let verb = words.next().unwrap_or("").to_string();
+        let rest = words.next().unwrap_or("").trim().to_string();
+        return Ok((Request::Line { verb, rest }, reader));
+    }
+
+    let method = head.to_string();
+    let path = parts.next().ok_or("request line missing path")?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    Ok((Request::Http { method, path, body }, reader))
+}
+
+/// Writes a complete (non-streaming) HTTP response.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the head of a streaming NDJSON response; the caller streams
+/// body bytes afterwards and closes the connection to mark the end.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_stream_head(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(payload: &[u8]) -> Request {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload = payload.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(&payload).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let (request, _reader) = read_request(&mut stream).unwrap();
+        writer.join().unwrap();
+        request
+    }
+
+    #[test]
+    fn parses_http_post_with_body() {
+        let request =
+            round_trip(b"POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}");
+        assert_eq!(
+            request,
+            Request::Http {
+                method: "POST".into(),
+                path: "/v1/sweep".into(),
+                body: b"{\"a\":1}".to_vec(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_http_get_without_body() {
+        let request = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            request,
+            Request::Http {
+                method: "GET".into(),
+                path: "/healthz".into(),
+                body: Vec::new(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_line_commands() {
+        let request = round_trip(b"sweep {\"policies\":[\"bang-bang\"]}\n");
+        assert_eq!(
+            request,
+            Request::Line {
+                verb: "sweep".into(),
+                rest: "{\"policies\":[\"bang-bang\"]}".into(),
+            }
+        );
+        let bare = round_trip(b"metrics\n");
+        assert_eq!(
+            bare,
+            Request::Line {
+                verb: "metrics".into(),
+                rest: String::new(),
+            }
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! The sweep service: long-running HTTP/line-protocol access to the
+//! deterministic batch engine, with a content-addressed result cache.
+//!
+//! The ROADMAP's north star is serving heavy sweep traffic. Every
+//! `(scenario, policy)` cell the engine produces is a pure function of
+//! its canonical spec hash (`oic_engine::spec`), which makes three
+//! service-side optimizations safe *by construction* — none of them can
+//! change a single response byte:
+//!
+//! * **Cell caching** ([`oic_engine::CellCache`]): results are stored
+//!   under their content address (in-memory LRU over an on-disk store);
+//!   repeated or overlapping sweeps skip the episode loops for every
+//!   cell already known.
+//! * **Request coalescing** ([`SweepServer`]): a request whose spec
+//!   hash matches an in-flight sweep attaches to the leader's byte
+//!   stream instead of recomputing.
+//! * **Sharding + merge** ([`merge_reports`]): `batch --shard i/n`
+//!   reports interleave back into the byte-identical unsharded report.
+//!
+//! The wire protocol — canonicalization rules, cell-hash definition,
+//! the NDJSON stream, the shard/merge contract, worked `curl`/netcat
+//! sessions — is specified in `docs/PROTOCOL.md`; the crate map and the
+//! per-layer determinism invariants live in `docs/ARCHITECTURE.md`.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use oic_engine::CellCache;
+//! use oic_scenarios::ScenarioRegistry;
+//! use oic_serve::SweepServer;
+//!
+//! let server = SweepServer::new(ScenarioRegistry::standard(), CellCache::in_memory());
+//! let listener = std::net::TcpListener::bind("127.0.0.1:8787").unwrap();
+//! server.serve(listener); // accepts connections forever
+//! ```
+//!
+//! ```text
+//! $ echo 'sweep {"scenarios":["acc"],"policies":["bang-bang"]}' | nc 127.0.0.1 8787
+//! {"kind":"oic-sweep-response","version":1,"spec_hash":"…","seed":"2020"}
+//! {"cell":0,"data":{"scenario":"acc","policy":"bang-bang",…}}
+//! {"done":true,"cells":1,"total_safety_violations":0}
+//! ```
+
+mod http;
+mod merge;
+mod server;
+
+pub use http::{read_request, write_response, write_stream_head, Request, MAX_BODY};
+pub use merge::merge_reports;
+pub use server::{error_body, SweepServer};

@@ -1,0 +1,243 @@
+//! Shard-report merging: interleave `n` shard reports back into the
+//! byte-identical unsharded report.
+//!
+//! The shard contract (`docs/PROTOCOL.md`): a sweep's materialized
+//! cells carry global indices `g` in registry-major order, shard `i/n`
+//! owns exactly the cells with `g % n == i` *in ascending `g` order*,
+//! and its report records `"shard": "i/n"`. Merging is therefore pure
+//! interleaving — `merged.cells[g] = shard[g % n].cells[g / n]` — plus
+//! recomputing the violation tally. Because the engine's JSON writer
+//! round-trips its own output byte-for-byte (integer-form floats,
+//! shortest-roundtrip rendering), the merged document is byte-identical
+//! to what an unsharded run would have written.
+
+use oic_engine::JsonValue;
+
+/// Merges shard report documents (JSON text, any order) into the
+/// unsharded report text (pretty-printed, like the batch bin writes).
+///
+/// # Errors
+///
+/// Returns a message when the inputs are not exactly one report per
+/// shard of one sweep: mixed kinds/versions/seeds, a missing or
+/// duplicated shard index, a shard count that does not match the number
+/// of inputs, or per-shard cell counts that cannot interleave cleanly.
+pub fn merge_reports(texts: &[String]) -> Result<String, String> {
+    if texts.is_empty() {
+        return Err("no shard reports given".to_string());
+    }
+    let mut shards: Vec<Option<JsonValue>> = vec![None; texts.len()];
+    let mut seed: Option<String> = None;
+    let mut version: Option<JsonValue> = None;
+    for (at, text) in texts.iter().enumerate() {
+        let doc =
+            JsonValue::parse(text).map_err(|e| format!("shard input #{at} is not JSON: {e}"))?;
+        if doc.get("kind").and_then(JsonValue::as_str) != Some("oic-engine-batch") {
+            return Err(format!(
+                "shard input #{at} is not an oic-engine-batch report"
+            ));
+        }
+        let shard_text = doc
+            .get("shard")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("shard input #{at} has no \"shard\" key (already merged?)"))?;
+        let (index, of) = shard_text
+            .split_once('/')
+            .ok_or_else(|| format!("shard input #{at}: malformed shard {shard_text:?}"))?;
+        let index: usize = index
+            .parse()
+            .map_err(|_| format!("shard input #{at}: malformed shard {shard_text:?}"))?;
+        let of: usize = of
+            .parse()
+            .map_err(|_| format!("shard input #{at}: malformed shard {shard_text:?}"))?;
+        if of != texts.len() {
+            return Err(format!(
+                "shard {shard_text} expects {of} inputs, got {}",
+                texts.len()
+            ));
+        }
+        if index >= of {
+            return Err(format!("shard index {index} out of range for {of} shards"));
+        }
+        let this_seed = doc
+            .get("seed")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("shard input #{at} has no seed"))?
+            .to_string();
+        match &seed {
+            None => {
+                seed = Some(this_seed);
+                version = doc.get("version").cloned();
+            }
+            Some(expected) => {
+                if expected != &this_seed {
+                    return Err(format!(
+                        "shard seeds disagree: {expected:?} vs {this_seed:?} — not one sweep"
+                    ));
+                }
+                if version.as_ref().map(JsonValue::to_json)
+                    != doc.get("version").map(JsonValue::to_json)
+                {
+                    return Err("shard report versions disagree".to_string());
+                }
+            }
+        }
+        if shards[index].is_some() {
+            return Err(format!("shard {index}/{of} appears twice"));
+        }
+        shards[index] = Some(doc);
+    }
+    let shards: Vec<JsonValue> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.ok_or_else(|| format!("shard {i}/{} is missing", texts.len())))
+        .collect::<Result<_, _>>()?;
+
+    let n = shards.len();
+    let cells_of = |shard: &JsonValue| -> Result<Vec<JsonValue>, String> {
+        Ok(shard
+            .get("cells")
+            .and_then(JsonValue::as_array)
+            .ok_or("shard report has no cells array")?
+            .to_vec())
+    };
+    let per_shard: Vec<Vec<JsonValue>> = shards.iter().map(cells_of).collect::<Result<_, _>>()?;
+    let total: usize = per_shard.iter().map(Vec::len).sum();
+
+    let mut cells = Vec::with_capacity(total);
+    let mut violations = 0usize;
+    for g in 0..total {
+        let cell = per_shard[g % n].get(g / n).ok_or_else(|| {
+            format!(
+                "shard {} is short: no cell {} (global index {g}) — shards are not from one sweep",
+                g % n,
+                g / n
+            )
+        })?;
+        violations += cell
+            .get("safety_violations")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| format!("cell {g} has no safety_violations tally"))?;
+        cells.push(cell.clone());
+    }
+    // Interleaving consumed every per-shard cell exactly once iff the
+    // counts matched ceil((total - i) / n); a long shard means the
+    // inputs mix sweeps.
+    for (i, shard_cells) in per_shard.iter().enumerate() {
+        let expected = total / n + usize::from(i < total % n);
+        if shard_cells.len() != expected {
+            return Err(format!(
+                "shard {i} has {} cells, expected {expected} of {total} total",
+                shard_cells.len()
+            ));
+        }
+    }
+
+    let mut doc = JsonValue::object().with("kind", "oic-engine-batch");
+    if let Some(version) = version {
+        doc = doc.with("version", version);
+    }
+    Ok(doc
+        .with("seed", seed.expect("at least one shard"))
+        .with("cells", JsonValue::Array(cells))
+        .with("total_safety_violations", violations)
+        .to_json_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_engine::{run_batch_opts, BatchConfig, PolicySpec, ShardInfo, SweepOptions};
+    use oic_scenarios::{DoubleIntegratorScenario, ScenarioRegistry};
+
+    fn registry() -> ScenarioRegistry {
+        let mut registry = ScenarioRegistry::new();
+        registry.register(Box::new(DoubleIntegratorScenario));
+        registry
+    }
+
+    fn render(policies: &[PolicySpec], shard: Option<ShardInfo>) -> String {
+        let config = BatchConfig {
+            episodes: 3,
+            steps: 15,
+            seed: 13,
+            ..Default::default()
+        };
+        let opts = SweepOptions {
+            shard,
+            ..Default::default()
+        };
+        let (report, _) = run_batch_opts(&registry(), policies, &config, &opts).unwrap();
+        report.to_json(false).to_json_pretty()
+    }
+
+    const ROSTER: [PolicySpec; 3] = [
+        PolicySpec::AlwaysRun,
+        PolicySpec::BangBang,
+        PolicySpec::Periodic(4),
+    ];
+
+    #[test]
+    fn merged_shards_are_byte_identical_to_the_unsharded_report() {
+        let baseline = render(&ROSTER, None);
+        let shard0 = render(&ROSTER, Some(ShardInfo { index: 0, of: 2 }));
+        let shard1 = render(&ROSTER, Some(ShardInfo { index: 1, of: 2 }));
+        // Input order must not matter.
+        let merged = merge_reports(&[shard1.clone(), shard0.clone()]).unwrap();
+        assert_eq!(merged, baseline);
+        let merged = merge_reports(&[shard0, shard1]).unwrap();
+        assert_eq!(merged, baseline);
+    }
+
+    #[test]
+    fn single_shard_merge_strips_the_shard_key() {
+        let baseline = render(&ROSTER, None);
+        let only = render(&ROSTER, Some(ShardInfo { index: 0, of: 1 }));
+        assert_ne!(only, baseline, "shard reports carry the shard key");
+        assert_eq!(merge_reports(&[only]).unwrap(), baseline);
+    }
+
+    #[test]
+    fn inconsistent_inputs_are_rejected() {
+        let shard0 = render(&ROSTER, Some(ShardInfo { index: 0, of: 2 }));
+        let shard1 = render(&ROSTER, Some(ShardInfo { index: 1, of: 2 }));
+        let unsharded = render(&ROSTER, None);
+        assert!(merge_reports(&[]).unwrap_err().contains("no shard"));
+        assert!(
+            merge_reports(std::slice::from_ref(&shard0))
+                .unwrap_err()
+                .contains("expects 2 inputs"),
+            "missing sibling"
+        );
+        assert!(
+            merge_reports(&[shard0.clone(), shard0.clone()])
+                .unwrap_err()
+                .contains("appears twice"),
+            "duplicate shard"
+        );
+        assert!(
+            merge_reports(&[unsharded])
+                .unwrap_err()
+                .contains("no \"shard\" key"),
+            "already merged input"
+        );
+        // A shard of a different sweep (different seed) cannot mix in.
+        let config = BatchConfig {
+            episodes: 3,
+            steps: 15,
+            seed: 14,
+            ..Default::default()
+        };
+        let opts = SweepOptions {
+            shard: Some(ShardInfo { index: 1, of: 2 }),
+            ..Default::default()
+        };
+        let (other, _) = run_batch_opts(&registry(), &ROSTER, &config, &opts).unwrap();
+        assert!(
+            merge_reports(&[shard0, other.to_json(false).to_json_pretty()])
+                .unwrap_err()
+                .contains("seeds disagree")
+        );
+        let _ = shard1;
+    }
+}

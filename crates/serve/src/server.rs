@@ -1,0 +1,557 @@
+//! The sweep server: spec in, ordered NDJSON cell stream out.
+//!
+//! Each connection is one request. A sweep request is canonicalized and
+//! hashed ([`SweepSpec::spec_hash`]); the hash keys both the
+//! content-addressed cell cache (via the engine) and the in-flight
+//! table used for request coalescing — a request identical to one
+//! already running attaches to the leader's byte stream instead of
+//! spawning a second sweep.
+//!
+//! The response body is deterministic: cells are emitted in global
+//! index order (out-of-order completions buffer until their turn), and
+//! no cache/coalescing/timing facts ever appear in the body — repeated
+//! identical requests produce byte-identical bodies whether they were
+//! computed, coalesced, or served from cache. Evidence of *how* a
+//! request was answered lives in the metrics endpoint only.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use oic_engine::{
+    run_batch_opts, to_hex, CacheStats, CellCache, CellReport, EngineError, JsonValue,
+    SweepOptions, SweepSpec,
+};
+use oic_scenarios::ScenarioRegistry;
+
+use crate::http::{read_request, write_response, write_stream_head, Request};
+
+/// One in-flight sweep's shared byte stream: the leader appends, the
+/// coalesced followers replay.
+struct Inflight {
+    state: Mutex<InflightBody>,
+    grew: Condvar,
+}
+
+struct InflightBody {
+    bytes: Vec<u8>,
+    done: bool,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(InflightBody {
+                bytes: Vec::new(),
+                done: false,
+            }),
+            grew: Condvar::new(),
+        }
+    }
+
+    fn append(&self, chunk: &[u8]) {
+        let mut body = self.state.lock().expect("inflight lock");
+        body.bytes.extend_from_slice(chunk);
+        self.grew.notify_all();
+    }
+
+    fn finish(&self) {
+        let mut body = self.state.lock().expect("inflight lock");
+        body.done = true;
+        self.grew.notify_all();
+    }
+
+    /// Streams the body to `sink` as it grows; returns once the leader
+    /// marked the stream done and every byte was forwarded.
+    fn replay(&self, sink: &mut dyn Write) -> std::io::Result<()> {
+        let mut sent = 0usize;
+        loop {
+            let chunk = {
+                let mut body = self.state.lock().expect("inflight lock");
+                while body.bytes.len() == sent && !body.done {
+                    body = self.grew.wait(body).expect("inflight wait");
+                }
+                if body.bytes.len() == sent && body.done {
+                    return sink.flush();
+                }
+                body.bytes[sent..].to_vec()
+            };
+            sink.write_all(&chunk)?;
+            sent += chunk.len();
+        }
+    }
+}
+
+/// The sweep service: registry + cell cache + coalescing table.
+///
+/// Construction is cheap; scenario instances are built per sweep by the
+/// engine (and amortized by the cache). One server value is shared by
+/// every connection thread.
+pub struct SweepServer {
+    registry: ScenarioRegistry,
+    cache: CellCache,
+    inflight: Mutex<HashMap<[u8; 32], Arc<Inflight>>>,
+    requests: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl std::fmt::Debug for SweepServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepServer")
+            .field("scenarios", &self.registry.len())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl SweepServer {
+    /// A server over `registry`, answering from (and filling) `cache`.
+    pub fn new(registry: ScenarioRegistry, cache: CellCache) -> Arc<Self> {
+        Arc::new(Self {
+            registry,
+            cache,
+            inflight: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        })
+    }
+
+    /// Sweep requests handled so far (leaders and followers).
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that attached to an identical in-flight sweep.
+    pub fn coalesced_count(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Traffic counters of the server's cell cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Accepts connections forever, one handler thread per connection.
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let server = Arc::clone(self);
+            std::thread::spawn(move || server.handle(stream));
+        }
+    }
+
+    /// Handles one connection (one request, both dialects).
+    pub fn handle(self: &Arc<Self>, mut stream: TcpStream) {
+        let request = match read_request(&mut stream) {
+            Ok((request, _reader)) => request,
+            Err(message) => {
+                let _ = write_response(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    error_body(&message).as_bytes(),
+                );
+                return;
+            }
+        };
+        match request {
+            Request::Http { method, path, body } => match (method.as_str(), path.as_str()) {
+                ("GET", "/healthz") => {
+                    let _ = write_response(&mut stream, 200, "OK", "text/plain", b"ok\n");
+                }
+                ("GET", "/v1/metrics") => {
+                    let _ = write_response(
+                        &mut stream,
+                        200,
+                        "OK",
+                        "application/json",
+                        self.metrics_body().as_bytes(),
+                    );
+                }
+                ("POST", "/v1/sweep") => self.sweep(&mut stream, &body, true),
+                _ => {
+                    let _ = write_response(
+                        &mut stream,
+                        404,
+                        "Not Found",
+                        "application/json",
+                        error_body(&format!("no route {method} {path}")).as_bytes(),
+                    );
+                }
+            },
+            Request::Line { verb, rest } => match verb.as_str() {
+                "health" => {
+                    let _ = stream.write_all(b"ok\n");
+                }
+                "metrics" => {
+                    let _ = stream.write_all(self.metrics_body().as_bytes());
+                }
+                "sweep" => self.sweep(&mut stream, rest.as_bytes(), false),
+                other => {
+                    let _ = stream
+                        .write_all(error_body(&format!("unknown command {other:?}")).as_bytes());
+                }
+            },
+        }
+    }
+
+    /// The metrics document: the global `oic-obs` snapshot plus the
+    /// server's own request/coalescing/cache counters (which do not
+    /// depend on telemetry being enabled).
+    pub fn metrics_body(&self) -> String {
+        let cache = self.cache.stats();
+        let doc = JsonValue::object()
+            .with("kind", "oic-serve-metrics")
+            .with("requests", self.request_count() as usize)
+            .with("coalesced", self.coalesced_count() as usize)
+            .with(
+                "cache",
+                JsonValue::object()
+                    .with("mem_hits", cache.mem_hits as usize)
+                    .with("disk_hits", cache.disk_hits as usize)
+                    .with("misses", cache.misses as usize)
+                    .with("stores", cache.stores as usize)
+                    .with("rejected", cache.rejected as usize)
+                    .with("bytes_read", cache.bytes_read as usize)
+                    .with("bytes_written", cache.bytes_written as usize),
+            )
+            .with(
+                "obs",
+                JsonValue::parse(&oic_obs::metrics_snapshot().to_json())
+                    .unwrap_or_else(|_| JsonValue::object()),
+            );
+        let mut body = doc.to_json_pretty();
+        body.push('\n');
+        body
+    }
+
+    fn sweep(self: &Arc<Self>, stream: &mut TcpStream, body: &[u8], http: bool) {
+        match self.sweep_inner(stream, body, http) {
+            Ok(()) => {}
+            Err(message) => {
+                if http {
+                    let _ = write_response(
+                        stream,
+                        400,
+                        "Bad Request",
+                        "application/json",
+                        error_body(&message).as_bytes(),
+                    );
+                } else {
+                    let _ = stream.write_all(error_body(&message).as_bytes());
+                }
+            }
+        }
+    }
+
+    /// Parses + validates the spec; `Err` means nothing was written yet
+    /// and the caller should send a 400.
+    fn sweep_inner(
+        self: &Arc<Self>,
+        stream: &mut TcpStream,
+        body: &[u8],
+        http: bool,
+    ) -> Result<(), String> {
+        let text = std::str::from_utf8(body).map_err(|_| "spec is not UTF-8".to_string())?;
+        let doc = JsonValue::parse(text).map_err(|e| format!("spec: {e}"))?;
+        let mut spec = SweepSpec::from_json(&doc)?;
+        spec.canonicalize();
+        for name in &spec.scenarios {
+            if self.registry.get(name).is_none() {
+                return Err(format!("unknown scenario {name:?}"));
+            }
+        }
+        let hash = spec.spec_hash();
+
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        oic_obs::counter!("serve.requests", "requests").incr();
+
+        // Coalescing: one leader computes, identical concurrent requests
+        // replay its bytes.
+        let (inflight, leader) = {
+            let mut table = self.inflight.lock().expect("inflight table");
+            match table.get(&hash) {
+                Some(existing) => (Arc::clone(existing), false),
+                None => {
+                    let fresh = Arc::new(Inflight::new());
+                    table.insert(hash, Arc::clone(&fresh));
+                    (fresh, true)
+                }
+            }
+        };
+
+        if http {
+            write_stream_head(stream).map_err(|e| format!("write head: {e}"))?;
+        }
+        if !leader {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            oic_obs::counter!("serve.coalesced", "requests").incr();
+            let _ = inflight.replay(stream);
+            return Ok(());
+        }
+
+        let result = self.run_as_leader(&spec, &hash, &inflight, stream);
+        inflight.finish();
+        self.inflight.lock().expect("inflight table").remove(&hash);
+        result
+    }
+
+    /// Runs the sweep, streaming NDJSON lines to both the socket and the
+    /// in-flight buffer. From here on errors are emitted *into* the
+    /// stream (the 200 head is already out), so the return is `Ok`.
+    fn run_as_leader(
+        &self,
+        spec: &SweepSpec,
+        hash: &[u8; 32],
+        inflight: &Inflight,
+        stream: &mut TcpStream,
+    ) -> Result<(), String> {
+        // Socket + coalescing buffer behind one lock so worker threads
+        // can emit completed cells directly. A dropped leader connection
+        // must not kill the sweep — the cells still land in the cache and
+        // coalesced followers still need the bytes — so socket errors are
+        // swallowed here.
+        let sink = Mutex::new(&mut *stream);
+        let emit_line = |line: &str| {
+            inflight.append(line.as_bytes());
+            let mut socket = sink.lock().expect("sink lock");
+            let _ = socket.write_all(line.as_bytes());
+            let _ = socket.flush();
+        };
+
+        emit_line(
+            &(JsonValue::object()
+                .with("kind", "oic-sweep-response")
+                .with("version", 1usize)
+                .with("spec_hash", to_hex(hash))
+                .with("seed", spec.seed.to_string())
+                .to_json()
+                + "\n"),
+        );
+
+        // Cells stream strictly in global index order: out-of-order
+        // completions buffer until their index comes up, so the body
+        // never depends on scheduling.
+        let order = Mutex::new((0usize, BTreeMap::<usize, String>::new()));
+        let on_cell = |g: usize, cell: &CellReport| {
+            let line = JsonValue::object()
+                .with("cell", g)
+                .with("data", cell.to_json(false))
+                .to_json()
+                + "\n";
+            let mut slot = order.lock().expect("order lock");
+            let (next, pending) = &mut *slot;
+            pending.insert(g, line);
+            while let Some(line) = pending.remove(next) {
+                emit_line(&line);
+                oic_obs::counter!("serve.cells_streamed", "cells").incr();
+                *next += 1;
+            }
+        };
+
+        let config = spec.to_config();
+        let opts = SweepOptions {
+            scenarios: (!spec.scenarios.is_empty()).then_some(spec.scenarios.as_slice()),
+            shard: None,
+            cache: Some(&self.cache),
+            on_cell: Some(&on_cell),
+        };
+        let outcome = run_batch_opts(&self.registry, &spec.policies, &config, &opts);
+
+        let trailer = match outcome {
+            Ok((report, _stats)) => {
+                oic_obs::counter!("serve.sweeps", "sweeps").incr();
+                JsonValue::object()
+                    .with("done", true)
+                    .with("cells", report.cells.len())
+                    .with("total_safety_violations", report.total_safety_violations())
+                    .to_json()
+                    + "\n"
+            }
+            Err(error) => {
+                oic_obs::counter!("serve.sweep_errors", "sweeps").incr();
+                error_body(&engine_error_text(&error))
+            }
+        };
+        emit_line(&trailer);
+        Ok(())
+    }
+}
+
+fn engine_error_text(error: &EngineError) -> String {
+    format!("sweep failed: {error}")
+}
+
+/// A one-line JSON error document (`{"error": "..."}` + newline).
+pub fn error_body(message: &str) -> String {
+    JsonValue::object().with("error", message).to_json() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_engine::PolicySpec;
+    use std::io::Read;
+
+    fn test_server() -> (Arc<SweepServer>, std::net::SocketAddr) {
+        let mut registry = ScenarioRegistry::new();
+        registry.register(Box::new(oic_scenarios::DoubleIntegratorScenario));
+        let server = SweepServer::new(registry, CellCache::in_memory());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = Arc::clone(&server);
+        std::thread::spawn(move || accept.serve(listener));
+        (server, addr)
+    }
+
+    fn send(addr: std::net::SocketAddr, payload: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(payload.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn http_body(response: &str) -> &str {
+        response.split("\r\n\r\n").nth(1).unwrap()
+    }
+
+    const SPEC: &str =
+        r#"{"policies":["bang-bang","periodic-4"],"episodes":3,"steps":15,"seed":7}"#;
+
+    #[test]
+    fn health_and_metrics_respond_on_both_dialects() {
+        let (_server, addr) = test_server();
+        let health = send(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(http_body(&health), "ok\n");
+        assert_eq!(send(addr, "health\n"), "ok\n");
+        let metrics = send(addr, "GET /v1/metrics HTTP/1.1\r\n\r\n");
+        assert!(http_body(&metrics).contains("\"kind\": \"oic-serve-metrics\""));
+        assert!(send(addr, "metrics\n").contains("\"coalesced\": 0"));
+    }
+
+    #[test]
+    fn sweep_round_trips_and_matches_the_engine() {
+        let (server, addr) = test_server();
+        let request = format!(
+            "POST /v1/sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n{SPEC}",
+            SPEC.len()
+        );
+        let body = http_body(&send(addr, &request)).to_string();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 cells + trailer: {body}");
+        let header = JsonValue::parse(lines[0]).unwrap();
+        assert_eq!(
+            header.get("kind").and_then(JsonValue::as_str),
+            Some("oic-sweep-response")
+        );
+        assert_eq!(header.get("seed").and_then(JsonValue::as_str), Some("7"));
+        let trailer = JsonValue::parse(lines[3]).unwrap();
+        assert_eq!(trailer.get("cells").and_then(JsonValue::as_usize), Some(2));
+        assert_eq!(
+            trailer
+                .get("total_safety_violations")
+                .and_then(JsonValue::as_usize),
+            Some(0)
+        );
+        // Cells arrive in index order and byte-match a direct engine run.
+        let spec = SweepSpec::from_json(&JsonValue::parse(SPEC).unwrap()).unwrap();
+        let (reference, _) = run_batch_opts(
+            &{
+                let mut r = ScenarioRegistry::new();
+                r.register(Box::new(oic_scenarios::DoubleIntegratorScenario));
+                r
+            },
+            &[PolicySpec::BangBang, PolicySpec::Periodic(4)],
+            &spec.to_config(),
+            &SweepOptions::default(),
+        )
+        .unwrap();
+        for (g, line) in lines[1..3].iter().enumerate() {
+            let row = JsonValue::parse(line).unwrap();
+            assert_eq!(row.get("cell").and_then(JsonValue::as_usize), Some(g));
+            assert_eq!(
+                row.get("data").unwrap().to_json(),
+                reference.cells[g].to_json(false).to_json(),
+                "cell {g} bytes"
+            );
+        }
+        assert_eq!(server.request_count(), 1);
+        assert_eq!(server.cache_stats().hits(), 0, "cold run computes");
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache_and_bodies_are_byte_identical() {
+        let (server, addr) = test_server();
+        let request = format!(
+            "POST /v1/sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n{SPEC}",
+            SPEC.len()
+        );
+        let cold = http_body(&send(addr, &request)).to_string();
+        let warm = http_body(&send(addr, &request)).to_string();
+        assert_eq!(cold, warm, "cache hits change no bytes");
+        let stats = server.cache_stats();
+        assert_eq!(stats.stores, 2, "cold run stored both cells");
+        assert_eq!(stats.hits(), 2, "warm run answered both cells from cache");
+        // The line dialect shares spec hashing with HTTP: same bytes.
+        let line = send(addr, &format!("sweep {SPEC}\n"));
+        assert_eq!(line, cold);
+        assert_eq!(server.cache_stats().hits(), 4);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let (server, addr) = test_server();
+        let request = format!(
+            "POST /v1/sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n{SPEC}",
+            SPEC.len()
+        );
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let request = request.clone();
+                std::thread::spawn(move || http_body(&send(addr, &request)).to_string())
+            })
+            .collect();
+        let bodies: Vec<String> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        for body in &bodies[1..] {
+            assert_eq!(body, &bodies[0], "all coalesced bodies identical");
+        }
+        assert_eq!(server.request_count(), 4);
+        // At least the requests that arrived while the leader was still
+        // sweeping coalesced; racing stragglers may have become leaders
+        // of their own (cache-answered) sweeps instead.
+        assert!(
+            server.coalesced_count() + server.cache_stats().hits() / 2 >= 1,
+            "some request avoided recomputation: {:?}",
+            server.cache_stats()
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_without_a_stream() {
+        let (_server, addr) = test_server();
+        let bad = "{\"policies\":[]}";
+        let request = format!(
+            "POST /v1/sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n{bad}",
+            bad.len()
+        );
+        let response = send(addr, &request);
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(http_body(&response).contains("\"error\""));
+        let unknown = r#"{"scenarios":["warp-drive"],"policies":["bang-bang"]}"#;
+        let request = format!(
+            "POST /v1/sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n{unknown}",
+            unknown.len()
+        );
+        let response = send(addr, &request);
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(http_body(&response).contains("warp-drive"));
+        let missing = send(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    }
+}

@@ -1,5 +1,5 @@
 //! Longitudinal two-vehicle traffic micro-simulation — the workspace's
-//! substitute for SUMO (paper reference [16]).
+//! substitute for SUMO (paper reference \[16\]).
 //!
 //! The paper simulates its adaptive cruise control (ACC) case study in
 //! SUMO, which contributes three things: the ego plant integration, the

@@ -25,7 +25,14 @@
 //! * [`engine`] ([`oic_engine`]) — the work-stealing batch evaluation
 //!   engine: deterministic per-episode seeding, streaming per-cell
 //!   aggregation (O(cells) memory), JSON reports byte-identical for any
-//!   thread count.
+//!   thread count, plus spec canonicalization/hashing and the
+//!   content-addressed cell cache.
+//! * [`serve`] ([`oic_serve`]) — the sweep service: a pure-`std` HTTP
+//!   server streaming batch results cell by cell, with request
+//!   coalescing and shard-merge tooling (`docs/PROTOCOL.md`).
+//! * [`obs`] ([`oic_obs`]) — cross-cutting telemetry: sharded metrics,
+//!   span tracing, Chrome trace export; off by default and never on the
+//!   result path.
 //!
 //! # Quickstart
 //!
@@ -58,5 +65,7 @@ pub use oic_geom as geom;
 pub use oic_linalg as linalg;
 pub use oic_lp as lp;
 pub use oic_nn as nn;
+pub use oic_obs as obs;
 pub use oic_scenarios as scenarios;
+pub use oic_serve as serve;
 pub use oic_sim as sim;
