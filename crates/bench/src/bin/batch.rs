@@ -6,7 +6,7 @@
 //! [--steps N] [--seed N] [--threads N] [--chunk N] [--stream|--detail]
 //! [--policies drl:<path>[,drl:<path>…]] [--out report.json]
 //! [--metrics metrics.json] [--trace trace.json] [--cache-dir DIR]
-//! [--shard i/n]`
+//! [--shard i/n] [--dropout LABEL[,LABEL…]] [--fault-plan plan.json]`
 //!
 //! `--cache-dir` answers already-computed cells from the
 //! content-addressed store under `DIR` (and fills it as new cells
@@ -14,6 +14,13 @@
 //! modulo `n`, for fan-out across machines — `serve merge` interleaves
 //! the shard reports back into the unsharded bytes. Neither flag
 //! changes a single report byte (see `docs/PROTOCOL.md`).
+//!
+//! `--dropout` adds environment-forced actuation-dropout variants
+//! (`none`, `bernoulli-<p>`, `mk-<m>-<k>`) as a third grid axis;
+//! `--fault-plan` injects deterministic infrastructure faults (worker
+//! panics, NaN plant updates) from a committed JSON plan — the sweep
+//! degrades (failed cells in the report) instead of aborting, and both
+//! stay byte-reproducible at any thread count (`docs/ROBUSTNESS.md`).
 //!
 //! The roster is the five analytic policies plus the committed golden
 //! learned policies (`drl-acc`, `drl-double-integrator`); `--policies
@@ -80,6 +87,12 @@ fn main() {
                     stats.cells_from_cache,
                     report.cells.len(),
                     report.cells.len() - stats.cells_from_cache,
+                );
+            }
+            if stats.cells_failed > 0 {
+                eprintln!(
+                    "{} cells degraded to failed entries under fault injection",
+                    stats.cells_failed,
                 );
             }
             if stats.cells_skipped_incompatible > 0 {

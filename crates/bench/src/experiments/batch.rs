@@ -7,8 +7,8 @@
 //! adds a row here.
 
 use oic_engine::{
-    run_batch_opts, BatchConfig, BatchReport, CellCache, EngineError, PolicySpec, ShardInfo,
-    SweepOptions, SweepStats,
+    run_batch_opts, BatchConfig, BatchReport, CellCache, DropoutSpec, EngineError, FaultPlan,
+    JsonValue, PolicySpec, ShardInfo, SweepOptions, SweepStats,
 };
 use oic_scenarios::ScenarioRegistry;
 
@@ -126,12 +126,77 @@ pub fn run_with_stats(scale: &ExperimentScale) -> Result<(BatchReport, SweepStat
         .cache_dir
         .as_ref()
         .map(|dir| CellCache::new(4096, Some(dir.into())));
+    let dropouts = dropout_specs(scale).map_err(|message| {
+        eprintln!("{message}");
+        EngineError::InvalidConfig("unusable --dropout (see stderr)")
+    })?;
+    let plan = match &scale.fault_plan {
+        Some(path) => Some(load_fault_plan(path).map_err(|message| {
+            eprintln!("{message}");
+            EngineError::InvalidConfig("unusable --fault-plan (see stderr)")
+        })?),
+        None => None,
+    };
     let opts = SweepOptions {
         shard,
         cache: cache.as_ref(),
+        dropouts: (!dropouts.is_empty()).then_some(dropouts.as_slice()),
+        faults: plan.as_ref(),
         ..Default::default()
     };
     run_batch_opts(&registry, &roster, &config(scale), &opts)
+}
+
+/// Parses the `--dropout` labels of a scale into engine specs.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the unparseable label.
+pub fn dropout_specs(scale: &ExperimentScale) -> Result<Vec<DropoutSpec>, String> {
+    scale
+        .dropout
+        .iter()
+        .map(|label| {
+            DropoutSpec::parse(label).map_err(|e| format!("bad --dropout entry {label:?}: {e}"))
+        })
+        .collect()
+}
+
+/// Loads a `--fault-plan` JSON document (`seed`, `panic_rate`,
+/// `nan_rate`) into a validated [`FaultPlan`].
+///
+/// # Errors
+///
+/// Returns a human-readable message for unreadable files, malformed
+/// JSON, or out-of-range rates.
+pub fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read fault plan {path:?}: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("fault plan {path:?}: {e}"))?;
+    let seed = match doc.get("seed") {
+        Some(JsonValue::Number(n)) => *n as u64,
+        Some(value) => value
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("fault plan {path:?}: seed must be a u64"))?,
+        None => 0,
+    };
+    let rate = |key: &str| -> Result<f64, String> {
+        match doc.get(key) {
+            Some(value) => value
+                .as_f64()
+                .ok_or_else(|| format!("fault plan {path:?}: {key} must be a number")),
+            None => Ok(0.0),
+        }
+    };
+    let plan = FaultPlan {
+        seed,
+        panic_rate: rate("panic_rate")?,
+        nan_rate: rate("nan_rate")?,
+    };
+    plan.validate()
+        .map_err(|message| format!("fault plan {path:?}: {message}"))?;
+    Ok(plan)
 }
 
 /// The batch bin's stderr wall-clock summary line.
@@ -317,6 +382,89 @@ mod tests {
             assert_eq!(&piece.cells[g / 2], cell, "global cell {g}");
         }
         assert!(run(&scale("2/2")).is_err(), "index out of range");
+    }
+
+    #[test]
+    fn dropout_axis_multiplies_the_grid_without_touching_fault_free_bytes() {
+        let base = ExperimentScale {
+            cases: 2,
+            steps: 15,
+            train_episodes: 0,
+            seed: 5,
+            ..Default::default()
+        };
+        let plain = run(&base).unwrap();
+        let faulted = run(&ExperimentScale {
+            dropout: vec!["none".into(), "mk-1-5".into()],
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(faulted.cells.len(), 2 * plain.cells.len());
+        // The none-variant cells render the exact fault-free bytes.
+        for (g, cell) in plain.cells.iter().enumerate() {
+            assert_eq!(
+                faulted.cells[2 * g].to_json(false).to_json(),
+                cell.to_json(false).to_json(),
+                "none variant of global cell {g}"
+            );
+            assert_eq!(faulted.cells[2 * g + 1].dropout, "mk-1-5");
+        }
+        // Theorem 1's zero-violation guarantee only covers the nominal
+        // actuator: the fault-free variants must keep it, while dropout
+        // variants tally whatever the forced skips actually cause.
+        let nominal_violations: usize = faulted
+            .cells
+            .iter()
+            .filter(|cell| cell.dropout == "none")
+            .map(|cell| cell.safety_violations)
+            .sum();
+        assert_eq!(nominal_violations, 0, "Theorem 1 on the nominal axis");
+        let bad = ExperimentScale {
+            dropout: vec!["bernoulli-nope".into()],
+            ..base
+        };
+        assert!(run(&bad).is_err(), "bad labels are rejected loudly");
+    }
+
+    #[test]
+    fn fault_plans_load_validate_and_degrade_cells() {
+        let dir = std::env::temp_dir().join(format!("oic-bench-plan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        std::fs::write(
+            &path,
+            r#"{"seed": "7", "panic_rate": 1.0, "nan_rate": 0.0}"#,
+        )
+        .unwrap();
+        let plan = load_fault_plan(&path.display().to_string()).unwrap();
+        assert_eq!(plan.seed, 7);
+        assert!((plan.panic_rate - 1.0).abs() < 1e-12);
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"panic_rate": 0.8, "nan_rate": 0.8}"#).unwrap();
+        assert!(load_fault_plan(&bad.display().to_string())
+            .unwrap_err()
+            .contains("exceed"));
+        assert!(load_fault_plan("/nonexistent/plan.json")
+            .unwrap_err()
+            .contains("cannot read"));
+
+        let scale = ExperimentScale {
+            cases: 2,
+            steps: 15,
+            train_episodes: 0,
+            seed: 5,
+            fault_plan: Some(path.display().to_string()),
+            ..Default::default()
+        };
+        let (report, stats) = run_with_stats(&scale).unwrap();
+        assert_eq!(
+            stats.cells_failed,
+            report.cells.len(),
+            "rate-1.0 plan fails every cell"
+        );
+        assert!(report.cells.iter().all(|c| c.is_failed()));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -52,6 +52,17 @@ pub struct ExperimentScale {
     /// whose global index `g` satisfies `g % n == i`; merge shard
     /// reports back with `serve merge`.
     pub shard: Option<String>,
+    /// Environment-forced actuation-dropout variants
+    /// (`--dropout none,bernoulli-0.1,mk-1-5`): each label adds a
+    /// dropout axis value to every `(scenario, policy)` cell. Empty
+    /// (the default) keeps the fault-free grid and its exact report
+    /// bytes.
+    pub dropout: Vec<String>,
+    /// Optional deterministic fault-injection plan
+    /// (`--fault-plan plan.json`): a JSON document with `seed`,
+    /// `panic_rate`, and `nan_rate` keys, applied per cell hash. The
+    /// sweep degrades (failed cells, never aborts) under the plan.
+    pub fault_plan: Option<String>,
 }
 
 impl Default for ExperimentScale {
@@ -70,6 +81,8 @@ impl Default for ExperimentScale {
             trace_out: None,
             cache_dir: None,
             shard: None,
+            dropout: Vec::new(),
+            fault_plan: None,
         }
     }
 }
@@ -145,6 +158,18 @@ impl ExperimentScale {
                 "--shard" => {
                     if let Some(v) = args.next() {
                         scale.shard = Some(v);
+                    }
+                }
+                "--dropout" => {
+                    if let Some(v) = args.next() {
+                        scale
+                            .dropout
+                            .extend(v.split(',').map(|s| s.trim().to_string()));
+                    }
+                }
+                "--fault-plan" => {
+                    if let Some(v) = args.next() {
+                        scale.fault_plan = Some(v);
                     }
                 }
                 _ => {}
@@ -286,6 +311,19 @@ mod tests {
         assert_eq!(scale.shard.as_deref(), Some("1/4"));
         let default = ExperimentScale::default();
         assert!(default.cache_dir.is_none() && default.shard.is_none());
+    }
+
+    #[test]
+    fn scale_parsing_fault_knobs() {
+        let scale = ExperimentScale::from_args(
+            ["--dropout", "none,mk-1-5", "--fault-plan", "plan.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(scale.dropout, ["none", "mk-1-5"]);
+        assert_eq!(scale.fault_plan.as_deref(), Some("plan.json"));
+        let default = ExperimentScale::default();
+        assert!(default.dropout.is_empty() && default.fault_plan.is_none());
     }
 
     #[test]

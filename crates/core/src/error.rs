@@ -21,6 +21,14 @@ pub enum CoreError {
     },
     /// A computed set came out empty.
     EmptySet,
+    /// The closed-loop state stopped being finite (NaN/overflow in a
+    /// plant update) or diverged past any physically meaningful bound —
+    /// surfaced by the engine's per-step divergence guard so a broken
+    /// plant degrades one cell instead of poisoning its tallies.
+    NonFinite {
+        /// Step index at which the state was first non-finite/diverged.
+        step: usize,
+    },
     /// A skipping policy could not be constructed (e.g. a learned-policy
     /// weight blob failed to decode or does not fit the scenario).
     Policy {
@@ -43,6 +51,9 @@ impl fmt::Display for CoreError {
                 write!(f, "safety certificate failed: {inclusion}")
             }
             CoreError::EmptySet => write!(f, "computed set is empty"),
+            CoreError::NonFinite { step } => {
+                write!(f, "state became non-finite or diverged at step {step}")
+            }
             CoreError::Policy { reason } => write!(f, "policy construction failed: {reason}"),
             CoreError::Control(e) => write!(f, "control layer failure: {e}"),
             CoreError::Geometry(e) => write!(f, "geometry failure: {e}"),

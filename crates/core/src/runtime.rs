@@ -159,6 +159,27 @@ impl<C: Controller, P: SkipPolicy> IntermittentController<C, P> {
         &self.w_history
     }
 
+    /// Reports that the actuator *dropped* the input just commanded by
+    /// [`step`](Self::step) and held the skip input instead — an
+    /// environment-forced skip (lossy actuator, weakly-hard execution
+    /// platform). Returns the input the plant actually received.
+    ///
+    /// Two pieces of state are re-booked so later steps stay exact:
+    /// the remembered `(x, u)` transition is rewritten to the applied
+    /// input (the disturbance inversion `w = x⁺ − A x − B u` must use
+    /// what the plant received, or every later `w` estimate would be
+    /// polluted by the drop), and the step's actuation-effort
+    /// contribution is subtracted (a dropped input costs nothing).
+    /// The run/skip decision tallies are left alone — they describe
+    /// what the *controller* decided, which the environment overrode.
+    pub fn notify_dropout(&mut self) -> Vec<f64> {
+        if let Some((_, u)) = self.prev.as_mut() {
+            self.stats.actuation_effort -= vec_ops::norm1(&vec_ops::sub(u, &self.skip_input));
+            u.clone_from(&self.skip_input);
+        }
+        self.skip_input.clone()
+    }
+
     /// One iteration of Algorithm 1 at the monitored state `x`.
     ///
     /// `w_forecast` optionally carries known future disturbances for the
@@ -315,6 +336,66 @@ mod tests {
                 "estimated {e:?} vs applied {a:?}"
             );
         }
+    }
+
+    #[test]
+    fn disturbance_estimation_stays_exact_under_dropout() {
+        // When the actuator drops every other commanded input, the
+        // inversion must keep using the *applied* input — otherwise the
+        // estimated w would absorb the B·(u − u_skip) gap.
+        let case = case();
+        let sys = case.sets().plant().system().clone();
+        let mut ic = IntermittentController::new(
+            case.mpc().clone(),
+            case.sets().clone(),
+            Box::new(AlwaysRunPolicy),
+            3,
+        );
+        let skip_input = case.sets().skip_input().to_vec();
+        let mut x = vec![1.0, 0.5];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut applied_w = Vec::new();
+        for t in 0..6 {
+            let d = ic.step(&x, &[]).unwrap();
+            let u = if t % 2 == 0 {
+                let applied = ic.notify_dropout();
+                assert_eq!(applied, skip_input);
+                applied
+            } else {
+                d.input
+            };
+            let w = vec![rng.gen_range(-1.0..1.0), 0.0];
+            applied_w.push(w.clone());
+            x = sys.step(&x, &u, &w);
+        }
+        let _ = ic.step(&x, &[]).unwrap();
+        for (e, a) in ic.w_history().iter().rev().zip(applied_w.iter().rev()) {
+            assert!(
+                vec_ops::approx_eq(e, a, 1e-9),
+                "estimated {e:?} vs applied {a:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_rebooks_actuation_effort() {
+        let case = case();
+        let mut ic = IntermittentController::new(
+            case.mpc().clone(),
+            case.sets().clone(),
+            Box::new(AlwaysRunPolicy),
+            1,
+        );
+        let d = ic.step(&[2.0, 1.0], &[]).unwrap();
+        assert!(!d.skipped);
+        let effort_before = ic.stats().actuation_effort;
+        assert!(effort_before > 0.0, "a real input was commanded");
+        let _ = ic.notify_dropout();
+        assert!(
+            ic.stats().actuation_effort.abs() < 1e-12,
+            "dropped inputs cost nothing"
+        );
+        assert_eq!(ic.stats().steps, 1, "decision tallies are untouched");
     }
 
     #[test]

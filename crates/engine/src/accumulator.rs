@@ -99,6 +99,14 @@ pub struct CellAccumulator {
     pub safety_violations: usize,
     /// Invariant-set violations across episodes (saturating).
     pub invariant_violations: usize,
+    /// Environment-forced skips (actuator dropout) across episodes
+    /// (saturating; always 0 without a dropout spec).
+    pub forced_skips: usize,
+    /// Episodes with at least one safety violation (saturating) — the
+    /// violation-under-dropout tally: under forced dropout Theorem 1's
+    /// premise no longer holds, and this counts how many episodes
+    /// actually left `X`.
+    pub violation_episodes: usize,
     /// Per-episode skip-rate moments.
     pub skip_rate: Moments,
     /// Per-episode actuation-effort moments.
@@ -127,6 +135,8 @@ impl CellAccumulator {
             policy_runs: 0,
             safety_violations: 0,
             invariant_violations: 0,
+            forced_skips: 0,
+            violation_episodes: 0,
             skip_rate: Moments::default(),
             actuation_effort: Moments::default(),
             min_safe_slack: f64::INFINITY,
@@ -148,6 +158,10 @@ impl CellAccumulator {
         self.invariant_violations = self
             .invariant_violations
             .saturating_add(record.invariant_violations);
+        self.forced_skips = self.forced_skips.saturating_add(record.forced_skips);
+        if record.safety_violations > 0 {
+            self.violation_episodes = self.violation_episodes.saturating_add(1);
+        }
         self.skip_rate.push(record.stats.skip_rate());
         self.actuation_effort.push(record.stats.actuation_effort);
         self.min_safe_slack = self.min_safe_slack.min(record.min_safe_slack);
@@ -171,6 +185,10 @@ impl CellAccumulator {
         self.invariant_violations = self
             .invariant_violations
             .saturating_add(other.invariant_violations);
+        self.forced_skips = self.forced_skips.saturating_add(other.forced_skips);
+        self.violation_episodes = self
+            .violation_episodes
+            .saturating_add(other.violation_episodes);
         self.skip_rate.merge(&other.skip_rate);
         self.actuation_effort.merge(&other.actuation_effort);
         self.min_safe_slack = self.min_safe_slack.min(other.min_safe_slack);
@@ -197,6 +215,7 @@ mod tests {
             safety_violations: 0,
             invariant_violations: 0,
             min_safe_slack: slack,
+            forced_skips: 0,
         }
     }
 

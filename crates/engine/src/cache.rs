@@ -9,31 +9,44 @@
 //! store is **bitwise** exact, including negative zero and infinities
 //! (the property test sweeps random bit patterns).
 //!
+//! Every record carries a SHA-256 checksum of its payload, verified on
+//! read: a bit-flipped or truncated `.cell` file is detected, moved to
+//! `<dir>/quarantine/` for postmortem (never silently deleted), counted
+//! as `cache.corrupt`, and recounted as a miss — the sweep recomputes
+//! the cell and the next store heals the slot.
+//!
 //! Cache traffic is counted twice: always into the cache's own relaxed
 //! atomics (so callers can report hit rates without enabling
 //! telemetry), and into the `oic-obs` registry (`cache.mem_hits`,
 //! `cache.disk_hits`, `cache.misses`, `cache.stores`,
-//! `cache.rejected`, `cache.bytes_read`, `cache.bytes_written`) when
-//! metrics are on. Neither path feeds back into results.
+//! `cache.rejected`, `cache.corrupt`, `cache.bytes_read`,
+//! `cache.bytes_written`) when metrics are on. Neither path feeds back
+//! into results.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::hashing::to_hex;
+use crate::hashing::{sha256, to_hex};
 use crate::report::CellReport;
 
-const MAGIC: &[u8; 8] = b"OICCELL1";
+/// Format magic; `OICCELL2` added the payload checksum and the dropout
+/// axis fields (epoch-2 hashes never collide with epoch-1 paths, but a
+/// distinct magic keeps hand-copied stores honest too).
+const MAGIC: &[u8; 8] = b"OICCELL2";
 
 /// Errors from the cell codec and store.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CacheError {
     /// The blob is not a cell record (bad magic, truncation, trailing
-    /// bytes, or a non-UTF-8 name).
+    /// bytes, a checksum mismatch, or a non-UTF-8 name).
     Malformed(&'static str),
     /// Cells carrying per-episode detail are not cacheable.
     DetailNotCacheable,
+    /// `Failed` cells are not cacheable: a failure describes one run's
+    /// degradation, not the cell's pure value.
+    FailedNotCacheable,
 }
 
 impl std::fmt::Display for CacheError {
@@ -43,6 +56,9 @@ impl std::fmt::Display for CacheError {
             CacheError::DetailNotCacheable => {
                 write!(f, "cells with per-episode detail cannot be cached")
             }
+            CacheError::FailedNotCacheable => {
+                write!(f, "failed cells cannot be cached")
+            }
         }
     }
 }
@@ -51,23 +67,29 @@ impl std::error::Error for CacheError {}
 
 /// Serializes a cell's aggregates to the on-disk record format.
 ///
-/// Layout (all integers little-endian): the 8-byte magic `OICCELL1`,
-/// two `u32`-length-prefixed UTF-8 strings (scenario, policy label),
-/// eight `u64` tallies, then six `f64`s stored as raw bit patterns.
+/// Layout (all integers little-endian): the 8-byte magic `OICCELL2`, a
+/// 32-byte SHA-256 of everything after it, then the payload: three
+/// `u32`-length-prefixed UTF-8 strings (scenario, policy label, dropout
+/// label), ten `u64` tallies, then six `f64`s stored as raw bit
+/// patterns.
 ///
 /// # Errors
 ///
 /// [`CacheError::DetailNotCacheable`] when the cell carries per-episode
-/// records (the cache stores aggregates only — detail is O(episodes)).
+/// records (the cache stores aggregates only — detail is O(episodes));
+/// [`CacheError::FailedNotCacheable`] for `Failed` cells.
 pub fn encode_cell(cell: &CellReport) -> Result<Vec<u8>, CacheError> {
     if !cell.episodes_detail.is_empty() {
         return Err(CacheError::DetailNotCacheable);
     }
-    let mut out = Vec::with_capacity(128 + cell.scenario.len() + cell.policy.len());
-    out.extend_from_slice(MAGIC);
-    for text in [&cell.scenario, &cell.policy] {
-        out.extend_from_slice(&(text.len() as u32).to_le_bytes());
-        out.extend_from_slice(text.as_bytes());
+    if cell.is_failed() {
+        return Err(CacheError::FailedNotCacheable);
+    }
+    let mut payload =
+        Vec::with_capacity(160 + cell.scenario.len() + cell.policy.len() + cell.dropout.len());
+    for text in [&cell.scenario, &cell.policy, &cell.dropout] {
+        payload.extend_from_slice(&(text.len() as u32).to_le_bytes());
+        payload.extend_from_slice(text.as_bytes());
     }
     for tally in [
         cell.episodes,
@@ -78,8 +100,10 @@ pub fn encode_cell(cell: &CellReport) -> Result<Vec<u8>, CacheError> {
         cell.policy_runs,
         cell.safety_violations,
         cell.invariant_violations,
+        cell.forced_skips,
+        cell.violation_episodes,
     ] {
-        out.extend_from_slice(&(tally as u64).to_le_bytes());
+        payload.extend_from_slice(&(tally as u64).to_le_bytes());
     }
     for float in [
         cell.mean_skip_rate,
@@ -89,12 +113,18 @@ pub fn encode_cell(cell: &CellReport) -> Result<Vec<u8>, CacheError> {
         cell.min_safe_slack,
         cell.max_safe_slack,
     ] {
-        out.extend_from_slice(&float.to_bits().to_le_bytes());
+        payload.extend_from_slice(&float.to_bits().to_le_bytes());
     }
+    let mut out = Vec::with_capacity(MAGIC.len() + 32 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&sha256(&payload));
+    out.extend_from_slice(&payload);
     Ok(out)
 }
 
-/// Deserializes a cell record written by [`encode_cell`].
+/// Deserializes a cell record written by [`encode_cell`], verifying the
+/// payload checksum — a single flipped bit anywhere in the record fails
+/// the decode.
 ///
 /// # Errors
 ///
@@ -105,9 +135,14 @@ pub fn decode_cell(bytes: &[u8]) -> Result<CellReport, CacheError> {
     if cursor.take(8)? != MAGIC {
         return Err(CacheError::Malformed("bad magic"));
     }
+    let checksum: [u8; 32] = cursor.take(32)?.try_into().expect("32-byte checksum chunk");
+    if sha256(&bytes[cursor.pos..]) != checksum {
+        return Err(CacheError::Malformed("checksum mismatch"));
+    }
     let scenario = cursor.string()?;
     let policy = cursor.string()?;
-    let mut tallies = [0u64; 8];
+    let dropout = cursor.string()?;
+    let mut tallies = [0u64; 10];
     for slot in &mut tallies {
         *slot = cursor.u64()?;
     }
@@ -135,6 +170,10 @@ pub fn decode_cell(bytes: &[u8]) -> Result<CellReport, CacheError> {
         var_actuation_effort: floats[3],
         min_safe_slack: floats[4],
         max_safe_slack: floats[5],
+        dropout,
+        forced_skips: tallies[8] as usize,
+        violation_episodes: tallies[9] as usize,
+        outcome: crate::report::CellOutcome::Ok,
         episodes_detail: Vec::new(),
     })
 }
@@ -181,6 +220,8 @@ pub struct CacheStats {
     pub stores: u64,
     /// Disk entries discarded as corrupt or mismatched.
     pub rejected: u64,
+    /// Disk entries that failed decode/checksum and were quarantined.
+    pub corrupt: u64,
     /// Bytes read from disk.
     pub bytes_read: u64,
     /// Bytes written to disk.
@@ -217,6 +258,7 @@ pub struct CellCache {
     misses: AtomicU64,
     stores: AtomicU64,
     rejected: AtomicU64,
+    corrupt: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
 }
@@ -249,6 +291,7 @@ impl CellCache {
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
         }
@@ -271,8 +314,9 @@ impl CellCache {
     /// Looks a cell up by its content address.
     ///
     /// Memory first, then disk; a disk hit is decoded, validated, and
-    /// promoted into the memory tier. Corrupt disk entries are deleted
-    /// and counted as `rejected` + `misses`, never surfaced.
+    /// promoted into the memory tier. Corrupt disk entries are moved to
+    /// `<dir>/quarantine/` and counted as `corrupt` + `misses`, never
+    /// surfaced — the next store heals the slot.
     pub fn get(&self, key: &[u8; 32]) -> Option<CellReport> {
         {
             let mut mem = self.mem.lock().expect("cache mem lock");
@@ -297,11 +341,14 @@ impl CellCache {
                         return Some(cell);
                     }
                     Err(_) => {
-                        // A torn or foreign file under our key: drop it so
-                        // the slot heals on the next store.
-                        let _ = std::fs::remove_file(&path);
-                        self.rejected.fetch_add(1, Ordering::Relaxed);
-                        oic_obs::counter!("cache.rejected", "cells").incr();
+                        // A torn, bit-flipped, or foreign file under our
+                        // key: quarantine it for postmortem (deleting
+                        // would destroy the only evidence of silent
+                        // corruption) so the slot heals on the next
+                        // store.
+                        Self::quarantine(dir, &path);
+                        self.corrupt.fetch_add(1, Ordering::Relaxed);
+                        oic_obs::counter!("cache.corrupt", "cells").incr();
                     }
                 }
             }
@@ -351,6 +398,7 @@ impl CellCache {
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
@@ -374,6 +422,26 @@ impl CellCache {
             }
         } else {
             Self::touch(&mut mem.order, key);
+        }
+    }
+
+    /// The quarantine directory of a cache root.
+    pub fn quarantine_dir(dir: &Path) -> PathBuf {
+        dir.join("quarantine")
+    }
+
+    /// Moves a corrupt entry into `<dir>/quarantine/<filename>`. Falls
+    /// back to deletion if the rename fails (e.g. a read-only or full
+    /// quarantine dir) — a corrupt file must never stay under its key,
+    /// or every future lookup would re-trip on it.
+    fn quarantine(dir: &Path, path: &Path) {
+        let quarantine = Self::quarantine_dir(dir);
+        let moved = std::fs::create_dir_all(&quarantine).is_ok()
+            && path
+                .file_name()
+                .is_some_and(|name| std::fs::rename(path, quarantine.join(name)).is_ok());
+        if !moved {
+            let _ = std::fs::remove_file(path);
         }
     }
 
@@ -409,6 +477,7 @@ mod tests {
                 safety_violations: 0,
                 invariant_violations: 0,
                 min_safe_slack: 0.75,
+                forced_skips: 0,
             }],
         )
         .without_detail()
@@ -454,11 +523,43 @@ mod tests {
             safety_violations: 0,
             invariant_violations: 0,
             min_safe_slack: 0.0,
+            forced_skips: 0,
         });
         assert_eq!(
             encode_cell(&detailed).unwrap_err(),
             CacheError::DetailNotCacheable
         );
+    }
+
+    #[test]
+    fn failed_cells_are_refused() {
+        let failed = CellReport::failed("acc", "bang-bang", "none", 10, "episode 3: boom".into());
+        assert_eq!(
+            encode_cell(&failed).unwrap_err(),
+            CacheError::FailedNotCacheable
+        );
+    }
+
+    #[test]
+    fn codec_round_trips_dropout_fields() {
+        let mut original = cell("acc", "bang-bang");
+        original.dropout = "mk-1-4".to_string();
+        original.forced_skips = 17;
+        original.violation_episodes = 3;
+        let decoded = decode_cell(&encode_cell(&original).unwrap()).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        // The checksum must catch a flip anywhere — magic, checksum
+        // bytes themselves, strings, tallies, or float payload.
+        let bytes = encode_cell(&cell("acc", "bang-bang")).unwrap();
+        for pos in [0, 9, 41, 45, bytes.len() / 2, bytes.len() - 1] {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x01;
+            assert!(decode_cell(&flipped).is_err(), "flip at byte {pos}");
+        }
     }
 
     #[test]
@@ -495,15 +596,58 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.disk_hits, 1);
         assert_eq!(stats.mem_hits, 0);
-        assert_eq!(cache.get(&key(9)), Some(stored));
+        assert_eq!(cache.get(&key(9)), Some(stored.clone()));
         assert_eq!(cache.stats().mem_hits, 1, "promoted after the disk hit");
-        // Corrupt the file: the entry is rejected, deleted, and missed.
+        // Corrupt the file: the entry is quarantined and missed.
         let path = CellCache::entry_path(&dir, &key(9));
         std::fs::write(&path, b"garbage").unwrap();
         let cold = CellCache::new(8, Some(dir.clone()));
         assert!(cold.get(&key(9)).is_none());
-        assert_eq!(cold.stats().rejected, 1);
-        assert!(!path.exists(), "corrupt entry is removed");
+        assert_eq!(cold.stats().corrupt, 1);
+        assert!(!path.exists(), "corrupt entry leaves its slot");
+        let quarantined = CellCache::quarantine_dir(&dir).join(path.file_name().unwrap());
+        assert!(quarantined.exists(), "corrupt entry is kept for postmortem");
+        // A fresh store heals the slot and hits again.
+        cold.put(&key(9), &stored).unwrap();
+        let healed = CellCache::new(8, Some(dir.clone()));
+        assert!(healed.get(&key(9)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_disk_entries_are_quarantined() {
+        let dir = std::env::temp_dir().join(format!("oic-cache-trunc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CellCache::new(0, Some(dir.clone()));
+        cache.put(&key(3), &cell("acc", "periodic-4")).unwrap();
+        let path = CellCache::entry_path(&dir, &key(3));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(cache.get(&key(3)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(stats.misses, 1, "corruption recounts as a miss");
+        assert!(CellCache::quarantine_dir(&dir)
+            .join(path.file_name().unwrap())
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_disk_entries_are_quarantined() {
+        let dir = std::env::temp_dir().join(format!("oic-cache-flip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CellCache::new(0, Some(dir.clone()));
+        cache.put(&key(5), &cell("acc", "bang-bang")).unwrap();
+        let path = CellCache::entry_path(&dir, &key(5));
+        // Flip one bit in the float payload via the deterministic
+        // corruptor — exactly what the chaos CI job does.
+        oic_faults::corrupt_file(&path, 99).unwrap();
+        assert!(cache.get(&key(5)).is_none(), "checksum catches the flip");
+        assert_eq!(cache.stats().corrupt, 1);
+        assert!(CellCache::quarantine_dir(&dir)
+            .join(path.file_name().unwrap())
+            .exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -131,6 +131,7 @@ impl JsonValue {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         parser.skip_ws();
         let value = parser.value()?;
@@ -245,9 +246,19 @@ impl std::fmt::Display for JsonParseError {
 
 impl std::error::Error for JsonParseError {}
 
+/// Maximum container nesting the parser accepts. Recursive descent puts
+/// one stack frame per `[`/`{` level, so without a bound a crafted body
+/// of a few hundred kilobytes of `[[[[…` could overflow the stack of
+/// whatever thread parses it (the serve layer parses request bodies on
+/// connection threads). 128 levels is far beyond any legitimate sweep
+/// spec or report.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting level, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -303,12 +314,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<JsonValue, JsonParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -319,6 +340,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -328,10 +350,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<JsonValue, JsonParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(entries));
         }
         loop {
@@ -347,6 +371,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(entries));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -631,6 +656,25 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_stack_overflowed() {
+        // Exactly at the limit parses; one level past it is a parse
+        // error — and a megabyte of open brackets (the stack-overflow
+        // payload shape) fails fast instead of crashing the thread.
+        let deep_ok = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        assert!(JsonValue::parse(&deep_ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        let err = JsonValue::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let bomb = "[".repeat(1 << 20);
+        assert!(JsonValue::parse(&bomb).is_err());
+        let object_bomb = "{\"k\":".repeat(10_000);
+        assert!(JsonValue::parse(&object_bomb).is_err());
+        // Siblings do not accumulate depth: a wide flat document is fine.
+        let wide = format!("[{}]", vec!["[1]"; 50_000].join(","));
+        assert!(JsonValue::parse(&wide).is_ok());
     }
 
     #[test]

@@ -23,9 +23,15 @@
 //!   writer/parser;
 //! * every cell is a pure function of its canonical spec: [`SweepSpec`]
 //!   pins the canonical wire form, [`cell_hash`] content-addresses each
-//!   `(scenario, policy)` cell, and [`run_batch_opts`] layers the
-//!   [`CellCache`], shard selection ([`ShardInfo`]), and streaming
-//!   cell callbacks over the same byte-identical results.
+//!   `(scenario, policy, dropout)` cell, and [`run_batch_opts`] layers
+//!   the [`CellCache`], shard selection ([`ShardInfo`]), and streaming
+//!   cell callbacks over the same byte-identical results;
+//! * faults degrade, never abort: a panicking worker, a NaN plant
+//!   update, or a diverging trajectory turns its cell into a
+//!   [`CellOutcome::Failed`] report entry while the sweep completes,
+//!   and the environment-forced actuation-dropout axis
+//!   ([`DropoutSpec`], [`FaultPlan`] — re-exported from `oic-faults`)
+//!   stays byte-reproducible at any thread count.
 //!
 //! [`IntermittentController`]: oic_core::IntermittentController
 //!
@@ -56,10 +62,12 @@ pub use accumulator::{CellAccumulator, Moments};
 pub use cache::{decode_cell, encode_cell, CacheError, CacheStats, CellCache};
 pub use hashing::{from_hex, sha256, to_hex, Sha256};
 pub use json::{JsonParseError, JsonValue};
-pub use report::{BatchReport, CellReport, EpisodeRecord};
+pub use oic_faults::{CellFault, DropoutSpec, FaultPlan};
+pub use report::{BatchReport, CellOutcome, CellReport, EpisodeRecord};
 pub use runner::{
-    episode_seed, run_batch, run_batch_opts, run_batch_with_stats, run_episode, BatchConfig,
-    CellTiming, EngineError, PolicySpec, PreparedPolicy, SweepOptions, SweepStats,
+    episode_seed, run_batch, run_batch_opts, run_batch_with_stats, run_episode, run_episode_opts,
+    BatchConfig, CellTiming, EngineError, EpisodeFaults, PolicySpec, PreparedPolicy, SweepOptions,
+    SweepStats,
 };
 pub use spec::{
     canonical_policy, cell_hash, cell_hash_canonical, parse_policy, ShardInfo, SweepSpec,

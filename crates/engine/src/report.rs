@@ -24,6 +24,26 @@ pub struct EpisodeRecord {
     /// Worst-case slack to the safe-set boundary over the trajectory
     /// (negative would mean a violation).
     pub min_safe_slack: f64,
+    /// Steps where the environment dropped a commanded input (actuator
+    /// dropout); always 0 without a dropout spec.
+    pub forced_skips: usize,
+}
+
+/// Whether a cell ran to completion or degraded under a fault.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CellOutcome {
+    /// The cell's episodes all completed; aggregates are valid.
+    #[default]
+    Ok,
+    /// The cell failed (a panicking worker, a diverging plant, a broken
+    /// scenario): its aggregates are zeroed and only the reason is
+    /// reported. The *rest* of the sweep is unaffected — a failed cell
+    /// degrades one report entry instead of aborting the run.
+    Failed {
+        /// Human-readable failure cause, deterministic across thread
+        /// counts (the lowest `(chunk, episode)` failure of the cell).
+        reason: String,
+    },
 }
 
 /// Aggregate statistics of one (scenario, policy) cell.
@@ -62,6 +82,17 @@ pub struct CellReport {
     /// Largest per-episode worst-case slack (brackets the boundary
     /// approach together with `min_safe_slack`).
     pub max_safe_slack: f64,
+    /// Canonical dropout-spec label of the cell's environment axis
+    /// (`"none"` for ordinary cells — then no dropout fields render, so
+    /// reports without the axis stay byte-identical to schema v2).
+    pub dropout: String,
+    /// Environment-forced skips across all episodes (dropout cells).
+    pub forced_skips: usize,
+    /// Episodes with at least one safety violation (dropout cells: the
+    /// violation-under-dropout tally).
+    pub violation_episodes: usize,
+    /// Completion status; `Failed` cells render a minimal entry.
+    pub outcome: CellOutcome,
     /// Per-episode records, in episode order.
     pub episodes_detail: Vec<EpisodeRecord>,
 }
@@ -93,8 +124,53 @@ impl CellReport {
             invariant_violations: acc.invariant_violations,
             min_safe_slack: acc.min_safe_slack,
             max_safe_slack: acc.max_safe_slack,
+            dropout: "none".to_string(),
+            forced_skips: acc.forced_skips,
+            violation_episodes: acc.violation_episodes,
+            outcome: CellOutcome::Ok,
             episodes_detail: Vec::new(),
         }
+    }
+
+    /// A degraded cell entry: the cell could not complete (worker panic,
+    /// diverging plant, broken scenario) and reports only its identity
+    /// and the failure reason. Aggregates are zeroed so a failed cell
+    /// contributes nothing to report totals.
+    pub fn failed(
+        scenario: &str,
+        policy: &str,
+        dropout: &str,
+        steps_per_episode: usize,
+        reason: String,
+    ) -> Self {
+        Self {
+            scenario: scenario.to_string(),
+            policy: policy.to_string(),
+            episodes: 0,
+            steps_per_episode,
+            total_steps: 0,
+            mean_skip_rate: 0.0,
+            var_skip_rate: 0.0,
+            skipped_steps: 0,
+            forced_runs: 0,
+            policy_runs: 0,
+            mean_actuation_effort: 0.0,
+            var_actuation_effort: 0.0,
+            safety_violations: 0,
+            invariant_violations: 0,
+            min_safe_slack: 0.0,
+            max_safe_slack: 0.0,
+            dropout: dropout.to_string(),
+            forced_skips: 0,
+            violation_episodes: 0,
+            outcome: CellOutcome::Failed { reason },
+            episodes_detail: Vec::new(),
+        }
+    }
+
+    /// Whether the cell degraded under a fault.
+    pub fn is_failed(&self) -> bool {
+        matches!(self.outcome, CellOutcome::Failed { .. })
     }
 
     /// Folds episode records (already in episode order) into a cell.
@@ -119,7 +195,23 @@ impl CellReport {
 
     /// JSON form (aggregates only; per-episode detail included when
     /// `detail` is set).
+    ///
+    /// Ordinary cells render exactly the schema-v2 fields; the dropout
+    /// fields appear only on cells with a non-`none` dropout axis, and
+    /// failed cells render a minimal `outcome: "failed"` entry — so a
+    /// sweep without faults or dropout is byte-identical to v2 output.
     pub fn to_json(&self, detail: bool) -> JsonValue {
+        if let CellOutcome::Failed { reason } = &self.outcome {
+            let mut doc = JsonValue::object()
+                .with("scenario", self.scenario.as_str())
+                .with("policy", self.policy.as_str());
+            if self.dropout != "none" {
+                doc = doc.with("dropout", self.dropout.as_str());
+            }
+            return doc
+                .with("outcome", "failed")
+                .with("reason", reason.as_str());
+        }
         let mut doc = JsonValue::object()
             .with("scenario", self.scenario.as_str())
             .with("policy", self.policy.as_str())
@@ -137,12 +229,18 @@ impl CellReport {
             .with("invariant_violations", self.invariant_violations)
             .with("min_safe_slack", self.min_safe_slack)
             .with("max_safe_slack", self.max_safe_slack);
+        if self.dropout != "none" {
+            doc = doc
+                .with("dropout", self.dropout.as_str())
+                .with("forced_skips", self.forced_skips)
+                .with("violation_episodes", self.violation_episodes);
+        }
         if detail {
             let rows: Vec<JsonValue> = self
                 .episodes_detail
                 .iter()
                 .map(|r| {
-                    JsonValue::object()
+                    let mut row = JsonValue::object()
                         .with("episode", r.episode)
                         .with("seed", r.seed.to_string())
                         .with("steps", r.stats.steps)
@@ -150,7 +248,11 @@ impl CellReport {
                         .with("forced_runs", r.stats.forced_runs)
                         .with("actuation_effort", r.stats.actuation_effort)
                         .with("safety_violations", r.safety_violations)
-                        .with("min_safe_slack", r.min_safe_slack)
+                        .with("min_safe_slack", r.min_safe_slack);
+                    if self.dropout != "none" {
+                        row = row.with("forced_skips", r.forced_skips);
+                    }
+                    row
                 })
                 .collect();
             doc = doc.with("episodes_detail", JsonValue::Array(rows));
@@ -178,21 +280,49 @@ impl BatchReport {
         self.cells.iter().map(|c| c.safety_violations).sum()
     }
 
-    /// Looks up one cell.
+    /// Looks up one cell by `(scenario, policy)` — the first match in
+    /// report order, which is the `dropout == "none"` variant when the
+    /// sweep carried a dropout axis.
     pub fn cell(&self, scenario: &str, policy: &str) -> Option<&CellReport> {
         self.cells
             .iter()
             .find(|c| c.scenario == scenario && c.policy == policy)
     }
 
+    /// Looks up one cell by its full `(scenario, policy, dropout)` key.
+    pub fn cell_with_dropout(
+        &self,
+        scenario: &str,
+        policy: &str,
+        dropout: &str,
+    ) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.policy == policy && c.dropout == dropout)
+    }
+
+    /// Cells that degraded under a fault.
+    pub fn failed_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_failed()).count()
+    }
+
     /// JSON form. `detail` controls per-episode rows.
     ///
     /// The output is deterministic for a given seed and configuration —
-    /// wall-clock timing is intentionally excluded.
+    /// wall-clock timing is intentionally excluded. The schema version
+    /// renders as 3 only when the report carries a `Failed` cell (the
+    /// entry shape v2 consumers never saw); fully-successful reports —
+    /// with or without dropout cells — keep rendering version 2, so
+    /// fault-free sweeps stay byte-identical across the schema bump.
     pub fn to_json(&self, detail: bool) -> JsonValue {
+        let version: usize = if self.cells.iter().any(CellReport::is_failed) {
+            3
+        } else {
+            2
+        };
         let mut doc = JsonValue::object()
             .with("kind", "oic-engine-batch")
-            .with("version", 2usize)
+            .with("version", version)
             .with("seed", self.seed.to_string());
         if let Some(shard) = &self.shard {
             doc = doc.with("shard", format!("{}/{}", shard.index, shard.of));
@@ -214,10 +344,22 @@ impl BatchReport {
         out.push_str(&"-".repeat(95));
         out.push('\n');
         for cell in &self.cells {
+            if let CellOutcome::Failed { reason } = &cell.outcome {
+                out.push_str(&format!(
+                    "{:<20} {:<14} FAILED: {}\n",
+                    cell.scenario, cell.policy, reason,
+                ));
+                continue;
+            }
+            let policy = if cell.dropout == "none" {
+                cell.policy.clone()
+            } else {
+                format!("{}@{}", cell.policy, cell.dropout)
+            };
             out.push_str(&format!(
                 "{:<20} {:<14} {:>9} {:>10.1}% {:>12} {:>12.2} {:>11}\n",
                 cell.scenario,
-                cell.policy,
+                policy,
                 cell.episodes,
                 100.0 * cell.mean_skip_rate,
                 cell.forced_runs,
@@ -247,6 +389,7 @@ mod tests {
             safety_violations: 0,
             invariant_violations: 0,
             min_safe_slack: 1.5 - episode as f64 * 0.25,
+            forced_skips: 0,
         }
     }
 
@@ -289,6 +432,71 @@ mod tests {
         assert!(json.contains("\"episodes_detail\""));
         let compact = report.to_json(false).to_json();
         assert!(!compact.contains("episodes_detail"));
+    }
+
+    #[test]
+    fn fault_free_reports_render_schema_v2_with_no_new_fields() {
+        let report = BatchReport {
+            seed: 7,
+            shard: None,
+            cells: vec![CellReport::from_episodes(
+                "demo",
+                "p",
+                10,
+                vec![record(0, 3)],
+            )],
+        };
+        let json = report.to_json(true).to_json_pretty();
+        assert!(json.contains("\"version\": 2"));
+        for absent in ["dropout", "forced_skips", "outcome", "violation_episodes"] {
+            assert!(!json.contains(absent), "{absent:?} must not render");
+        }
+    }
+
+    #[test]
+    fn failed_cells_render_minimal_entries_and_bump_the_version() {
+        let report = BatchReport {
+            seed: 7,
+            shard: None,
+            cells: vec![
+                CellReport::from_episodes("demo", "p", 10, vec![record(0, 3)]),
+                CellReport::failed("demo", "q", "none", 10, "episode 3: panicked: boom".into()),
+            ],
+        };
+        assert_eq!(report.failed_cells(), 1);
+        let json = report.to_json(false).to_json_pretty();
+        assert!(json.contains("\"version\": 3"), "schema bump: {json}");
+        assert!(json.contains("\"outcome\": \"failed\""));
+        assert!(json.contains("\"reason\": \"episode 3: panicked: boom\""));
+        assert!(
+            !json.contains("\"outcome\": \"ok\""),
+            "ok cells carry no outcome field"
+        );
+        assert_eq!(report.total_safety_violations(), 0, "failed cells zeroed");
+    }
+
+    #[test]
+    fn dropout_cells_render_their_axis_and_tallies() {
+        let mut cell = CellReport::from_episodes("demo", "p", 10, vec![record(0, 3)]);
+        cell.dropout = "mk-1-5".to_string();
+        cell.forced_skips = 17;
+        cell.violation_episodes = 2;
+        let report = BatchReport {
+            seed: 7,
+            shard: None,
+            cells: vec![cell],
+        };
+        let json = report.to_json(true).to_json_pretty();
+        assert!(json.contains("\"version\": 2"), "dropout alone is not v3");
+        assert!(json.contains("\"dropout\": \"mk-1-5\""));
+        assert!(json.contains("\"forced_skips\": 17"));
+        assert!(json.contains("\"violation_episodes\": 2"));
+        assert!(
+            report
+                .cell_with_dropout("demo", "p", "mk-1-5")
+                .is_some_and(|c| c.forced_skips == 17),
+            "full-key lookup"
+        );
     }
 
     #[test]

@@ -13,10 +13,22 @@
 //! stable hash, chunk boundaries depend only on the configuration (never
 //! the thread count), and chunks merge in index order — so the report is
 //! byte-identical for any worker count, including 1.
+//!
+//! Episode failures **degrade, not abort**: a panicking worker, a NaN
+//! plant update, or a diverging trajectory turns its cell into a
+//! [`CellOutcome::Failed`](crate::report::CellOutcome) report entry
+//! while every other cell completes normally. All chunks always run and
+//! each chunk stops at its own first failure, so the reported failure —
+//! the lowest `(chunk, episode)` of the cell — is a pure function of the
+//! seeds and the fault plan, never of thread interleaving.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use oic_faults::{CellFault, DropoutSpec, FaultPlan};
 
 use oic_core::skip_horizon::MaxSkipPolicy;
 use oic_core::{
@@ -37,10 +49,12 @@ use crate::steal::{run_work_stealing, StealStats};
 pub enum EngineError {
     /// The configuration is unusable (zero episodes/steps, no policies…).
     InvalidConfig(&'static str),
-    /// A scenario failed to build or an episode failed; the context names
-    /// the scenario/policy/episode.
+    /// A scenario failed to build or a policy failed to decode/prepare;
+    /// the context names the scenario/policy and the stage. Per-episode
+    /// failures no longer surface here — they degrade their cell to a
+    /// `Failed` report entry instead (see the module docs).
     Episode {
-        /// `scenario/policy#episode` context string.
+        /// `scenario/policy/stage` context string.
         context: String,
         /// The underlying failure.
         source: CoreError,
@@ -89,6 +103,9 @@ pub struct SweepStats {
     /// Cells answered from the content-addressed cache instead of
     /// running episodes (always 0 without [`SweepOptions::cache`]).
     pub cells_from_cache: usize,
+    /// Cells that degraded to a `Failed` report entry (panic, NaN, or
+    /// divergence in one of their episodes).
+    pub cells_failed: usize,
     /// Per-cell episode counts and wall time, in report cell order.
     pub cell_timings: Vec<CellTiming>,
 }
@@ -339,6 +356,22 @@ pub fn episode_seed(base: u64, scenario: &str, policy: &str, episode: usize) -> 
     hash
 }
 
+/// Fault-injection knobs for one episode ([`run_episode_opts`]).
+///
+/// The default is a clean, fault-free episode — exactly what
+/// [`run_episode`] runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpisodeFaults<'a> {
+    /// Environment-forced actuation dropout: the actuator occasionally
+    /// refuses the commanded input and the plant coasts on the skip
+    /// input instead. `None` means no dropout axis.
+    pub dropout: Option<&'a DropoutSpec>,
+    /// Infrastructure fault: overwrite the first state component with
+    /// NaN after this step's plant update (the divergence guard then
+    /// fails the episode deterministically).
+    pub nan_step: Option<usize>,
+}
+
 /// Runs one episode against a prebuilt scenario instance.
 ///
 /// The engine owns the plant stepping (`x⁺ = Ax + Bu + w`), so episodes
@@ -348,6 +381,9 @@ pub fn episode_seed(base: u64, scenario: &str, policy: &str, episode: usize) -> 
 ///
 /// Propagates runtime failures ([`CoreError::OutsideInvariant`] can only
 /// happen if a disturbance process escapes `W` — a scenario bug).
+/// Under an active dropout axis the same condition is an expected
+/// consequence of voiding Theorem 1's premise, so it ends the episode
+/// early with its violations tallied instead of erroring.
 pub fn run_episode(
     instance: &ScenarioInstance,
     scenario: &dyn Scenario,
@@ -356,6 +392,49 @@ pub fn run_episode(
     steps: usize,
     memory: usize,
     seed: u64,
+) -> Result<EpisodeRecord, CoreError> {
+    run_episode_opts(
+        instance,
+        scenario,
+        prepared,
+        episode,
+        steps,
+        memory,
+        seed,
+        EpisodeFaults::default(),
+    )
+}
+
+/// [`run_episode`] with fault injection: environment-forced actuation
+/// dropout and/or a planted NaN plant update.
+///
+/// The dropout stream is drawn **every step** regardless of the policy's
+/// decision, so the realized fault pattern is a pure function of the
+/// episode seed — two policies under the same seed face the same
+/// environment. A drop only *overrides* steps the policy decided to
+/// actuate ([`oic_core::IntermittentController::notify_dropout`]
+/// re-books the step);
+/// those overrides are tallied as [`EpisodeRecord::forced_skips`].
+///
+/// Every step also passes a divergence guard: a non-finite or
+/// astronomically large state component fails the episode with
+/// [`CoreError::NonFinite`] instead of silently folding NaN into the
+/// cell's aggregates.
+///
+/// # Errors
+///
+/// The [`run_episode`] contract plus [`CoreError::NonFinite`] from the
+/// divergence guard.
+#[allow(clippy::too_many_arguments)]
+pub fn run_episode_opts(
+    instance: &ScenarioInstance,
+    scenario: &dyn Scenario,
+    prepared: &PreparedPolicy,
+    episode: usize,
+    steps: usize,
+    memory: usize,
+    seed: u64,
+    faults: EpisodeFaults<'_>,
 ) -> Result<EpisodeRecord, CoreError> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -367,11 +446,17 @@ pub fn run_episode(
     let sys = instance.sets().plant().system().clone();
     let safe = instance.sets().safe();
     let invariant = instance.sets().invariant();
+    let mut dropout = faults
+        .dropout
+        .filter(|spec| !spec.is_none())
+        .map(|spec| spec.stream(seed));
 
     let mut x = x0;
     let mut safety_violations = 0usize;
     let mut invariant_violations = 0usize;
     let mut min_safe_slack = f64::INFINITY;
+    let mut forced_skips = 0usize;
+    let mut escaped = false;
     for t in 0..steps {
         min_safe_slack = min_safe_slack.min(safe.min_slack(&x));
         if !safe.contains_with_tol(&x, 1e-6) {
@@ -380,18 +465,52 @@ pub fn run_episode(
         if !invariant.contains_with_tol(&x, 1e-6) {
             invariant_violations += 1;
         }
-        let decision = runtime.step(&x, &[])?;
+        let mut decision = match runtime.step(&x, &[]) {
+            Ok(decision) => decision,
+            // Dropout deliberately breaks Theorem 1's precondition (the
+            // actuator did not do what Algorithm 1 commanded), so the
+            // state escaping XI *is the measured result* of that regime:
+            // the episode ends here with its violation tallies — the
+            // offending state was already counted above — instead of
+            // failing the whole cell. Without an active dropout axis the
+            // same error still indicates a broken certificate and
+            // propagates.
+            Err(CoreError::OutsideInvariant { .. }) if dropout.is_some() => {
+                escaped = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(stream) = dropout.as_mut() {
+            // Drawn every step — the realized pattern must not depend on
+            // what the policy decided — but only steps the policy chose
+            // to actuate can be overridden into a forced skip.
+            if stream.dropped() && !decision.skipped {
+                decision.input = runtime.notify_dropout();
+                forced_skips += 1;
+            }
+        }
         let w = process.next(t);
         x = sys.step(&x, &decision.input, &w);
+        if faults.nan_step == Some(t) {
+            x[0] = f64::NAN;
+        }
+        if !x.iter().all(|v| v.is_finite() && v.abs() < 1e12) {
+            return Err(CoreError::NonFinite { step: t });
+        }
     }
     // The final post-step state has no control decision after it but is
-    // still a trajectory point Theorem 1 speaks about — tally it too.
-    min_safe_slack = min_safe_slack.min(safe.min_slack(&x));
-    if !safe.contains_with_tol(&x, 1e-6) {
-        safety_violations += 1;
-    }
-    if !invariant.contains_with_tol(&x, 1e-6) {
-        invariant_violations += 1;
+    // still a trajectory point Theorem 1 speaks about — tally it too. An
+    // escaped episode already counted its terminal state at the top of
+    // the iteration that broke out.
+    if !escaped {
+        min_safe_slack = min_safe_slack.min(safe.min_slack(&x));
+        if !safe.contains_with_tol(&x, 1e-6) {
+            safety_violations += 1;
+        }
+        if !invariant.contains_with_tol(&x, 1e-6) {
+            invariant_violations += 1;
+        }
     }
 
     Ok(EpisodeRecord {
@@ -401,16 +520,24 @@ pub fn run_episode(
         safety_violations,
         invariant_violations,
         min_safe_slack,
+        forced_skips,
     })
 }
 
-/// One fully prepared (scenario, policy) cell, shared read-only by all
-/// workers.
+/// One fully prepared (scenario, policy, dropout) cell, shared read-only
+/// by all workers.
 struct CellJob<'a> {
     scenario: &'a dyn Scenario,
     instance: ScenarioInstance,
     prepared: PreparedPolicy,
     label: String,
+    /// The cell's dropout variant and its canonical label (report key).
+    dropout: DropoutSpec,
+    dropout_label: String,
+    /// The planned infrastructure fault for this cell, derived from the
+    /// sweep's [`FaultPlan`] and the cell hash ([`CellFault::None`]
+    /// without a plan).
+    fault: CellFault,
     /// The cell's content address (see [`crate::spec::cell_hash`]).
     hash: [u8; 32],
 }
@@ -496,6 +623,16 @@ pub struct SweepOptions<'a> {
     /// runs on worker threads; callers that need report order must
     /// buffer on the index.
     pub on_cell: Option<CellCallback<'a>>,
+    /// The environment-forced actuation-dropout axis: each entry
+    /// multiplies the `(scenario, policy)` grid by one dropout variant
+    /// (grid order is scenario → policy → dropout). `None` or an empty
+    /// slice runs the single fault-free `none` variant.
+    pub dropouts: Option<&'a [DropoutSpec]>,
+    /// Seeded infrastructure-fault plan: per-cell worker panics and NaN
+    /// plant updates, derived from the cell hash so the faulted set is
+    /// byte-reproducible at any thread count. Faulted cells bypass the
+    /// cache and degrade to `Failed` report entries.
+    pub faults: Option<&'a FaultPlan>,
 }
 
 /// The [`SweepOptions::on_cell`] completion callback: `(global cell
@@ -509,6 +646,8 @@ impl std::fmt::Debug for SweepOptions<'_> {
             .field("shard", &self.shard)
             .field("cache", &self.cache.is_some())
             .field("on_cell", &self.on_cell.is_some())
+            .field("dropouts", &self.dropouts)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -520,11 +659,12 @@ impl std::fmt::Debug for SweepOptions<'_> {
 /// # Errors
 ///
 /// * [`EngineError::InvalidConfig`] on empty configurations.
-/// * [`EngineError::Episode`] naming a failing cell. When several chunks
-///   fail before the cooperative abort lands, the lowest-indexed failure
-///   *observed* is reported; which failures race in at all can vary with
-///   thread interleaving (the successful-report contract is the
-///   deterministic one — errors indicate a broken scenario either way).
+/// * [`EngineError::Episode`] naming a scenario that failed to build or
+///   a policy that failed to decode/prepare. Per-episode failures do
+///   **not** error the sweep: the affected cell degrades to a
+///   [`CellOutcome::Failed`](crate::report::CellOutcome) report entry
+///   naming the lowest failing `(chunk, episode)` — a deterministic
+///   choice, because every chunk always runs (see the module docs).
 pub fn run_batch(
     registry: &ScenarioRegistry,
     policies: &[PolicySpec],
@@ -595,6 +735,22 @@ pub fn run_batch_opts(
     for policy in policies {
         policy.validate().map_err(EngineError::InvalidConfig)?;
     }
+    if let Some(dropouts) = opts.dropouts {
+        for dropout in dropouts {
+            if dropout.validate().is_err() {
+                return Err(EngineError::InvalidConfig(
+                    "invalid dropout spec (p must be in (0, 1], m/k need 1 <= m <= k)",
+                ));
+            }
+        }
+    }
+    if let Some(plan) = opts.faults {
+        if plan.validate().is_err() {
+            return Err(EngineError::InvalidConfig(
+                "invalid fault plan: rates must be in [0, 1] and sum to at most 1",
+            ));
+        }
+    }
 
     // Decode every learned policy's weight blob exactly once; the
     // decoded networks are `Arc`-shared by all compatible cells (and
@@ -615,10 +771,19 @@ pub fn run_batch_opts(
     // weight blobs are digested per policy, not per cell.
     let canonical: Vec<String> = policies.iter().map(crate::spec::canonical_policy).collect();
 
+    // The dropout axis (innermost grid dimension); absent or empty means
+    // the single fault-free variant, which renders without any dropout
+    // fields and keeps fault-free reports byte-identical to the pre-axis
+    // schema.
+    let dropouts: Vec<DropoutSpec> = match opts.dropouts {
+        Some(list) if !list.is_empty() => list.to_vec(),
+        _ => vec![DropoutSpec::None],
+    };
+
     // Build every cell up front (instance construction — invariant-set
     // synthesis — is the expensive, non-parallel part and is shared by
     // all of the cell's chunks).
-    let mut jobs = Vec::with_capacity(registry.len() * policies.len());
+    let mut jobs = Vec::with_capacity(registry.len() * policies.len() * dropouts.len());
     let mut cells_skipped_incompatible = 0usize;
     for scenario in registry.iter() {
         if let Some(filter) = opts.scenarios {
@@ -636,11 +801,11 @@ pub fn run_batch_opts(
             let prepared = match network {
                 // Learned policies only apply where the architecture fits
                 // the plant (see `PolicySpec::Drl`); other cells are
-                // omitted from the report — counted, so shrunken sweeps
-                // are explainable.
+                // omitted from the report — counted per omitted grid
+                // cell, so shrunken sweeps are explainable.
                 Some(net) => {
                     if GreedyDrlPolicy::infer_memory(net, instance.sets()).is_none() {
-                        cells_skipped_incompatible += 1;
+                        cells_skipped_incompatible += dropouts.len();
                         oic_obs::counter!("engine.cells_skipped_incompatible", "cells").incr();
                         continue;
                     }
@@ -653,13 +818,31 @@ pub fn run_batch_opts(
                 context: format!("{}/{}/prepare", scenario.name(), label),
                 source,
             })?;
-            jobs.push(CellJob {
-                scenario,
-                instance: instance.clone(),
-                prepared,
-                label: label.clone(),
-                hash: crate::spec::cell_hash_canonical(scenario.name(), label, canon, config),
-            });
+            // One cell per dropout variant; the policy is prepared once
+            // per (scenario, policy) and cloned across the axis.
+            for dropout in &dropouts {
+                let dropout_label = dropout.label();
+                let hash = crate::spec::cell_hash_canonical(
+                    scenario.name(),
+                    label,
+                    canon,
+                    &dropout_label,
+                    config,
+                );
+                let fault = opts.faults.map_or(CellFault::None, |plan| {
+                    plan.cell_fault(&hash, config.episodes, config.steps)
+                });
+                jobs.push(CellJob {
+                    scenario,
+                    instance: instance.clone(),
+                    prepared: prepared.clone(),
+                    label: label.clone(),
+                    dropout: *dropout,
+                    dropout_label,
+                    fault,
+                    hash,
+                });
+            }
         }
     }
     if jobs.is_empty() {
@@ -700,11 +883,17 @@ pub fn run_batch_opts(
     let mut run: Vec<usize> = Vec::with_capacity(owned.len());
     for (slot_idx, &g) in owned.iter().enumerate() {
         let job = &jobs[g];
-        if let Some(cache) = cache {
+        // A cell with a planned fault must actually *run into* that
+        // fault — serving it from a pre-fault cache entry would silently
+        // defeat the injection (the plan is not part of the hash).
+        if let Some(cache) = cache.filter(|_| job.fault == CellFault::None) {
             if let Some(cell) = cache.get(&job.hash) {
                 // The names are part of the hash preimage; a mismatch
                 // means a corrupted store — rerun rather than mislabel.
-                if cell.scenario == job.instance.name() && cell.policy == job.label {
+                if cell.scenario == job.instance.name()
+                    && cell.policy == job.label
+                    && cell.dropout == job.dropout_label
+                {
                     cells_from_cache += 1;
                     oic_obs::counter!("engine.cells_from_cache", "cells").incr();
                     if let Some(on_cell) = opts.on_cell {
@@ -728,10 +917,16 @@ pub fn run_batch_opts(
     }
 
     let merges: Vec<Mutex<CellMerge>> = run.iter().map(|_| Mutex::new(CellMerge::new())).collect();
-    // Lowest (cell, chunk, episode) failure among those observed before
-    // the abort landed (the abort is cooperative, so the observed set —
-    // not the selection rule — can vary with interleaving).
-    let failure: Mutex<Option<(ChunkTask, usize, CoreError)>> = Mutex::new(None);
+    // Per-cell failure slot: the lowest (chunk, episode) failure of the
+    // cell. Every chunk always runs and stops at its *own* first
+    // failure, so the winning entry is a pure function of the seeds and
+    // the fault plan — never of thread interleaving.
+    let failures: Vec<Mutex<Option<(usize, usize, String)>>> =
+        run.iter().map(|_| Mutex::new(None)).collect();
+    // Chunks of a cell retired so far (merged or failed); the thread
+    // that retires the last one finalizes the cell.
+    let done: Vec<AtomicUsize> = run.iter().map(|_| AtomicUsize::new(0)).collect();
+    let cells_failed = AtomicUsize::new(0);
 
     let steal = run_work_stealing(tasks, config.worker_count(), |_, task: ChunkTask| {
         let slot_idx = run[task.cell];
@@ -745,65 +940,117 @@ pub fn run_batch_opts(
         let end = (start + chunk_size).min(config.episodes);
         let mut acc = CellAccumulator::new();
         let mut detail = Vec::with_capacity(if config.detail { end - start } else { 0 });
+        let mut chunk_failure: Option<(usize, String)> = None;
         for episode in start..end {
             let _span = oic_obs::span("engine.episode", "engine");
             let seed = episode_seed(config.seed, job.instance.name(), &job.label, episode);
-            match run_episode(
-                &job.instance,
-                job.scenario,
-                &job.prepared,
-                episode,
-                config.steps,
-                config.memory,
-                seed,
-            ) {
-                Ok(record) => {
+            let inject_panic = matches!(job.fault, CellFault::Panic { episode: e } if e == episode);
+            let nan_step = match job.fault {
+                CellFault::Nan { episode: e, step } if e == episode => Some(step),
+                _ => None,
+            };
+            // The unwind boundary is what turns a panicking episode —
+            // injected or genuine — into a Failed *cell* instead of an
+            // aborted process. Everything captured is either read-only
+            // or chunk-local, so observing it after an unwind is sound;
+            // a partially-updated chunk accumulator is discarded with
+            // the chunk anyway.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("injected fault: worker panic at episode {episode}");
+                }
+                run_episode_opts(
+                    &job.instance,
+                    job.scenario,
+                    &job.prepared,
+                    episode,
+                    config.steps,
+                    config.memory,
+                    seed,
+                    EpisodeFaults {
+                        dropout: Some(&job.dropout),
+                        nan_step,
+                    },
+                )
+            }));
+            match result {
+                Ok(Ok(record)) => {
                     acc.push(&record);
                     if config.detail {
                         detail.push(record);
                     }
                 }
-                Err(source) => {
-                    let mut slot = failure.lock().expect("failure lock");
-                    if slot
-                        .as_ref()
-                        .is_none_or(|(t, e, _)| (task, episode) < (*t, *e))
-                    {
-                        *slot = Some((task, episode, source));
-                    }
-                    return false;
+                Ok(Err(source)) => {
+                    chunk_failure = Some((episode, source.to_string()));
+                    break;
+                }
+                Err(payload) => {
+                    chunk_failure =
+                        Some((episode, format!("panicked: {}", panic_message(&*payload))));
+                    break;
                 }
             }
         }
         let wall_ns = chunk_started.elapsed().as_nanos() as u64;
         oic_obs::histogram!("engine.chunk_ns", "ns").record(wall_ns);
-        let mut merge = merges[task.cell].lock().expect("cell merge lock");
-        merge.submit(
-            task.chunk,
-            ChunkOutput {
-                acc,
-                detail,
-                wall_ns,
-            },
-        );
-        if merge.next == chunks_per_cell {
-            // Last chunk in: the cell is final. Build it here so the
-            // cache and the streaming callback see completed cells as
-            // they land, not at sweep teardown.
-            let mut cell = CellReport::from_accumulator(
-                job.instance.name(),
-                &job.label,
-                config.steps,
-                &merge.acc,
-            );
-            cell.episodes_detail = std::mem::take(&mut merge.detail);
-            drop(merge);
-            if let Some(cache) = cache {
-                // A full disk (or read-only cache dir) degrades the
-                // cache, not the sweep: the memory tier is already
-                // updated and the error carries no result data.
-                let _ = cache.put(&job.hash, &cell);
+        if let Some((episode, reason)) = chunk_failure {
+            let mut slot = failures[task.cell].lock().expect("failure slot");
+            if slot
+                .as_ref()
+                .is_none_or(|(c, e, _)| (task.chunk, episode) < (*c, *e))
+            {
+                *slot = Some((task.chunk, episode, reason));
             }
+        } else {
+            let mut merge = merges[task.cell].lock().expect("cell merge lock");
+            merge.submit(
+                task.chunk,
+                ChunkOutput {
+                    acc,
+                    detail,
+                    wall_ns,
+                },
+            );
+        }
+        // Last chunk of the cell retired (merged *or* failed): finalize.
+        // The AcqRel fetch_add orders this thread's view after every
+        // sibling chunk's mutex release, so the finalizer reads complete
+        // merge/failure state.
+        if done[task.cell].fetch_add(1, Ordering::AcqRel) + 1 == chunks_per_cell {
+            let failed = failures[task.cell].lock().expect("failure slot").take();
+            let cell = match failed {
+                Some((_chunk, episode, reason)) => {
+                    cells_failed.fetch_add(1, Ordering::Relaxed);
+                    oic_obs::counter!("engine.cells_failed", "cells").incr();
+                    CellReport::failed(
+                        job.instance.name(),
+                        &job.label,
+                        &job.dropout_label,
+                        config.steps,
+                        format!("episode {episode}: {reason}"),
+                    )
+                }
+                None => {
+                    let mut merge = merges[task.cell].lock().expect("cell merge lock");
+                    let mut cell = CellReport::from_accumulator(
+                        job.instance.name(),
+                        &job.label,
+                        config.steps,
+                        &merge.acc,
+                    );
+                    cell.dropout = job.dropout_label.clone();
+                    cell.episodes_detail = std::mem::take(&mut merge.detail);
+                    drop(merge);
+                    if let Some(cache) = cache {
+                        // A full disk (or read-only cache dir) degrades
+                        // the cache, not the sweep: the memory tier is
+                        // already updated and the error carries no
+                        // result data. Failed cells never get here.
+                        let _ = cache.put(&job.hash, &cell);
+                    }
+                    cell
+                }
+            };
             if let Some(on_cell) = opts.on_cell {
                 on_cell(g, &cell);
             }
@@ -812,20 +1059,12 @@ pub fn run_batch_opts(
         true
     });
 
-    if let Some((task, episode, source)) = failure.into_inner().expect("workers joined") {
-        let job = &jobs[owned[run[task.cell]]];
-        return Err(EngineError::Episode {
-            context: format!("{}/{}#{}", job.instance.name(), job.label, episode),
-            source,
-        });
-    }
-
     // Wall-time accounting for the cells that actually ran; cached
-    // cells report zero wall time (their episodes never executed).
+    // cells report zero wall time (their episodes never executed) and
+    // failed cells report only their completed chunks' time.
     let mut wall_by_slot: Vec<u64> = vec![0; owned.len()];
     for (&slot_idx, merge) in run.iter().zip(merges) {
         let merge = merge.into_inner().expect("workers joined");
-        debug_assert_eq!(merge.next, chunks_per_cell, "all chunks merged in order");
         oic_obs::histogram!("engine.cell_ns", "ns").record(merge.wall_ns);
         wall_by_slot[slot_idx] = merge.wall_ns;
     }
@@ -855,14 +1094,30 @@ pub fn run_batch_opts(
             steal,
             cells_skipped_incompatible,
             cells_from_cache,
+            cells_failed: cells_failed.into_inner(),
             cell_timings,
         },
     ))
 }
 
+/// Renders a panic payload for a `Failed` cell's reason string. Panics
+/// raised with a literal or a formatted message (the overwhelmingly
+/// common cases) surface verbatim; anything else gets a stable
+/// placeholder so reports stay deterministic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::CellOutcome;
     use oic_scenarios::DoubleIntegratorScenario;
 
     fn tiny_registry() -> ScenarioRegistry {
@@ -1284,6 +1539,183 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn injected_panics_degrade_to_failed_cells_not_aborts() {
+        let registry = tiny_registry();
+        let policies = [PolicySpec::AlwaysRun, PolicySpec::BangBang];
+        let plan = FaultPlan {
+            seed: 3,
+            panic_rate: 1.0,
+            nan_rate: 0.0,
+        };
+        let config = BatchConfig {
+            episodes: 6,
+            steps: 20,
+            chunk: 2,
+            ..Default::default()
+        };
+        let opts = SweepOptions {
+            faults: Some(&plan),
+            ..Default::default()
+        };
+        let (report, stats) = run_batch_opts(&registry, &policies, &config, &opts).unwrap();
+        assert_eq!(report.cells.len(), 2, "every cell reports, failed or not");
+        let failed: Vec<&CellReport> = report.cells.iter().filter(|c| c.is_failed()).collect();
+        assert_eq!(stats.cells_failed, failed.len());
+        assert_eq!(failed.len(), 2, "a rate-1.0 plan fails every cell");
+        for cell in &failed {
+            match &cell.outcome {
+                CellOutcome::Failed { reason } => {
+                    assert!(reason.contains("panicked"), "{reason}");
+                    assert!(reason.starts_with("episode "), "{reason}");
+                }
+                CellOutcome::Ok => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_sweeps_are_byte_identical_across_thread_counts() {
+        let registry = tiny_registry();
+        let policies = [
+            PolicySpec::AlwaysRun,
+            PolicySpec::BangBang,
+            PolicySpec::Random(0.5),
+        ];
+        let plan = FaultPlan {
+            seed: 11,
+            panic_rate: 0.4,
+            nan_rate: 0.3,
+        };
+        let dropouts = [
+            DropoutSpec::None,
+            DropoutSpec::WeaklyHard { m: 1, k: 5 },
+            DropoutSpec::Bernoulli { p: 0.2 },
+        ];
+        let run_with = |threads: usize| {
+            let config = BatchConfig {
+                episodes: 10,
+                steps: 30,
+                threads,
+                chunk: 3,
+                ..Default::default()
+            };
+            let opts = SweepOptions {
+                faults: Some(&plan),
+                dropouts: Some(&dropouts),
+                ..Default::default()
+            };
+            let (report, _) = run_batch_opts(&registry, &policies, &config, &opts).unwrap();
+            report.to_json(false).to_json_pretty()
+        };
+        let serial = run_with(1);
+        let parallel = run_with(8);
+        assert_eq!(serial, parallel, "faults must not break determinism");
+        assert!(serial.contains("\"outcome\": \"failed\""), "{serial}");
+        assert!(serial.contains("forced_skips"), "{serial}");
+    }
+
+    #[test]
+    fn nan_faults_surface_as_non_finite_failures() {
+        let registry = tiny_registry();
+        let plan = FaultPlan {
+            seed: 5,
+            panic_rate: 0.0,
+            nan_rate: 1.0,
+        };
+        let config = BatchConfig {
+            episodes: 3,
+            steps: 20,
+            ..Default::default()
+        };
+        let opts = SweepOptions {
+            faults: Some(&plan),
+            ..Default::default()
+        };
+        let (report, stats) =
+            run_batch_opts(&registry, &[PolicySpec::AlwaysRun], &config, &opts).unwrap();
+        assert_eq!(stats.cells_failed, 1);
+        match &report.cells[0].outcome {
+            CellOutcome::Failed { reason } => {
+                assert!(reason.contains("non-finite"), "{reason}");
+            }
+            CellOutcome::Ok => panic!("rate-1.0 NaN plan must fail the cell"),
+        }
+    }
+
+    #[test]
+    fn faulted_cells_bypass_the_cache_both_ways() {
+        let registry = tiny_registry();
+        let cache = CellCache::in_memory();
+        let config = BatchConfig {
+            episodes: 3,
+            steps: 15,
+            ..Default::default()
+        };
+        // A clean run populates the cache for this cell hash.
+        let clean = SweepOptions {
+            cache: Some(&cache),
+            ..Default::default()
+        };
+        let (clean_report, _) =
+            run_batch_opts(&registry, &[PolicySpec::BangBang], &config, &clean).unwrap();
+        assert_eq!(cache.stats().stores, 1);
+        // A faulted run must not be answered from (or stored into) the
+        // cache: the plan is deliberately not part of the cell hash.
+        let plan = FaultPlan {
+            seed: 2,
+            panic_rate: 1.0,
+            nan_rate: 0.0,
+        };
+        let faulted = SweepOptions {
+            cache: Some(&cache),
+            faults: Some(&plan),
+            ..Default::default()
+        };
+        let (faulted_report, stats) =
+            run_batch_opts(&registry, &[PolicySpec::BangBang], &config, &faulted).unwrap();
+        assert_eq!(stats.cells_from_cache, 0, "fault plans bypass cache reads");
+        assert!(faulted_report.cells[0].is_failed());
+        assert_eq!(cache.stats().stores, 1, "failed cells are never stored");
+        // The cached clean result is still intact for fault-free runs.
+        let (again, stats) =
+            run_batch_opts(&registry, &[PolicySpec::BangBang], &config, &clean).unwrap();
+        assert_eq!(stats.cells_from_cache, 1);
+        assert_eq!(again, clean_report);
+    }
+
+    #[test]
+    fn dropout_variants_share_seeds_and_tally_forced_skips() {
+        let registry = tiny_registry();
+        let dropouts = [DropoutSpec::None, DropoutSpec::WeaklyHard { m: 1, k: 4 }];
+        let config = BatchConfig {
+            episodes: 4,
+            steps: 40,
+            detail: true,
+            ..Default::default()
+        };
+        let opts = SweepOptions {
+            dropouts: Some(&dropouts),
+            ..Default::default()
+        };
+        let (report, _) =
+            run_batch_opts(&registry, &[PolicySpec::AlwaysRun], &config, &opts).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        let (none, mk) = (&report.cells[0], &report.cells[1]);
+        assert_eq!(none.dropout, "none");
+        assert_eq!(mk.dropout, "mk-1-4");
+        assert_eq!(none.forced_skips, 0, "no dropout, no forced skips");
+        // always-run never skips voluntarily, so every dropped step of
+        // the (1,4) pattern forces a skip: 40 steps / window 4 × 4
+        // episodes = 40 forced skips.
+        assert_eq!(mk.forced_skips, 40);
+        // Episode seeds are shared across variants — the dropout axis
+        // never reshuffles the randomness it is compared against.
+        for (a, b) in none.episodes_detail.iter().zip(mk.episodes_detail.iter()) {
+            assert_eq!(a.seed, b.seed, "episode {} seed", a.episode);
+        }
     }
 
     #[test]

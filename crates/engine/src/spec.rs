@@ -22,6 +22,8 @@
 //! contract), the `detail` flag (cells cache aggregates only), and
 //! output formatting. The full rules live in `docs/PROTOCOL.md`.
 
+use oic_faults::DropoutSpec;
+
 use crate::hashing::{from_hex, sha256, to_hex};
 use crate::json::JsonValue;
 use crate::runner::{BatchConfig, PolicySpec};
@@ -33,7 +35,10 @@ use crate::runner::{BatchConfig, PolicySpec};
 /// stepping, report fields). Old cache entries then simply stop
 /// matching — stale results can never be served (`docs/PROTOCOL.md`,
 /// "Cache invalidation").
-pub const CACHE_EPOCH: u32 = 1;
+///
+/// Epoch 2: the dropout axis entered the preimage and the on-disk cell
+/// codec grew a payload checksum plus the dropout tallies (`OICCELL2`).
+pub const CACHE_EPOCH: u32 = 2;
 
 /// One shard assignment: this process owns the materialized cells whose
 /// global index `g` satisfies `g % of == index`.
@@ -156,6 +161,7 @@ pub fn parse_policy(text: &str) -> Result<PolicySpec, String> {
 /// scenario=<name>
 /// label=<deduplicated report label>
 /// policy=<canonical_policy>
+/// dropout=<canonical DropoutSpec label, "none" for no axis>
 /// seed=<base seed>
 /// episodes=<episodes per cell>
 /// steps=<steps per episode>
@@ -164,27 +170,37 @@ pub fn parse_policy(text: &str) -> Result<PolicySpec, String> {
 /// ```
 ///
 /// Thread count and the `detail` flag are deliberately absent: neither
-/// changes a cell's aggregate bytes.
+/// changes a cell's aggregate bytes. The fault plan is also absent —
+/// faulted cells are never cached, so an injected fault can never leak
+/// a wrong result into the store.
 pub fn cell_hash(
     scenario: &str,
     label: &str,
     policy: &PolicySpec,
+    dropout: &DropoutSpec,
     config: &BatchConfig,
 ) -> [u8; 32] {
-    cell_hash_canonical(scenario, label, &canonical_policy(policy), config)
+    cell_hash_canonical(
+        scenario,
+        label,
+        &canonical_policy(policy),
+        &dropout.label(),
+        config,
+    )
 }
 
-/// [`cell_hash`] with the policy already rendered by
-/// [`canonical_policy`] — the batch runner pre-renders each policy once
-/// so learned-policy weight blobs are digested per policy, not per cell.
+/// [`cell_hash`] with the policy/dropout already rendered canonically —
+/// the batch runner pre-renders each policy once so learned-policy
+/// weight blobs are digested per policy, not per cell.
 pub fn cell_hash_canonical(
     scenario: &str,
     label: &str,
     policy: &str,
+    dropout: &str,
     config: &BatchConfig,
 ) -> [u8; 32] {
     let preimage = format!(
-        "oic-cell-v{CACHE_EPOCH}\nscenario={scenario}\nlabel={label}\npolicy={policy}\nseed={}\nepisodes={}\nsteps={}\nmemory={}\nchunk={}\n",
+        "oic-cell-v{CACHE_EPOCH}\nscenario={scenario}\nlabel={label}\npolicy={policy}\ndropout={dropout}\nseed={}\nepisodes={}\nsteps={}\nmemory={}\nchunk={}\n",
         config.seed,
         config.episodes,
         config.steps,
@@ -221,6 +237,11 @@ pub struct SweepSpec {
     /// Episodes per work-stealing chunk; 0 = the deterministic auto
     /// sizing (see [`BatchConfig::chunk_size`]).
     pub chunk: usize,
+    /// Dropout axis: each entry multiplies the `(scenario, policy)` grid
+    /// by one environment-forced actuation-dropout variant. Empty means
+    /// the single fault-free `none` variant (the pre-axis behaviour).
+    /// Request order is preserved — it fixes cell order in the report.
+    pub dropouts: Vec<DropoutSpec>,
 }
 
 impl Default for SweepSpec {
@@ -234,6 +255,7 @@ impl Default for SweepSpec {
             seed: config.seed,
             memory: config.memory,
             chunk: config.chunk,
+            dropouts: Vec::new(),
         }
     }
 }
@@ -310,6 +332,19 @@ impl SweepSpec {
                     as u64,
             };
         }
+        if let Some(dropouts) = doc.get("dropout") {
+            let list = dropouts
+                .as_array()
+                .ok_or("dropout must be an array of spec labels")?;
+            for entry in list {
+                let text = entry.as_str().ok_or("dropout entries must be strings")?;
+                let parsed = DropoutSpec::parse(text).map_err(|e| format!("dropout: {e}"))?;
+                parsed
+                    .validate()
+                    .map_err(|m| format!("dropout {text:?}: {m}"))?;
+                spec.dropouts.push(parsed);
+            }
+        }
         if spec.episodes == 0 || spec.steps == 0 {
             return Err("episodes and steps must be positive".to_string());
         }
@@ -341,9 +376,35 @@ impl SweepSpec {
     /// deduplicated (execution order is registry order either way, so
     /// request order carries no information). Policy order is preserved
     /// — it determines label deduplication and therefore episode seeds.
+    /// Dropout order is preserved too (it fixes cell order), but exact
+    /// duplicates collapse to the first occurrence, and a lone `none`
+    /// entry collapses to the empty (default) axis.
     pub fn canonicalize(&mut self) {
         self.scenarios.sort();
         self.scenarios.dedup();
+        let mut seen = Vec::new();
+        self.dropouts.retain(|d| {
+            let label = d.label();
+            if seen.contains(&label) {
+                false
+            } else {
+                seen.push(label);
+                true
+            }
+        });
+        if self.dropouts.len() == 1 && self.dropouts[0].is_none() {
+            self.dropouts.clear();
+        }
+    }
+
+    /// The dropout variants a sweep actually runs: the requested axis,
+    /// or the single fault-free `none` variant when the axis is empty.
+    pub fn effective_dropouts(&self) -> Vec<DropoutSpec> {
+        if self.dropouts.is_empty() {
+            vec![DropoutSpec::None]
+        } else {
+            self.dropouts.clone()
+        }
     }
 
     /// The canonical JSON rendering the spec hash is computed over.
@@ -355,7 +416,7 @@ impl SweepSpec {
     pub fn canonical_json(&self) -> JsonValue {
         let mut spec = self.clone();
         spec.canonicalize();
-        JsonValue::object()
+        let mut doc = JsonValue::object()
             .with("kind", "oic-sweep-spec")
             .with("version", 1usize)
             .with("scenarios", spec.scenarios.clone())
@@ -370,7 +431,19 @@ impl SweepSpec {
             .with("steps", spec.steps)
             .with("seed", spec.seed.to_string())
             .with("memory", spec.memory)
-            .with("chunk", spec.chunk_size())
+            .with("chunk", spec.chunk_size());
+        // The dropout axis only enters the canonical form when present,
+        // so fault-free specs keep their pre-axis hash.
+        if !spec.dropouts.is_empty() {
+            doc = doc.with(
+                "dropout",
+                spec.dropouts
+                    .iter()
+                    .map(DropoutSpec::label)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        doc
     }
 
     /// The request's content address: SHA-256 of the compact canonical
@@ -457,10 +530,22 @@ mod tests {
             seed: 42,
             ..Default::default()
         };
-        let base = cell_hash("acc", "bang-bang", &PolicySpec::BangBang, &config);
+        let base = cell_hash(
+            "acc",
+            "bang-bang",
+            &PolicySpec::BangBang,
+            &DropoutSpec::None,
+            &config,
+        );
         assert_eq!(
             base,
-            cell_hash("acc", "bang-bang", &PolicySpec::BangBang, &config),
+            cell_hash(
+                "acc",
+                "bang-bang",
+                &PolicySpec::BangBang,
+                &DropoutSpec::None,
+                &config
+            ),
             "stable"
         );
         // Thread count and detail are not hashed.
@@ -471,7 +556,13 @@ mod tests {
         };
         assert_eq!(
             base,
-            cell_hash("acc", "bang-bang", &PolicySpec::BangBang, &threaded)
+            cell_hash(
+                "acc",
+                "bang-bang",
+                &PolicySpec::BangBang,
+                &DropoutSpec::None,
+                &threaded
+            )
         );
         // Everything else is.
         for changed in [
@@ -498,21 +589,45 @@ mod tests {
         ] {
             assert_ne!(
                 base,
-                cell_hash("acc", "bang-bang", &PolicySpec::BangBang, &changed)
+                cell_hash(
+                    "acc",
+                    "bang-bang",
+                    &PolicySpec::BangBang,
+                    &DropoutSpec::None,
+                    &changed
+                )
             );
         }
         assert_ne!(
             base,
-            cell_hash("cstr", "bang-bang", &PolicySpec::BangBang, &config)
+            cell_hash(
+                "cstr",
+                "bang-bang",
+                &PolicySpec::BangBang,
+                &DropoutSpec::None,
+                &config
+            )
         );
         assert_ne!(
             base,
-            cell_hash("acc", "bang-bang#2", &PolicySpec::BangBang, &config),
+            cell_hash(
+                "acc",
+                "bang-bang#2",
+                &PolicySpec::BangBang,
+                &DropoutSpec::None,
+                &config
+            ),
             "the deduplicated label feeds episode seeds, so it is hashed"
         );
         assert_ne!(
             base,
-            cell_hash("acc", "bang-bang", &PolicySpec::AlwaysRun, &config)
+            cell_hash(
+                "acc",
+                "bang-bang",
+                &PolicySpec::AlwaysRun,
+                &DropoutSpec::None,
+                &config
+            )
         );
     }
 
@@ -531,8 +646,20 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(
-            cell_hash("acc", "bang-bang", &PolicySpec::BangBang, &auto),
-            cell_hash("acc", "bang-bang", &PolicySpec::BangBang, &explicit),
+            cell_hash(
+                "acc",
+                "bang-bang",
+                &PolicySpec::BangBang,
+                &DropoutSpec::None,
+                &auto
+            ),
+            cell_hash(
+                "acc",
+                "bang-bang",
+                &PolicySpec::BangBang,
+                &DropoutSpec::None,
+                &explicit
+            ),
         );
     }
 

@@ -1,0 +1,497 @@
+//! Deterministic fault injection for the sweep engine and service.
+//!
+//! Two fault families live here, both fully seeded so that any injected
+//! fault is byte-reproducible at any thread count:
+//!
+//! * **Environment faults** — [`DropoutSpec`]: the *environment* (a lossy
+//!   actuator, a weakly-hard execution platform) forces the control input
+//!   to be dropped on some steps regardless of what the skipping policy
+//!   decided. Bernoulli(p) dropout draws per-step from a stream seeded by
+//!   the episode seed; weakly-hard `(m, k)` dropout applies the canonical
+//!   worst-case pattern (the first `m` steps of every window of `k` are
+//!   dropped). A dropout spec is a sweep-grid *axis*: the same
+//!   (scenario, policy) cell can be evaluated under several dropout
+//!   regimes with identical per-episode seeds, so results are paired.
+//!
+//! * **Infrastructure faults** — [`FaultPlan`]: a seeded plan that
+//!   deterministically assigns per-cell faults (a worker panic inside one
+//!   episode, a NaN injected into one plant update) keyed off the cell
+//!   hash, plus a helper to corrupt on-disk cache files for chaos tests.
+//!   The plan decides from `(plan seed, cell hash)` alone — never from
+//!   scheduling order — so the set of faulted cells is identical at 1 and
+//!   8 threads.
+//!
+//! The crate is dependency-free (pure `std`) and deliberately does **not**
+//! depend on the engine: the engine depends on it.
+
+use std::fmt;
+
+/// Environment-forced actuation dropout applied to every episode of a
+/// sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DropoutSpec {
+    /// No dropout: the actuator applies every commanded input (the
+    /// default axis value; cells carry no dropout fields in reports).
+    None,
+    /// Each step independently drops the commanded input with
+    /// probability `p`, drawn from a per-episode deterministic stream.
+    Bernoulli {
+        /// Per-step drop probability, in `(0, 1]`.
+        p: f64,
+    },
+    /// Weakly-hard `(m, k)` execution: in every window of `k`
+    /// consecutive steps, exactly the first `m` are dropped — the
+    /// canonical worst-case pattern for an "at most `m` misses in any
+    /// `k`" platform guarantee.
+    WeaklyHard {
+        /// Dropped steps per window, `1 ≤ m ≤ k`.
+        m: u32,
+        /// Window length in steps.
+        k: u32,
+    },
+}
+
+/// Error parsing or validating a [`DropoutSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropoutParseError(pub String);
+
+impl fmt::Display for DropoutParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid dropout spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for DropoutParseError {}
+
+impl DropoutSpec {
+    /// Canonical wire label: `none`, `bernoulli-<p>`, `mk-<m>-<k>`.
+    ///
+    /// `p` prints via Rust's shortest-roundtrip float formatting, so
+    /// `parse(label()) == self` for every valid spec.
+    pub fn label(&self) -> String {
+        match self {
+            DropoutSpec::None => "none".to_string(),
+            DropoutSpec::Bernoulli { p } => format!("bernoulli-{p}"),
+            DropoutSpec::WeaklyHard { m, k } => format!("mk-{m}-{k}"),
+        }
+    }
+
+    /// Parses a canonical label back into a spec and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown forms, `p` outside `(0, 1]`, non-finite `p`, and
+    /// `(m, k)` with `m < 1` or `m > k`.
+    pub fn parse(label: &str) -> Result<Self, DropoutParseError> {
+        let spec = if label == "none" {
+            DropoutSpec::None
+        } else if let Some(rest) = label.strip_prefix("bernoulli-") {
+            let p: f64 = rest
+                .parse()
+                .map_err(|_| DropoutParseError(format!("bad probability in {label:?}")))?;
+            DropoutSpec::Bernoulli { p }
+        } else if let Some(rest) = label.strip_prefix("mk-") {
+            let (m, k) = rest
+                .split_once('-')
+                .ok_or_else(|| DropoutParseError(format!("expected mk-<m>-<k>, got {label:?}")))?;
+            let m: u32 = m
+                .parse()
+                .map_err(|_| DropoutParseError(format!("bad m in {label:?}")))?;
+            let k: u32 = k
+                .parse()
+                .map_err(|_| DropoutParseError(format!("bad k in {label:?}")))?;
+            DropoutSpec::WeaklyHard { m, k }
+        } else {
+            return Err(DropoutParseError(format!("unknown dropout spec {label:?}")));
+        };
+        spec.validate()?;
+        // Reject non-canonical spellings (`bernoulli-0.50`, `mk-01-5`)
+        // so a label is usable as a hash key.
+        if spec.label() != label {
+            return Err(DropoutParseError(format!(
+                "non-canonical dropout label {label:?} (canonical: {:?})",
+                spec.label()
+            )));
+        }
+        Ok(spec)
+    }
+
+    /// Validates the parameters without parsing.
+    ///
+    /// # Errors
+    ///
+    /// See [`DropoutSpec::parse`].
+    pub fn validate(&self) -> Result<(), DropoutParseError> {
+        match *self {
+            DropoutSpec::None => Ok(()),
+            DropoutSpec::Bernoulli { p } => {
+                if p.is_finite() && p > 0.0 && p <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(DropoutParseError(format!(
+                        "bernoulli p must be in (0, 1], got {p}"
+                    )))
+                }
+            }
+            DropoutSpec::WeaklyHard { m, k } => {
+                if m >= 1 && m <= k {
+                    Ok(())
+                } else {
+                    Err(DropoutParseError(format!(
+                        "weakly-hard (m, k) needs 1 <= m <= k, got ({m}, {k})"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Whether this spec ever drops an input.
+    pub fn is_none(&self) -> bool {
+        matches!(self, DropoutSpec::None)
+    }
+
+    /// Per-episode dropout stream. `episode_seed` is the engine's
+    /// deterministic episode seed, so the drop pattern depends only on
+    /// the cell identity and episode index — never on scheduling.
+    pub fn stream(&self, episode_seed: u64) -> DropoutStream {
+        DropoutStream {
+            spec: *self,
+            rng: SplitMix64::new(episode_seed ^ 0x6f69_632d_6472_6f70), // "oic-drop"
+            step: 0,
+        }
+    }
+}
+
+/// Step-by-step dropout decisions for one episode (see
+/// [`DropoutSpec::stream`]).
+#[derive(Debug, Clone)]
+pub struct DropoutStream {
+    spec: DropoutSpec,
+    rng: SplitMix64,
+    step: u64,
+}
+
+impl DropoutStream {
+    /// Returns `true` when the actuator drops the commanded input on the
+    /// next step. Must be called exactly once per step, in step order:
+    /// the Bernoulli stream advances one draw per call.
+    pub fn dropped(&mut self) -> bool {
+        let step = self.step;
+        self.step += 1;
+        match self.spec {
+            DropoutSpec::None => false,
+            DropoutSpec::Bernoulli { p } => self.rng.next_f64() < p,
+            DropoutSpec::WeaklyHard { m, k } => step % u64::from(k) < u64::from(m),
+        }
+    }
+}
+
+/// Deterministic per-cell infrastructure fault assignment.
+///
+/// Rates are probabilities over cells: each cell draws once (from the
+/// plan seed and the cell hash) and is assigned at most one fault —
+/// panic first, then NaN injection. Episode and step indices for the
+/// fault site come from the same per-cell stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Plan seed; two plans with the same seed and rates fault the same
+    /// cells.
+    pub seed: u64,
+    /// Fraction of cells whose execution panics mid-episode.
+    pub panic_rate: f64,
+    /// Fraction of cells that get a NaN injected into one plant update.
+    pub nan_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a CLI default).
+    pub fn disabled() -> Self {
+        FaultPlan {
+            seed: 0,
+            panic_rate: 0.0,
+            nan_rate: 0.0,
+        }
+    }
+
+    /// Validates the rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a rate is non-finite, negative, or the
+    /// rates sum above 1.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [("panic_rate", self.panic_rate), ("nan_rate", self.nan_rate)] {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} must be in [0, 1], got {rate}"));
+            }
+        }
+        if self.panic_rate + self.nan_rate > 1.0 {
+            return Err(format!(
+                "panic_rate + nan_rate must not exceed 1 (got {})",
+                self.panic_rate + self.nan_rate
+            ));
+        }
+        Ok(())
+    }
+
+    /// The fault (if any) assigned to the cell with content hash
+    /// `cell_hash` running `episodes × steps` work. Pure function of
+    /// `(self, cell_hash, episodes, steps)`.
+    pub fn cell_fault(&self, cell_hash: &[u8; 32], episodes: usize, steps: usize) -> CellFault {
+        if (self.panic_rate <= 0.0 && self.nan_rate <= 0.0) || episodes == 0 || steps == 0 {
+            return CellFault::None;
+        }
+        let mut rng = SplitMix64::new(self.seed ^ fnv1a64(cell_hash));
+        let draw = rng.next_f64();
+        if draw < self.panic_rate {
+            CellFault::Panic {
+                episode: (rng.next_u64() % episodes as u64) as usize,
+            }
+        } else if draw < self.panic_rate + self.nan_rate {
+            CellFault::Nan {
+                episode: (rng.next_u64() % episodes as u64) as usize,
+                step: (rng.next_u64() % steps as u64) as usize,
+            }
+        } else {
+            CellFault::None
+        }
+    }
+}
+
+/// One cell's assigned infrastructure fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFault {
+    /// The cell runs clean.
+    None,
+    /// The worker panics at the start of the given episode.
+    Panic {
+        /// Episode index (within the cell) that panics.
+        episode: usize,
+    },
+    /// One plant update returns NaN at the given episode and step.
+    Nan {
+        /// Episode index (within the cell) that diverges.
+        episode: usize,
+        /// Step index within that episode.
+        step: usize,
+    },
+}
+
+/// Flips one deterministic byte of `path` in place (seeded by `seed` and
+/// the file length) — the chaos-test half of disk-cache corruption.
+/// Returns the flipped offset.
+///
+/// # Errors
+///
+/// Propagates I/O errors; refuses to corrupt an empty file.
+pub fn corrupt_file(path: &std::path::Path, seed: u64) -> std::io::Result<u64> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "refusing to corrupt an empty file",
+        ));
+    }
+    let mut rng = SplitMix64::new(seed ^ bytes.len() as u64);
+    let offset = (rng.next_u64() % bytes.len() as u64) as usize;
+    bytes[offset] ^= 0x55;
+    std::fs::write(path, bytes)?;
+    Ok(offset as u64)
+}
+
+/// SplitMix64: tiny, high-quality, dependency-free PRNG used for every
+/// fault decision (Steele et al., "Fast splittable pseudorandom number
+/// generators").
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` using the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a over arbitrary bytes (folds the 32-byte cell hash into the
+/// plan RNG seed).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for spec in [
+            DropoutSpec::None,
+            DropoutSpec::Bernoulli { p: 0.25 },
+            DropoutSpec::Bernoulli { p: 1.0 },
+            DropoutSpec::WeaklyHard { m: 1, k: 5 },
+            DropoutSpec::WeaklyHard { m: 3, k: 3 },
+        ] {
+            assert_eq!(DropoutSpec::parse(&spec.label()), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        for label in [
+            "bernoulli-0",
+            "bernoulli-0.0",
+            "bernoulli-1.5",
+            "bernoulli-NaN",
+            "mk-0-5",
+            "mk-4-3",
+            "mk-1",
+            "mk-01-5",
+            "bernoulli-0.50",
+            "gauss-0.1",
+            "",
+        ] {
+            assert!(DropoutSpec::parse(label).is_err(), "{label:?} must fail");
+        }
+    }
+
+    #[test]
+    fn weakly_hard_pattern_is_the_worst_case_prefix() {
+        let mut stream = DropoutSpec::WeaklyHard { m: 2, k: 5 }.stream(123);
+        let pattern: Vec<bool> = (0..10).map(|_| stream.dropped()).collect();
+        assert_eq!(
+            pattern,
+            [true, true, false, false, false, true, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn bernoulli_stream_is_seed_deterministic_and_roughly_calibrated() {
+        let draws = |seed: u64| -> Vec<bool> {
+            let mut s = DropoutSpec::Bernoulli { p: 0.3 }.stream(seed);
+            (0..2000).map(|_| s.dropped()).collect()
+        };
+        assert_eq!(draws(7), draws(7), "same seed, same stream");
+        assert_ne!(draws(7), draws(8), "different seeds diverge");
+        let rate = draws(7).iter().filter(|&&d| d).count() as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn none_never_drops() {
+        let mut stream = DropoutSpec::None.stream(99);
+        assert!((0..100).all(|_| !stream.dropped()));
+    }
+
+    #[test]
+    fn fault_plan_is_a_pure_function_of_cell_hash() {
+        let plan = FaultPlan {
+            seed: 42,
+            panic_rate: 0.5,
+            nan_rate: 0.3,
+        };
+        plan.validate().expect("valid plan");
+        let hash_a = [1u8; 32];
+        let hash_b = [2u8; 32];
+        assert_eq!(
+            plan.cell_fault(&hash_a, 100, 50),
+            plan.cell_fault(&hash_a, 100, 50)
+        );
+        // With these rates some hash must differ in assignment; check the
+        // two chosen ones land on in-range sites whatever they are.
+        for hash in [hash_a, hash_b] {
+            match plan.cell_fault(&hash, 100, 50) {
+                CellFault::None => {}
+                CellFault::Panic { episode } => assert!(episode < 100),
+                CellFault::Nan { episode, step } => {
+                    assert!(episode < 100 && step < 50);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_plan_never_faults() {
+        let plan = FaultPlan::disabled();
+        for byte in 0..=255u8 {
+            assert_eq!(plan.cell_fault(&[byte; 32], 10, 10), CellFault::None);
+        }
+    }
+
+    #[test]
+    fn rates_partition_cells() {
+        // With panic 0.5 / nan 0.5 every cell is faulted, and both kinds
+        // appear across a spread of hashes.
+        let plan = FaultPlan {
+            seed: 7,
+            panic_rate: 0.5,
+            nan_rate: 0.5,
+        };
+        let mut panics = 0usize;
+        let mut nans = 0usize;
+        for byte in 0..=255u8 {
+            match plan.cell_fault(&[byte; 32], 10, 10) {
+                CellFault::None => panic!("rates sum to 1, no cell may run clean"),
+                CellFault::Panic { .. } => panics += 1,
+                CellFault::Nan { .. } => nans += 1,
+            }
+        }
+        assert!(panics > 50 && nans > 50, "panics={panics} nans={nans}");
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        for plan in [
+            FaultPlan {
+                seed: 0,
+                panic_rate: -0.1,
+                nan_rate: 0.0,
+            },
+            FaultPlan {
+                seed: 0,
+                panic_rate: 0.7,
+                nan_rate: 0.7,
+            },
+            FaultPlan {
+                seed: 0,
+                panic_rate: f64::NAN,
+                nan_rate: 0.0,
+            },
+        ] {
+            assert!(plan.validate().is_err(), "{plan:?} must fail validation");
+        }
+    }
+
+    #[test]
+    fn corrupt_file_flips_exactly_one_byte() {
+        let dir = std::env::temp_dir().join(format!("oic-faults-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("victim.bin");
+        let original = vec![0xAAu8; 64];
+        std::fs::write(&path, &original).expect("write");
+        let offset = corrupt_file(&path, 99).expect("corrupt") as usize;
+        let corrupted = std::fs::read(&path).expect("read back");
+        assert_eq!(corrupted.len(), original.len());
+        let diffs: Vec<usize> = (0..64).filter(|&i| corrupted[i] != original[i]).collect();
+        assert_eq!(diffs, [offset]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,24 +1,35 @@
 //! The sweep service CLI: `serve <subcommand>`.
 //!
-//! * `serve listen [--addr HOST:PORT] [--cache-dir DIR] [--mem-cells N]`
-//!   — run the server over the standard scenario registry. `--addr`
-//!   defaults to `127.0.0.1:8787`; `--cache-dir` persists the cell
-//!   store across restarts; `--mem-cells` sizes the in-memory LRU.
-//! * `serve query [--addr HOST:PORT] [SPEC.json]` — POST a spec file
-//!   (or stdin when omitted/`-`) to a running server and print the
-//!   NDJSON response body to stdout.
+//! * `serve listen [--addr HOST:PORT] [--cache-dir DIR] [--mem-cells N]
+//!   [--read-timeout SECS] [--write-timeout SECS] [--max-inflight N]
+//!   [--allow-shutdown]` — run the server over the standard scenario
+//!   registry. `--addr` defaults to `127.0.0.1:8787`; `--cache-dir`
+//!   persists the cell store across restarts; `--mem-cells` sizes the
+//!   in-memory LRU. The resilience knobs map onto
+//!   [`oic_serve::ServeConfig`]: socket deadlines (0 disables), the
+//!   in-flight leader bound (503 + `Retry-After` beyond it), and the
+//!   graceful-drain route.
+//! * `serve query [--addr HOST:PORT] [--timeout SECS] [--retries N]
+//!   [SPEC.json]` — POST a spec file (or stdin when omitted/`-`) to a
+//!   running server and print the NDJSON response body to stdout.
+//!   Connect failures, socket errors, 503s, and truncated streams (no
+//!   `done`/`error` trailer) are retried up to `--retries` times with
+//!   deterministic exponential backoff (100 ms, 200 ms, … capped at
+//!   2 s).
 //! * `serve merge --out MERGED.json SHARD.json…` — interleave shard
 //!   reports (`batch --shard i/n`) into the byte-identical unsharded
 //!   report (`--out -` prints to stdout).
 //!
-//! Protocol, canonicalization, and shard contracts: `docs/PROTOCOL.md`.
+//! Protocol, canonicalization, and shard contracts: `docs/PROTOCOL.md`;
+//! fault model and degradation matrix: `docs/ROBUSTNESS.md`.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
-use oic_engine::CellCache;
+use oic_engine::{CellCache, JsonValue};
 use oic_scenarios::ScenarioRegistry;
-use oic_serve::{merge_reports, SweepServer};
+use oic_serve::{merge_reports, ServeConfig, SweepServer};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,12 +60,35 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|at| args.get(at + 1).cloned())
 }
 
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// `--read-timeout`/`--write-timeout` in whole seconds; `0` disables
+/// the deadline entirely.
+fn timeout_flag(args: &[String], flag: &str, default: Option<Duration>) -> Option<Duration> {
+    match flag_value(args, flag).and_then(|v| v.parse::<u64>().ok()) {
+        Some(0) => None,
+        Some(secs) => Some(Duration::from_secs(secs)),
+        None => default,
+    }
+}
+
 fn listen(args: &[String]) -> i32 {
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8787".to_string());
     let cache_dir = flag_value(args, "--cache-dir").map(std::path::PathBuf::from);
     let mem_cells = flag_value(args, "--mem-cells")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4096);
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        read_timeout: timeout_flag(args, "--read-timeout", defaults.read_timeout),
+        write_timeout: timeout_flag(args, "--write-timeout", defaults.write_timeout),
+        max_inflight: flag_value(args, "--max-inflight")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.max_inflight),
+        allow_shutdown: has_flag(args, "--allow-shutdown"),
+    };
     // Metrics on by default: the /v1/metrics endpoint is the only place
     // cache/coalescing evidence surfaces (never in response bodies), so
     // a server without metrics would be flying blind.
@@ -67,9 +101,10 @@ fn listen(args: &[String]) -> i32 {
         }
     };
     let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
-    let server = SweepServer::new(
+    let server = SweepServer::with_config(
         ScenarioRegistry::standard(),
         CellCache::new(mem_cells, cache_dir.clone()),
+        config,
     );
     eprintln!(
         "serve: listening on {bound} ({} scenarios, cache: {})",
@@ -80,6 +115,7 @@ fn listen(args: &[String]) -> i32 {
             .unwrap_or_else(|| "memory-only".to_string()),
     );
     server.serve(listener);
+    eprintln!("serve: drained, exiting");
     0
 }
 
@@ -118,37 +154,100 @@ fn query(args: &[String]) -> i32 {
             }
         },
     };
-    let mut stream = match TcpStream::connect(&addr) {
-        Ok(stream) => stream,
-        Err(e) => {
-            eprintln!("cannot connect to {addr}: {e}");
-            return 1;
+    let timeout = timeout_flag(args, "--timeout", Some(Duration::from_secs(30)));
+    let retries: u32 = flag_value(args, "--retries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    let mut attempt = 0u32;
+    loop {
+        match query_once(&addr, &spec, timeout) {
+            QueryOutcome::Done(code) => return code,
+            QueryOutcome::Retryable(reason) => {
+                if attempt >= retries {
+                    eprintln!("{reason} (giving up after {} attempts)", attempt + 1);
+                    return 1;
+                }
+                // Deterministic exponential backoff: 100 ms, 200 ms,
+                // 400 ms, … capped at 2 s. No jitter — retry timing is
+                // reproducible, and a single client cannot thunder.
+                let backoff = (100u64 << attempt.min(16)).min(2000);
+                eprintln!("{reason}; retrying in {backoff} ms");
+                std::thread::sleep(Duration::from_millis(backoff));
+                attempt += 1;
+            }
         }
+    }
+}
+
+/// How one request attempt ended: a final exit code, or a transient
+/// failure worth another attempt.
+enum QueryOutcome {
+    Done(i32),
+    Retryable(String),
+}
+
+fn query_once(addr: &str, spec: &str, timeout: Option<Duration>) -> QueryOutcome {
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => return QueryOutcome::Retryable(format!("cannot connect to {addr}: {e}")),
     };
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
     let request = format!(
         "POST /v1/sweep HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{spec}",
         spec.len()
     );
     if let Err(e) = stream.write_all(request.as_bytes()) {
-        eprintln!("cannot send request: {e}");
-        return 1;
+        return QueryOutcome::Retryable(format!("cannot send request: {e}"));
     }
     let mut response = Vec::new();
     if let Err(e) = stream.read_to_end(&mut response) {
-        eprintln!("cannot read response: {e}");
-        return 1;
+        return QueryOutcome::Retryable(format!("cannot read response: {e}"));
     }
     let text = String::from_utf8_lossy(&response);
     let Some((head, body)) = text.split_once("\r\n\r\n") else {
-        eprintln!("malformed response (no header/body separator)");
-        return 1;
+        return QueryOutcome::Retryable(
+            "malformed response (no header/body separator)".to_string(),
+        );
     };
-    print!("{body}");
-    if head.starts_with("HTTP/1.1 200") {
-        0
-    } else {
-        eprintln!("{}", head.lines().next().unwrap_or("request failed"));
-        1
+    let status = head.lines().next().unwrap_or("request failed");
+    if head.starts_with("HTTP/1.1 503") {
+        // Overloaded server: honor the Retry-After semantics by
+        // retrying (the backoff already exceeds the advertised 1 s by
+        // the later attempts; earlier ones probe cheaply).
+        return QueryOutcome::Retryable(format!("server busy ({status})"));
+    }
+    if !head.starts_with("HTTP/1.1 200") {
+        // Any other non-200 is deterministic (bad spec, bad route):
+        // retrying would fail identically.
+        print!("{body}");
+        eprintln!("{status}");
+        return QueryOutcome::Done(1);
+    }
+    // A healthy stream ends with a `done` or `error` trailer; anything
+    // else means the server died mid-sweep and a retry can complete
+    // from its cache.
+    let trailer = body.lines().rev().find(|l| !l.trim().is_empty());
+    let trailer = trailer.and_then(|line| JsonValue::parse(line).ok());
+    match trailer {
+        Some(doc) if doc.get("done").is_some() => {
+            print!("{body}");
+            QueryOutcome::Done(0)
+        }
+        Some(doc) if doc.get("error").is_some() => {
+            print!("{body}");
+            eprintln!(
+                "sweep failed: {}",
+                doc.get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unknown error")
+            );
+            QueryOutcome::Done(1)
+        }
+        _ => {
+            QueryOutcome::Retryable("response stream truncated (no done/error trailer)".to_string())
+        }
     }
 }
 

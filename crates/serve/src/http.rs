@@ -115,11 +115,32 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_ext(stream, status, reason, &[], content_type, body)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`
+/// on a 503).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response_ext(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"Connection: close\r\n\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }

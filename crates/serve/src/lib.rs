@@ -17,6 +17,14 @@
 //! * **Sharding + merge** ([`merge_reports`]): `batch --shard i/n`
 //!   reports interleave back into the byte-identical unsharded report.
 //!
+//! The service degrades instead of failing ([`ServeConfig`]): socket
+//! read/write deadlines bound every connection, the in-flight table is
+//! bounded (`503` + `Retry-After` for would-be leaders; coalescing
+//! followers always attach), a panicking sweep handler turns into an
+//! `error` NDJSON trailer rather than a dropped stream, and shutdown
+//! drains in-flight connections gracefully (`--allow-shutdown`). See
+//! `docs/ROBUSTNESS.md`.
+//!
 //! The wire protocol — canonicalization rules, cell-hash definition,
 //! the NDJSON stream, the shard/merge contract, worked `curl`/netcat
 //! sessions — is specified in `docs/PROTOCOL.md`; the crate map and the
@@ -45,6 +53,8 @@ mod http;
 mod merge;
 mod server;
 
-pub use http::{read_request, write_response, write_stream_head, Request, MAX_BODY};
+pub use http::{
+    read_request, write_response, write_response_ext, write_stream_head, Request, MAX_BODY,
+};
 pub use merge::merge_reports;
-pub use server::{error_body, SweepServer};
+pub use server::{error_body, ServeConfig, SweepServer};

@@ -114,10 +114,13 @@ pub fn merge_reports(texts: &[String]) -> Result<String, String> {
                 g / n
             )
         })?;
-        violations += cell
-            .get("safety_violations")
-            .and_then(JsonValue::as_usize)
-            .ok_or_else(|| format!("cell {g} has no safety_violations tally"))?;
+        // Failed cells (schema v3) carry no aggregate tallies — they
+        // contribute zero violations but still occupy their slot.
+        violations += match cell.get("safety_violations").and_then(JsonValue::as_usize) {
+            Some(count) => count,
+            None if cell.get("outcome").and_then(JsonValue::as_str) == Some("failed") => 0,
+            None => return Err(format!("cell {g} has no safety_violations tally")),
+        };
         cells.push(cell.clone());
     }
     // Interleaving consumed every per-shard cell exactly once iff the
@@ -195,6 +198,37 @@ mod tests {
         let only = render(&ROSTER, Some(ShardInfo { index: 0, of: 1 }));
         assert_ne!(only, baseline, "shard reports carry the shard key");
         assert_eq!(merge_reports(&[only]).unwrap(), baseline);
+    }
+
+    #[test]
+    fn shards_with_failed_cells_merge_byte_identically() {
+        use oic_engine::FaultPlan;
+        let plan = FaultPlan {
+            seed: 7,
+            panic_rate: 1.0,
+            nan_rate: 0.0,
+        };
+        let config = BatchConfig {
+            episodes: 3,
+            steps: 15,
+            seed: 13,
+            ..Default::default()
+        };
+        let render = |shard: Option<ShardInfo>| {
+            let opts = SweepOptions {
+                shard,
+                faults: Some(&plan),
+                ..Default::default()
+            };
+            let (report, _) = run_batch_opts(&registry(), &ROSTER, &config, &opts).unwrap();
+            report.to_json(false).to_json_pretty()
+        };
+        let baseline = render(None);
+        assert!(baseline.contains("\"outcome\": \"failed\""), "{baseline}");
+        assert!(baseline.contains("\"version\": 3"), "{baseline}");
+        let merged = render(Some(ShardInfo { index: 0, of: 2 }));
+        let merged = merge_reports(&[merged, render(Some(ShardInfo { index: 1, of: 2 }))]).unwrap();
+        assert_eq!(merged, baseline);
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn record(
         safety_violations: violations,
         invariant_violations: violations / 2,
         min_safe_slack: slack,
+        forced_skips: 0,
     }
 }
 

@@ -1,0 +1,97 @@
+//! Golden tallies for the `weakly_hard` example's dropout sweep: the
+//! forced-skip and violation-episode counts are pure functions of the
+//! sweep seed, so they are pinned here as exact integers. A drift in
+//! any of them means the dropout stream, the seed derivation, or the
+//! escape-degradation semantics changed — all of which are report
+//! compatibility breaks that `docs/ROBUSTNESS.md` says must be
+//! deliberate.
+
+use oic::engine::{run_batch_opts, BatchConfig, CellReport, DropoutSpec, PolicySpec, SweepOptions};
+use oic::scenarios::ScenarioRegistry;
+
+fn sweep() -> Vec<CellReport> {
+    let registry = ScenarioRegistry::standard();
+    let policies = [PolicySpec::AlwaysRun, PolicySpec::BangBang];
+    let dropouts = [
+        DropoutSpec::None,
+        DropoutSpec::WeaklyHard { m: 1, k: 4 },
+        DropoutSpec::WeaklyHard { m: 2, k: 4 },
+    ];
+    let config = BatchConfig {
+        episodes: 4,
+        steps: 40,
+        seed: 2020,
+        ..Default::default()
+    };
+    let opts = SweepOptions {
+        dropouts: Some(&dropouts),
+        ..Default::default()
+    };
+    run_batch_opts(&registry, &policies, &config, &opts)
+        .expect("the example sweep never aborts")
+        .0
+        .cells
+}
+
+fn cell<'a>(
+    cells: &'a [CellReport],
+    scenario: &str,
+    policy: &str,
+    dropout: &str,
+) -> &'a CellReport {
+    cells
+        .iter()
+        .find(|c| c.scenario == scenario && c.policy == policy && c.dropout == dropout)
+        .unwrap_or_else(|| panic!("missing cell {scenario}/{policy}/{dropout}"))
+}
+
+#[test]
+fn weakly_hard_dropout_golden() {
+    let cells = sweep();
+    // 10 scenarios x 2 policies x 3 dropout variants, none failed.
+    assert_eq!(cells.len(), 60);
+    assert!(cells.iter().all(|c| !c.is_failed()));
+    assert!(cells
+        .iter()
+        .filter(|c| c.dropout == "none")
+        .all(|c| c.forced_skips == 0 && c.violation_episodes == 0));
+
+    // always-run actuates every step, so mk-1-4 forces exactly one skip
+    // per 4-step window: 40 steps x 4 episodes / 4 = 40, everywhere.
+    for c in cells.iter().filter(|c| c.policy == "always-run") {
+        if c.dropout == "mk-1-4" {
+            assert_eq!(c.forced_skips, 40, "{}/{}", c.scenario, c.dropout);
+        }
+    }
+    // mk-2-4 doubles that — except where the forced misses push the
+    // state out of the robust invariant set and episodes end early with
+    // their violations tallied (the graceful-degradation contract).
+    assert_eq!(cell(&cells, "acc", "always-run", "mk-2-4").forced_skips, 80);
+    let escaped = cell(&cells, "two-mass-spring", "always-run", "mk-2-4");
+    assert_eq!(escaped.forced_skips, 62, "escaped episodes stop early");
+    assert_eq!(
+        escaped.episodes, 4,
+        "escape degrades the episode, not the cell"
+    );
+
+    // bang-bang already skips inside the skip set, so it absorbs most of
+    // the dropout pattern; what leaks through can cause real violations,
+    // which the report tallies instead of hiding.
+    let leaky = cell(&cells, "acc", "bang-bang", "mk-1-4");
+    assert_eq!((leaky.forced_skips, leaky.violation_episodes), (3, 1));
+
+    // Grand totals over the whole grid, pinned exactly.
+    let total = |policy: &str, dropout: &str| -> usize {
+        cells
+            .iter()
+            .filter(|c| c.policy == policy && c.dropout == dropout)
+            .map(|c| c.forced_skips)
+            .sum()
+    };
+    assert_eq!(total("always-run", "mk-1-4"), 400);
+    assert_eq!(total("always-run", "mk-2-4"), 778);
+    assert_eq!(total("bang-bang", "mk-1-4"), 13);
+    assert_eq!(total("bang-bang", "mk-2-4"), 27);
+    let violations: usize = cells.iter().map(|c| c.violation_episodes).sum();
+    assert_eq!(violations, 3);
+}
