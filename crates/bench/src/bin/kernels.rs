@@ -1,15 +1,35 @@
-//! Kernel timing snapshot: measures the LP/MPC hot-path kernels and
-//! writes `BENCH_kernels.json` alongside the batch baseline.
+//! Kernel timing snapshot: measures the LP/MPC hot-path kernels and the
+//! engine's episode-loop throughput, and writes `BENCH_kernels.json`
+//! alongside the batch baseline.
 //!
 //! Usage: `cargo run --release -p oic-bench --bin kernels -- [--out FILE]
-//! [--samples N]`
+//! [--samples N] [--engine-only]`
 //!
 //! Unlike `BENCH_batch.json` (bit-exact, CI-diffed) these numbers are
 //! wall-clock and machine-dependent: the committed file is a recorded
 //! perf *trajectory* for the ROADMAP, not a byte-compared baseline. The
 //! ratios (`speedup_*`) are the stable, machine-portable part — the
 //! templated warm-started MPC step is required to stay ≥ 2× faster than
-//! the seed's rebuild-every-step path.
+//! the seed's rebuild-every-step path, and the lockstep episode kernel
+//! is required to beat the scalar reference loop.
+//!
+//! Schema 4: `engine_sweep` counts **executed** episodes only —
+//! cache-hit cells (zero recorded wall time; their episodes never ran)
+//! and failed cells are excluded from the throughput quotient — and a
+//! second sweep under the scalar reference kernel records
+//! `engine_sweep_scalar` plus two ratios:
+//!
+//! * `speedup_lockstep` — whole-sweep wall-clock ratio. This is
+//!   Amdahl-limited: the tube-MPC cells (`acc`, `lane-keeping`) spend
+//!   ~85% of their CPU inside the simplex engine, whose pivot sequence
+//!   is pinned by the byte-identity contract (`BENCH_batch.json` is
+//!   CI-diffed), so the episode kernel cannot legally touch it.
+//! * `speedup_lockstep_median_cell` — median per-cell CPU-time ratio,
+//!   the honest summary of what the kernel buys on the cells it
+//!   targets (analytic-controller and DRL cells).
+//!
+//! `--engine-only` skips the LP/MPC/geometry sections (for CI's
+//! throughput floor check).
 
 use std::time::Instant;
 
@@ -17,7 +37,7 @@ use oic_bench::experiments::{batch, ExperimentScale};
 use oic_bench::fixtures::{acc_closed_loop_states, drifting_rhs_sequence, tall_lp};
 use oic_control::{robust_controllable_pre, MpcWarmState};
 use oic_core::acc::AccCaseStudy;
-use oic_engine::JsonValue;
+use oic_engine::{executed_throughput, JsonValue, KernelChoice};
 use oic_lp::{Backend, WarmStart};
 use oic_scenarios::ScenarioRegistry;
 
@@ -37,9 +57,56 @@ fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
     times[times.len() / 2]
 }
 
+/// One instrumented registry sweep under the given episode kernel:
+/// `(sweep json, executed episodes per wall-clock second)`. Throughput
+/// counts executed episodes only — cache hits and failed cells are
+/// excluded from numerator and denominator alike.
+fn engine_sweep(kernel: KernelChoice, by_cell: bool) -> (JsonValue, f64) {
+    let scale = ExperimentScale {
+        cases: 16,
+        steps: 50,
+        train_episodes: 0,
+        seed: 42,
+        kernel,
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let (report, stats) = batch::run_with_stats(&scale).expect("registry sweep runs clean");
+    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    let executed = executed_throughput(&report, &stats);
+    let episodes_total: usize = report.cells.iter().map(|c| c.episodes).sum();
+    let eps = executed.episodes as f64 / wall_s;
+    let mut json = JsonValue::object()
+        .with("episodes_total", episodes_total)
+        .with("episodes_executed", executed.episodes)
+        .with("cells", report.cells.len())
+        .with("cells_from_cache", executed.cells_from_cache)
+        .with("cells_failed", executed.cells_failed)
+        .with("wall_s", wall_s)
+        .with("episodes_per_sec", eps);
+    if by_cell {
+        // Per-cell rates from the engine's summed chunk times (CPU-,
+        // not wall-clock-seconds), executed cells only.
+        let mut cell_rates = JsonValue::object();
+        for (cell, timing) in report.cells.iter().zip(&stats.cell_timings) {
+            if cell.is_failed() || timing.wall_ns == 0 {
+                continue;
+            }
+            let secs = (timing.wall_ns as f64 / 1e9).max(1e-9);
+            cell_rates = cell_rates.with(
+                &format!("{}/{}", timing.scenario, timing.policy),
+                timing.episodes as f64 / secs,
+            );
+        }
+        json = json.with("episodes_per_cpu_sec_by_cell", cell_rates);
+    }
+    (json, eps)
+}
+
 fn main() {
     let mut out = "BENCH_kernels.json".to_string();
     let mut samples = 30usize;
+    let mut engine_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,8 +120,61 @@ fn main() {
                     samples = v;
                 }
             }
+            "--engine-only" => engine_only = true,
             other => eprintln!("ignoring unknown argument {other}"),
         }
+    }
+
+    // --- Engine sweep throughput: instrumented batch runs over the
+    // full registry, lockstep kernel vs the scalar reference loop. ---
+    eprintln!("kernels: instrumented engine sweep (full registry, lockstep kernel)…");
+    let (sweep_lockstep, eps_lockstep) = engine_sweep(KernelChoice::Lockstep, true);
+    eprintln!("kernels: instrumented engine sweep (full registry, scalar kernel)…");
+    let (sweep_scalar, eps_scalar) = engine_sweep(KernelChoice::Scalar, true);
+    let speedup_lockstep = eps_lockstep / eps_scalar.max(1e-9);
+    // Per-cell speedup distribution: wall throughput is Amdahl-limited by
+    // the LP-bound tube-MPC cells (simplex pivot order is pinned by the
+    // byte-identity gate, so the kernel cannot touch it); the median cell
+    // is the honest summary of what the lockstep kernel buys.
+    let cell_speedup = |lock: &JsonValue, scal: &JsonValue| -> Vec<(String, f64)> {
+        let (Some(JsonValue::Object(l_cells)), Some(s)) = (
+            lock.get("episodes_per_cpu_sec_by_cell"),
+            scal.get("episodes_per_cpu_sec_by_cell"),
+        ) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (cell, rate) in l_cells {
+            if let (Some(lr), Some(sr)) = (rate.as_f64(), s.get(cell).and_then(JsonValue::as_f64)) {
+                if sr > 0.0 {
+                    out.push((cell.clone(), lr / sr));
+                }
+            }
+        }
+        out
+    };
+    let mut ratios = cell_speedup(&sweep_lockstep, &sweep_scalar);
+    ratios.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let median_cell_speedup = ratios.get(ratios.len() / 2).map_or(1.0, |(_, r)| *r);
+    eprintln!(
+        "engine sweep: lockstep {eps_lockstep:.1} eps/s, scalar {eps_scalar:.1} eps/s \
+         ({speedup_lockstep:.2}x wall, {median_cell_speedup:.2}x median cell)"
+    );
+
+    if engine_only {
+        let doc = JsonValue::object()
+            .with("schema", 4.0)
+            .with("engine_sweep", sweep_lockstep)
+            .with("engine_sweep_scalar", sweep_scalar)
+            .with("speedup_lockstep", speedup_lockstep)
+            .with("speedup_lockstep_median_cell", median_cell_speedup);
+        println!("{}", doc.to_json_pretty());
+        if let Err(e) = std::fs::write(&out, doc.to_json_pretty()) {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("snapshot written to {out}");
+        return;
     }
 
     eprintln!("kernels: building ACC case study (tube MPC, horizon 10)…");
@@ -166,41 +286,9 @@ fn main() {
         );
     }
 
-    // --- Engine sweep throughput: a small instrumented batch run over
-    // the full registry, reporting episodes/s from the per-cell wall
-    // times the engine records (summed chunk time, so per-cell numbers
-    // are CPU-seconds — thread-count-independent). ---
-    eprintln!("kernels: instrumented engine sweep (full registry)…");
-    let sweep_scale = ExperimentScale {
-        cases: 16,
-        steps: 50,
-        train_episodes: 0,
-        seed: 42,
-        ..Default::default()
-    };
-    let sweep_started = Instant::now();
-    let (sweep_report, sweep_stats) =
-        batch::run_with_stats(&sweep_scale).expect("registry sweep runs clean");
-    let sweep_elapsed = sweep_started.elapsed().as_secs_f64().max(1e-9);
-    let sweep_episodes: usize = sweep_report.cells.iter().map(|c| c.episodes).sum();
-    let mut cell_rates = JsonValue::object();
-    for timing in &sweep_stats.cell_timings {
-        let secs = (timing.wall_ns as f64 / 1e9).max(1e-9);
-        cell_rates = cell_rates.with(
-            &format!("{}/{}", timing.scenario, timing.policy),
-            timing.episodes as f64 / secs,
-        );
-    }
-    let engine_sweep = JsonValue::object()
-        .with("episodes", sweep_episodes)
-        .with("cells", sweep_report.cells.len())
-        .with("wall_s", sweep_elapsed)
-        .with("episodes_per_sec", sweep_episodes as f64 / sweep_elapsed)
-        .with("episodes_per_cpu_sec_by_cell", cell_rates);
-
     let ratio = |slow: u64, fast: u64| slow as f64 / fast.max(1) as f64;
     let doc = JsonValue::object()
-        .with("schema", 3.0)
+        .with("schema", 4.0)
         .with(
             "mpc_step",
             JsonValue::object()
@@ -219,7 +307,10 @@ fn main() {
         )
         .with("backend_sweep", sweep)
         .with("nd_geometry", nd)
-        .with("engine_sweep", engine_sweep);
+        .with("engine_sweep", sweep_lockstep)
+        .with("engine_sweep_scalar", sweep_scalar)
+        .with("speedup_lockstep", speedup_lockstep)
+        .with("speedup_lockstep_median_cell", median_cell_speedup);
 
     println!("{}", doc.to_json_pretty());
     eprintln!(

@@ -142,6 +142,7 @@ pub fn run_with_stats(scale: &ExperimentScale) -> Result<(BatchReport, SweepStat
         cache: cache.as_ref(),
         dropouts: (!dropouts.is_empty()).then_some(dropouts.as_slice()),
         faults: plan.as_ref(),
+        kernel: scale.kernel,
         ..Default::default()
     };
     run_batch_opts(&registry, &roster, &config(scale), &opts)

@@ -63,6 +63,10 @@ pub struct ExperimentScale {
     /// `panic_rate`, and `nan_rate` keys, applied per cell hash. The
     /// sweep degrades (failed cells, never aborts) under the plan.
     pub fault_plan: Option<String>,
+    /// Episode-loop implementation (`--kernel lockstep|scalar`; the
+    /// default `Auto` honors `OIC_EPISODE_KERNEL`). Both produce
+    /// byte-identical reports — this is an A/B timing knob.
+    pub kernel: oic_engine::KernelChoice,
 }
 
 impl Default for ExperimentScale {
@@ -83,6 +87,7 @@ impl Default for ExperimentScale {
             shard: None,
             dropout: Vec::new(),
             fault_plan: None,
+            kernel: oic_engine::KernelChoice::Auto,
         }
     }
 }
@@ -172,6 +177,12 @@ impl ExperimentScale {
                         scale.fault_plan = Some(v);
                     }
                 }
+                "--kernel" => match args.next().as_deref() {
+                    Some("lockstep") => scale.kernel = oic_engine::KernelChoice::Lockstep,
+                    Some("scalar") => scale.kernel = oic_engine::KernelChoice::Scalar,
+                    Some(other) => eprintln!("ignoring unknown --kernel value {other}"),
+                    None => {}
+                },
                 _ => {}
             }
         }

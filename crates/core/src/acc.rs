@@ -191,6 +191,7 @@ impl AccCaseStudy {
         let vf_trace: Vec<f64> = replay.trace().to_vec();
         let (s0, v0) = self.params.from_deviation(&initial_state);
         let mut sim = TrafficSim::new(self.params.clone(), Box::new(replay), fuel, s0, v0);
+        sim.reserve_trace(steps);
 
         // `SkipPolicy` is implemented for `&mut dyn SkipPolicy`, so the
         // runtime borrows the caller's policy for the episode. The history

@@ -42,6 +42,22 @@ impl Default for SkipRewardWeights {
 pub trait DisturbanceProcess {
     /// The disturbance `w(t)` applied at step `t`.
     fn next(&mut self, t: usize) -> Vec<f64>;
+
+    /// Writes the disturbance `w(t)` into `out` instead of allocating a
+    /// fresh vector — the batch engine's lockstep episode kernel calls
+    /// this once per live episode per step, so implementations should
+    /// override the defaulted body with an allocation-free one. Any
+    /// override must consume its RNG in **exactly** the order `next`
+    /// does: the engine's byte-identical-report contract hashes on the
+    /// draw sequence, not the call shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the disturbance dimension.
+    fn next_into(&mut self, t: usize, out: &mut [f64]) {
+        let w = self.next(t);
+        out.copy_from_slice(&w);
+    }
 }
 
 /// Normalizes `[x, w-history]` into the Q-network input vector.
@@ -56,20 +72,28 @@ pub(crate) struct StateEncoder {
 }
 
 impl StateEncoder {
+    /// The normalization scale for one bounding-box axis `[l, h]`.
+    ///
+    /// Degenerate axes must not poison the encoding: a zero-width axis
+    /// (rank-deficient `W`, as in two-mass-spring) would make every
+    /// division inf/NaN, and an unbounded axis (±inf box edge) would
+    /// encode every draw as ±0 or NaN. Both fall back to scale 1.
+    pub(crate) fn axis_scale(l: f64, h: f64) -> f64 {
+        let w = 0.5 * (h - l);
+        if w.is_finite() && w > 1e-9 {
+            w
+        } else {
+            1.0
+        }
+    }
+
     pub(crate) fn from_sets(sets: &SafeSets, memory: usize) -> Self {
         let half_width = |p: &Polytope| -> Vec<f64> {
             match p.bounding_box() {
                 Ok((lo, hi)) => lo
                     .iter()
                     .zip(&hi)
-                    .map(|(l, h)| {
-                        let w = 0.5 * (h - l);
-                        if w > 1e-9 {
-                            w
-                        } else {
-                            1.0
-                        }
-                    })
+                    .map(|(l, h)| Self::axis_scale(*l, *h))
                     .collect(),
                 Err(_) => vec![1.0; p.dim()],
             }
@@ -88,9 +112,18 @@ impl StateEncoder {
     /// Encodes the state; missing history entries are zero (the paper sets
     /// `w(−r+1), …, w(−1)` to 0).
     pub(crate) fn encode(&self, x: &[f64], w_history: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.state_dim());
+        self.encode_into(x, w_history, &mut out);
+        out
+    }
+
+    /// [`encode`](Self::encode) into a caller-owned buffer (cleared first)
+    /// so the batch engine's inference hot loop allocates nothing per step.
+    pub(crate) fn encode_into(&self, x: &[f64], w_history: &[Vec<f64>], out: &mut Vec<f64>) {
         let n = self.x_scale.len();
         assert_eq!(x.len(), n, "state dimension mismatch");
-        let mut out = Vec::with_capacity(self.state_dim());
+        out.clear();
+        out.reserve(self.state_dim());
         for (v, s) in x.iter().zip(&self.x_scale) {
             out.push(v / s);
         }
@@ -109,7 +142,6 @@ impl StateEncoder {
                 out.push(v / s);
             }
         }
-        out
     }
 }
 
@@ -420,19 +452,33 @@ impl GreedyDrlPolicy {
         &self.net
     }
 
+    /// Encodes `[x, w-history]` into a caller-owned buffer using this
+    /// policy's scenario-bound `StateEncoder` — the batch engine stages
+    /// one encoded row per live episode here, then runs a single
+    /// [`Mlp::forward_batch`] over the block.
+    pub fn encode_into(&self, state: &[f64], w_history: &[Vec<f64>], out: &mut Vec<f64>) {
+        self.encoder.encode_into(state, w_history, out);
+    }
+
+    /// The greedy action for a Q-row: strict `>` keeps the lowest index
+    /// on ties (ties pick *skip*), matching `DoubleDqnAgent::act_greedy`.
+    /// Shared by the scalar path and the lockstep kernel so both decode
+    /// batched Q-values identically.
+    pub fn action_from_q(q: &[f64]) -> usize {
+        if q[1] > q[0] {
+            1
+        } else {
+            0
+        }
+    }
+
     /// The greedy action (0 = skip, 1 = run) at a raw state + history —
     /// exposed for golden-fixture inspection in tests.
     pub fn greedy_action(&self, state: &[f64], w_history: &[Vec<f64>]) -> usize {
         let timer = oic_obs::Stopwatch::start();
         let q = self.net.forward(&self.encoder.encode(state, w_history));
         timer.stop_into(oic_obs::histogram!("drl.infer_ns", "ns"));
-        // Strict `>` keeps the lowest index on ties: deterministic, and
-        // matches DoubleDqnAgent::act_greedy.
-        if q[1] > q[0] {
-            1
-        } else {
-            0
-        }
+        Self::action_from_q(&q)
     }
 }
 
@@ -471,6 +517,54 @@ mod tests {
             Box::new(|_| Box::new(ZeroDisturbance(2))),
             7,
         )
+    }
+
+    #[test]
+    fn axis_scale_clamps_degenerate_and_nonfinite_widths() {
+        // Regular axis: half-width.
+        assert_eq!(StateEncoder::axis_scale(-2.0, 4.0), 3.0);
+        // Zero width (rank-deficient W axis) → 1.0, not 0 (would divide
+        // every encoding into inf/NaN).
+        assert_eq!(StateEncoder::axis_scale(0.5, 0.5), 1.0);
+        // Inverted / empty axis → 1.0.
+        assert_eq!(StateEncoder::axis_scale(1.0, -1.0), 1.0);
+        // Unbounded axes previously slipped past the `w > 1e-9` clamp as
+        // +inf half-widths, encoding every draw to ±0; NaN-width from
+        // inf − inf was silently clamped only by luck of NaN ordering.
+        assert_eq!(StateEncoder::axis_scale(f64::NEG_INFINITY, 1.0), 1.0);
+        assert_eq!(StateEncoder::axis_scale(-1.0, f64::INFINITY), 1.0);
+        assert_eq!(
+            StateEncoder::axis_scale(f64::NEG_INFINITY, f64::INFINITY),
+            1.0
+        );
+        assert_eq!(StateEncoder::axis_scale(f64::NAN, 1.0), 1.0);
+    }
+
+    #[test]
+    fn encoder_with_degenerate_scales_stays_finite() {
+        // An encoder whose scales came from a degenerate bounding box must
+        // produce finite encodings for finite inputs.
+        let enc = StateEncoder {
+            x_scale: vec![
+                StateEncoder::axis_scale(0.0, 0.0),
+                StateEncoder::axis_scale(f64::NEG_INFINITY, f64::INFINITY),
+            ],
+            w_scale: vec![StateEncoder::axis_scale(3.0, 3.0)],
+            memory: 2,
+        };
+        let s = enc.encode(&[4.0, -2.5], &[vec![0.25]]);
+        assert_eq!(s, vec![4.0, -2.5, 0.0, 0.25]);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let case = AccCaseStudy::build_default().unwrap();
+        let enc = StateEncoder::from_sets(case.sets(), 2);
+        let mut buf = vec![f64::NAN; 32]; // stale garbage must be cleared
+        let history = vec![vec![0.1, -0.2], vec![0.3, 0.4]];
+        enc.encode_into(&[30.0, 15.0], &history, &mut buf);
+        assert_eq!(buf, enc.encode(&[30.0, 15.0], &history));
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod accumulator;
 mod cache;
 mod hashing;
 mod json;
+mod kernel;
 mod report;
 mod runner;
 mod spec;
@@ -65,9 +66,9 @@ pub use json::{JsonParseError, JsonValue};
 pub use oic_faults::{CellFault, DropoutSpec, FaultPlan};
 pub use report::{BatchReport, CellOutcome, CellReport, EpisodeRecord};
 pub use runner::{
-    episode_seed, run_batch, run_batch_opts, run_batch_with_stats, run_episode, run_episode_opts,
-    BatchConfig, CellTiming, EngineError, EpisodeFaults, PolicySpec, PreparedPolicy, SweepOptions,
-    SweepStats,
+    episode_seed, executed_throughput, run_batch, run_batch_opts, run_batch_with_stats,
+    run_episode, run_episode_opts, BatchConfig, CellTiming, EngineError, EpisodeFaults,
+    ExecutedThroughput, KernelChoice, PolicySpec, PreparedPolicy, SweepOptions, SweepStats,
 };
 pub use spec::{
     canonical_policy, cell_hash, cell_hash_canonical, parse_policy, ShardInfo, SweepSpec,

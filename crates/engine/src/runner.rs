@@ -110,6 +110,48 @@ pub struct SweepStats {
     pub cell_timings: Vec<CellTiming>,
 }
 
+/// Throughput tallies restricted to the cells whose episodes actually
+/// executed, for honest episodes-per-second accounting.
+///
+/// Cache-hit cells carry `wall_ns: 0` (their episodes never ran this
+/// sweep) and failed cells carry partial episode work against partial
+/// wall time; counting either inflates or skews a throughput quotient.
+/// [`executed_throughput`] excludes both from numerator *and*
+/// denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutedThroughput {
+    /// Episodes of the included (executed, completed) cells.
+    pub episodes: usize,
+    /// Summed per-chunk wall time of the included cells (CPU-,
+    /// not wall-clock-seconds: chunks run in parallel).
+    pub wall_ns: u64,
+    /// Included cells.
+    pub cells: usize,
+    /// Cells excluded as cache hits (`wall_ns == 0`).
+    pub cells_from_cache: usize,
+    /// Cells excluded as failed.
+    pub cells_failed: usize,
+}
+
+/// Computes [`ExecutedThroughput`] for one sweep. `report.cells` and
+/// `stats.cell_timings` are index-aligned (both in report cell order).
+pub fn executed_throughput(report: &BatchReport, stats: &SweepStats) -> ExecutedThroughput {
+    debug_assert_eq!(report.cells.len(), stats.cell_timings.len());
+    let mut tally = ExecutedThroughput::default();
+    for (cell, timing) in report.cells.iter().zip(&stats.cell_timings) {
+        if cell.is_failed() {
+            tally.cells_failed += 1;
+        } else if timing.wall_ns == 0 {
+            tally.cells_from_cache += 1;
+        } else {
+            tally.cells += 1;
+            tally.episodes += timing.episodes;
+            tally.wall_ns += timing.wall_ns;
+        }
+    }
+    tally
+}
+
 /// A skipping policy the engine can instantiate per episode.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PolicySpec {
@@ -229,19 +271,32 @@ impl PolicySpec {
 /// same string (e.g. two `drl` blobs registered under one name) still
 /// produce distinct cells — and distinct episode seeds, which hash the
 /// label.
+/// Runs **after** every spec passed [`PolicySpec::validate`] — suffixing
+/// must never hide an invalid spec behind a fresh label, so
+/// [`run_batch_opts`] validates the roster first and only then derives
+/// report keys. The per-base counter persists across occurrences, which
+/// keeps the whole pass O(total labels): a suffix below the counter was
+/// already inserted into `used` (taken or probed), so no lower free
+/// suffix is ever skipped and the output matches the naive
+/// lowest-free-suffix scan.
 fn dedup_labels(policies: &[PolicySpec]) -> Vec<String> {
     let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut next_k: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
     policies
         .iter()
         .map(|p| {
             let base = p.label();
-            let mut label = base.clone();
-            let mut k = 1usize;
-            while !used.insert(label.clone()) {
-                k += 1;
-                label = format!("{base}#{k}");
+            if used.insert(base.clone()) {
+                return base;
             }
-            label
+            let k = next_k.entry(base.clone()).or_insert(1);
+            loop {
+                *k += 1;
+                let label = format!("{base}#{k}");
+                if used.insert(label.clone()) {
+                    return label;
+                }
+            }
         })
         .collect()
 }
@@ -525,21 +580,21 @@ pub fn run_episode_opts(
 }
 
 /// One fully prepared (scenario, policy, dropout) cell, shared read-only
-/// by all workers.
-struct CellJob<'a> {
-    scenario: &'a dyn Scenario,
-    instance: ScenarioInstance,
-    prepared: PreparedPolicy,
-    label: String,
+/// by all workers (and by the lockstep kernel in [`crate::kernel`]).
+pub(crate) struct CellJob<'a> {
+    pub(crate) scenario: &'a dyn Scenario,
+    pub(crate) instance: ScenarioInstance,
+    pub(crate) prepared: PreparedPolicy,
+    pub(crate) label: String,
     /// The cell's dropout variant and its canonical label (report key).
-    dropout: DropoutSpec,
-    dropout_label: String,
+    pub(crate) dropout: DropoutSpec,
+    pub(crate) dropout_label: String,
     /// The planned infrastructure fault for this cell, derived from the
     /// sweep's [`FaultPlan`] and the cell hash ([`CellFault::None`]
     /// without a plan).
-    fault: CellFault,
+    pub(crate) fault: CellFault,
     /// The cell's content address (see [`crate::spec::cell_hash`]).
-    hash: [u8; 32],
+    pub(crate) hash: [u8; 32],
 }
 
 /// The scheduling unit: one episode chunk of one cell.
@@ -595,6 +650,37 @@ impl CellMerge {
     }
 }
 
+/// Which episode-loop implementation a sweep runs.
+///
+/// Both produce byte-identical reports (see the `kernel` module's docs
+/// for why); the choice only trades wall-clock speed against the
+/// scalar loop's per-episode telemetry spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// The lockstep kernel, unless `OIC_EPISODE_KERNEL=scalar` is set in
+    /// the environment (the escape hatch for A/B timing and debugging).
+    #[default]
+    Auto,
+    /// Force the lockstep kernel.
+    Lockstep,
+    /// Force the scalar per-episode reference loop.
+    Scalar,
+}
+
+impl KernelChoice {
+    /// Resolves the effective choice (consults the environment once per
+    /// sweep, not per chunk).
+    fn lockstep(self) -> bool {
+        match self {
+            KernelChoice::Lockstep => true,
+            KernelChoice::Scalar => false,
+            KernelChoice::Auto => {
+                !matches!(std::env::var("OIC_EPISODE_KERNEL").as_deref(), Ok("scalar"))
+            }
+        }
+    }
+}
+
 /// Optional sweep behaviors layered over the plain batch run: scenario
 /// filtering, shard selection, the content-addressed cell cache, and a
 /// cell-completion callback.
@@ -633,6 +719,9 @@ pub struct SweepOptions<'a> {
     /// byte-reproducible at any thread count. Faulted cells bypass the
     /// cache and degrade to `Failed` report entries.
     pub faults: Option<&'a FaultPlan>,
+    /// Episode-loop implementation (lockstep kernel vs scalar reference
+    /// loop); both produce byte-identical reports.
+    pub kernel: KernelChoice,
 }
 
 /// The [`SweepOptions::on_cell`] completion callback: `(global cell
@@ -648,6 +737,7 @@ impl std::fmt::Debug for SweepOptions<'_> {
             .field("on_cell", &self.on_cell.is_some())
             .field("dropouts", &self.dropouts)
             .field("faults", &self.faults)
+            .field("kernel", &self.kernel)
             .finish()
     }
 }
@@ -916,6 +1006,7 @@ pub fn run_batch_opts(
         }
     }
 
+    let lockstep = opts.kernel.lockstep();
     let merges: Vec<Mutex<CellMerge>> = run.iter().map(|_| Mutex::new(CellMerge::new())).collect();
     // Per-cell failure slot: the lowest (chunk, episode) failure of the
     // cell. Every chunk always runs and stops at its *own* first
@@ -941,53 +1032,77 @@ pub fn run_batch_opts(
         let mut acc = CellAccumulator::new();
         let mut detail = Vec::with_capacity(if config.detail { end - start } else { 0 });
         let mut chunk_failure: Option<(usize, String)> = None;
-        for episode in start..end {
-            let _span = oic_obs::span("engine.episode", "engine");
-            let seed = episode_seed(config.seed, job.instance.name(), &job.label, episode);
-            let inject_panic = matches!(job.fault, CellFault::Panic { episode: e } if e == episode);
-            let nan_step = match job.fault {
-                CellFault::Nan { episode: e, step } if e == episode => Some(step),
-                _ => None,
-            };
-            // The unwind boundary is what turns a panicking episode —
-            // injected or genuine — into a Failed *cell* instead of an
-            // aborted process. Everything captured is either read-only
-            // or chunk-local, so observing it after an unwind is sound;
-            // a partially-updated chunk accumulator is discarded with
-            // the chunk anyway.
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                if inject_panic {
-                    panic!("injected fault: worker panic at episode {episode}");
-                }
-                run_episode_opts(
-                    &job.instance,
-                    job.scenario,
-                    &job.prepared,
-                    episode,
-                    config.steps,
-                    config.memory,
-                    seed,
-                    EpisodeFaults {
-                        dropout: Some(&job.dropout),
-                        nan_step,
-                    },
-                )
-            }));
-            match result {
-                Ok(Ok(record)) => {
-                    acc.push(&record);
-                    if config.detail {
-                        detail.push(record);
-                    }
-                }
-                Ok(Err(source)) => {
-                    chunk_failure = Some((episode, source.to_string()));
-                    break;
+        if lockstep {
+            // The lockstep kernel replays the whole chunk behind one
+            // unwind boundary; `marker` carries the episode being
+            // computed so a panic — injected or genuine — degrades to
+            // the same Failed-cell bytes the scalar loop produces.
+            let marker = std::cell::Cell::new(start);
+            match catch_unwind(AssertUnwindSafe(|| {
+                crate::kernel::run_chunk(job, config, start, end, &marker)
+            })) {
+                Ok(output) => {
+                    acc = output.acc;
+                    detail = output.detail;
+                    chunk_failure = output.failure;
                 }
                 Err(payload) => {
-                    chunk_failure =
-                        Some((episode, format!("panicked: {}", panic_message(&*payload))));
-                    break;
+                    chunk_failure = Some((
+                        marker.get(),
+                        format!("panicked: {}", panic_message(&*payload)),
+                    ));
+                }
+            }
+        } else {
+            for episode in start..end {
+                let _span = oic_obs::span("engine.episode", "engine");
+                let seed = episode_seed(config.seed, job.instance.name(), &job.label, episode);
+                let inject_panic =
+                    matches!(job.fault, CellFault::Panic { episode: e } if e == episode);
+                let nan_step = match job.fault {
+                    CellFault::Nan { episode: e, step } if e == episode => Some(step),
+                    _ => None,
+                };
+                // The unwind boundary is what turns a panicking episode —
+                // injected or genuine — into a Failed *cell* instead of an
+                // aborted process. Everything captured is either read-only
+                // or chunk-local, so observing it after an unwind is sound;
+                // a partially-updated chunk accumulator is discarded with
+                // the chunk anyway.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if inject_panic {
+                        panic!("injected fault: worker panic at episode {episode}");
+                    }
+                    run_episode_opts(
+                        &job.instance,
+                        job.scenario,
+                        &job.prepared,
+                        episode,
+                        config.steps,
+                        config.memory,
+                        seed,
+                        EpisodeFaults {
+                            dropout: Some(&job.dropout),
+                            nan_step,
+                        },
+                    )
+                }));
+                match result {
+                    Ok(Ok(record)) => {
+                        acc.push(&record);
+                        if config.detail {
+                            detail.push(record);
+                        }
+                    }
+                    Ok(Err(source)) => {
+                        chunk_failure = Some((episode, source.to_string()));
+                        break;
+                    }
+                    Err(payload) => {
+                        chunk_failure =
+                            Some((episode, format!("panicked: {}", panic_message(&*payload))));
+                        break;
+                    }
                 }
             }
         }
@@ -1378,6 +1493,50 @@ mod tests {
         // The suffixed copies hash to different episode seeds, so the
         // cells are genuinely independent samples.
         assert_ne!(report.cells[0].mean_skip_rate, 0.0);
+    }
+
+    #[test]
+    fn invalid_spec_errors_before_labels_are_suffixed() {
+        // Roster validation must run before label de-duplication: a bad
+        // spec sandwiched between duplicates fails the sweep instead of
+        // being laundered behind a fresh `#k` report key.
+        let registry = tiny_registry();
+        let policies = [
+            PolicySpec::Random(0.3),
+            PolicySpec::Random(1.5),
+            PolicySpec::Random(0.3),
+        ];
+        let config = BatchConfig {
+            episodes: 2,
+            steps: 5,
+            ..Default::default()
+        };
+        let err = run_batch(&registry, &policies, &config).unwrap_err();
+        assert!(
+            matches!(err, EngineError::InvalidConfig(_)),
+            "expected InvalidConfig, got {err}"
+        );
+    }
+
+    #[test]
+    fn explicit_suffix_labels_probe_past_collisions() {
+        // A roster whose *explicit* labels already contain `#k` must not
+        // collide with generated suffixes: the per-base counter probes
+        // past taken suffixes exactly like the naive lowest-free scan.
+        let registry = tiny_registry();
+        let policies = [
+            PolicySpec::drl("t", test_blob(&[4, 8, 2], 1)),
+            PolicySpec::drl("t#2", test_blob(&[4, 8, 2], 2)),
+            PolicySpec::drl("t", test_blob(&[4, 8, 2], 3)),
+        ];
+        let config = BatchConfig {
+            episodes: 2,
+            steps: 5,
+            ..Default::default()
+        };
+        let report = run_batch(&registry, &policies, &config).unwrap();
+        let keys: Vec<&str> = report.cells.iter().map(|c| c.policy.as_str()).collect();
+        assert_eq!(keys, ["drl-t", "drl-t#2", "drl-t#3"]);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Lockstep episode kernel ⇔ scalar reference loop equivalence.
+//!
+//! The lockstep kernel's whole contract is that it changes *when* work
+//! happens, never *what* is computed: per-episode RNG streams, dropout
+//! draws, and every floating-point operation execute in exactly the
+//! scalar order, so the JSON report — aggregates and per-episode detail
+//! alike — must be **byte-identical** under either kernel, at any
+//! thread count. These tests pin that contract end to end through the
+//! public API, across state dimensions 2–4 (monomorphized kernels) and
+//! the dynamic-dimension fallback inputs, with and without actuation
+//! dropouts, and with learned (DRL) and tube-MPC cells in the roster.
+
+use oic_engine::{
+    run_batch_opts, BatchConfig, DropoutSpec, KernelChoice, PolicySpec, SweepOptions,
+};
+use oic_scenarios::{
+    AccScenario, CstrScenario, DoubleIntegratorScenario, ScenarioRegistry, TwoMassSpringScenario,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sweep rendered to its canonical JSON bytes.
+fn sweep_json(
+    registry: &ScenarioRegistry,
+    policies: &[PolicySpec],
+    config: &BatchConfig,
+    dropouts: &[DropoutSpec],
+    kernel: KernelChoice,
+) -> String {
+    let opts = SweepOptions {
+        dropouts: Some(dropouts),
+        kernel,
+        ..Default::default()
+    };
+    let (report, _) = run_batch_opts(registry, policies, config, &opts).expect("sweep runs");
+    report.to_json(true).to_json()
+}
+
+fn test_blob(sizes: &[usize], seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    oic_nn::Mlp::new(sizes, oic_nn::Activation::Relu, &mut rng)
+        .to_bytes()
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Reports are byte-identical between kernels across state dims 2–4,
+    /// thread counts {1, 8}, and dropout axes {none, mk-1-4}.
+    #[test]
+    fn lockstep_matches_scalar_bytes(
+        scenario_ix in 0..3usize,
+        threads_ix in 0..2usize,
+        with_dropout in 0..2usize,
+        seed in 0..1_000u64,
+    ) {
+        let mut registry = ScenarioRegistry::new();
+        match scenario_ix {
+            0 => registry.register(Box::new(DoubleIntegratorScenario)), // n = 2
+            1 => registry.register(Box::new(CstrScenario::default())),  // n = 3
+            _ => registry.register(Box::new(TwoMassSpringScenario::default())), // n = 4
+        }
+        let policies = [
+            PolicySpec::BangBang,
+            PolicySpec::Random(0.3),
+            PolicySpec::MaxSkip(2),
+        ];
+        let config = BatchConfig {
+            episodes: 10,
+            steps: 30,
+            threads: [1, 8][threads_ix],
+            chunk: 3,
+            seed,
+            detail: true,
+            ..Default::default()
+        };
+        let dropouts: &[DropoutSpec] = if with_dropout == 1 {
+            &[DropoutSpec::None, DropoutSpec::WeaklyHard { m: 1, k: 4 }]
+        } else {
+            &[DropoutSpec::None]
+        };
+        let lockstep =
+            sweep_json(&registry, &policies, &config, dropouts, KernelChoice::Lockstep);
+        let scalar = sweep_json(&registry, &policies, &config, dropouts, KernelChoice::Scalar);
+        prop_assert_eq!(lockstep, scalar);
+    }
+}
+
+/// A roster mixing tube-MPC actuation (acc) with a learned skipping
+/// policy exercises the kernel's LP-solver and batched-MLP paths; the
+/// bytes must still match the scalar loop at both thread counts.
+#[test]
+fn mpc_and_drl_roster_is_kernel_invariant() {
+    let mut registry = ScenarioRegistry::new();
+    registry.register(Box::new(AccScenario::default()));
+    registry.register(Box::new(DoubleIntegratorScenario));
+    // 2 states + one 2-dim disturbance-history slot → 4 network inputs.
+    let policies = [
+        PolicySpec::AlwaysRun,
+        PolicySpec::drl("test", test_blob(&[4, 8, 2], 7)),
+        PolicySpec::Periodic(4),
+    ];
+    for threads in [1, 8] {
+        let config = BatchConfig {
+            episodes: 6,
+            steps: 25,
+            threads,
+            chunk: 2,
+            detail: true,
+            ..Default::default()
+        };
+        let lockstep = sweep_json(
+            &registry,
+            &policies,
+            &config,
+            &[DropoutSpec::None],
+            KernelChoice::Lockstep,
+        );
+        let scalar = sweep_json(
+            &registry,
+            &policies,
+            &config,
+            &[DropoutSpec::None],
+            KernelChoice::Scalar,
+        );
+        assert_eq!(lockstep, scalar, "threads = {threads}");
+    }
+}

@@ -39,6 +39,6 @@ mod optimizer;
 mod serialize;
 
 pub use loss::{huber_loss, mse_loss};
-pub use mlp::{Activation, ForwardCache, Gradients, Mlp};
+pub use mlp::{Activation, ForwardCache, Gradients, Mlp, MlpScratch};
 pub use optimizer::Adam;
 pub use serialize::DecodeWeightsError;

@@ -108,6 +108,22 @@ impl Gradients {
     }
 }
 
+/// Reusable ping-pong activation buffers for allocation-free inference
+/// ([`Mlp::forward_batch`]). One scratch serves any batch size and any
+/// architecture; buffers grow to the high-water mark and stay there.
+#[derive(Debug, Default, Clone)]
+pub struct MlpScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl MlpScratch {
+    /// An empty scratch (buffers allocate lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Intermediate activations of one forward pass, needed for backprop.
 #[derive(Debug, Clone)]
 pub struct ForwardCache {
@@ -204,6 +220,54 @@ impl Mlp {
             .post
             .pop()
             .expect("at least one layer")
+    }
+
+    /// Forward pass over a batch of `batch` inputs packed row-major into
+    /// `inputs` (`batch × input_dim`), writing `batch × output_dim` rows
+    /// into `out`. Allocation-free once `scratch` has warmed up.
+    ///
+    /// Per-sample arithmetic is **bitwise identical** to
+    /// [`forward`](Self::forward): each output accumulates
+    /// `bias + Σ wᵢ·xᵢ` in index order, exactly as the scalar path does,
+    /// so batching episodes never changes a single output bit. The batch
+    /// engine's lockstep kernel relies on this for its byte-identical
+    /// report contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != batch * input_dim`.
+    pub fn forward_batch(
+        &self,
+        inputs: &[f64],
+        batch: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut MlpScratch,
+    ) {
+        let in_dim = self.input_dim();
+        assert_eq!(inputs.len(), batch * in_dim, "batch input length mismatch");
+        let (cur, next) = (&mut scratch.a, &mut scratch.b);
+        cur.clear();
+        cur.extend_from_slice(inputs);
+        let mut cur_dim = in_dim;
+        for layer in &self.layers {
+            next.clear();
+            next.reserve(batch * layer.out_dim);
+            for s in 0..batch {
+                let x = &cur[s * cur_dim..(s + 1) * cur_dim];
+                for o in 0..layer.out_dim {
+                    let row = &layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
+                    let mut acc = layer.biases[o];
+                    for (w, xv) in row.iter().zip(x) {
+                        acc += w * xv;
+                    }
+                    next.push(layer.activation.apply(acc));
+                }
+            }
+            std::mem::swap(cur, next);
+            cur_dim = layer.out_dim;
+        }
+        out.clear();
+        out.extend_from_slice(cur);
     }
 
     /// Forward pass retaining intermediate activations for
@@ -506,5 +570,44 @@ mod tests {
         let a = tiny_net(99);
         let b = tiny_net(99);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_batch_is_bitwise_identical_to_forward() {
+        for (seed, act) in [(7, Activation::Relu), (8, Activation::Tanh)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = Mlp::new(&[3, 7, 4, 2], act, &mut rng);
+            let batch = 5usize;
+            let mut inputs = Vec::with_capacity(batch * 3);
+            for s in 0..batch {
+                for d in 0..3 {
+                    inputs.push(0.37 * s as f64 - 0.11 * d as f64 + 0.01);
+                }
+            }
+            let mut scratch = MlpScratch::new();
+            let mut out = vec![f64::NAN; 1]; // stale contents must be cleared
+            net.forward_batch(&inputs, batch, &mut out, &mut scratch);
+            assert_eq!(out.len(), batch * 2);
+            for s in 0..batch {
+                let single = net.forward(&inputs[s * 3..(s + 1) * 3]);
+                assert_eq!(
+                    &out[s * 2..(s + 1) * 2],
+                    single.as_slice(),
+                    "seed {seed} sample {s} must match bit-for-bit"
+                );
+            }
+            // Scratch reuse across calls (and batch sizes) stays exact.
+            net.forward_batch(&inputs[..3], 1, &mut out, &mut scratch);
+            assert_eq!(out, net.forward(&inputs[..3]));
+        }
+    }
+
+    #[test]
+    fn forward_batch_empty_batch_is_empty() {
+        let net = tiny_net(2);
+        let mut scratch = MlpScratch::new();
+        let mut out = vec![1.0];
+        net.forward_batch(&[], 0, &mut out, &mut scratch);
+        assert!(out.is_empty());
     }
 }

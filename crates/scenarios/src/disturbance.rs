@@ -40,18 +40,23 @@ impl UniformBox {
 }
 
 impl DisturbanceProcess for UniformBox {
-    fn next(&mut self, _t: usize) -> Vec<f64> {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| {
-                if h > l {
-                    self.rng.gen_range(*l..=*h)
-                } else {
-                    *l
-                }
-            })
-            .collect()
+    fn next(&mut self, t: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.lo.len()];
+        self.next_into(t, &mut w);
+        w
+    }
+
+    // Allocation-free override for the lockstep kernel; draw order (one
+    // uniform per non-degenerate axis, in axis order) matches `next`.
+    fn next_into(&mut self, _t: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.lo.len(), "disturbance dimension mismatch");
+        for (o, (l, h)) in out.iter_mut().zip(self.lo.iter().zip(&self.hi)) {
+            *o = if h > l {
+                self.rng.gen_range(*l..=*h)
+            } else {
+                *l
+            };
+        }
     }
 }
 
@@ -87,14 +92,23 @@ impl BoundedWalk {
 }
 
 impl DisturbanceProcess for BoundedWalk {
-    fn next(&mut self, _t: usize) -> Vec<f64> {
+    fn next(&mut self, t: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.lo.len()];
+        self.next_into(t, &mut w);
+        w
+    }
+
+    // Allocation-free override; one increment draw per axis with a
+    // positive step, in axis order — exactly as `next` always drew.
+    fn next_into(&mut self, _t: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.lo.len(), "disturbance dimension mismatch");
         for (i, s) in self.step.iter().enumerate() {
             if *s > 0.0 {
                 self.current[i] += self.rng.gen_range(-*s..=*s);
             }
         }
         clamp_to_box(&mut self.current, &self.lo, &self.hi);
-        self.current.clone()
+        out.copy_from_slice(&self.current);
     }
 }
 
@@ -160,24 +174,27 @@ impl SinusoidBox {
 
 impl DisturbanceProcess for SinusoidBox {
     fn next(&mut self, t: usize) -> Vec<f64> {
-        let wave = (self.phase + self.omega * t as f64).sin();
-        let mut w: Vec<f64> = self
-            .lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| {
-                let center = 0.5 * (l + h);
-                let half = 0.5 * (h - l);
-                let jitter = if self.jitter_fraction > 0.0 && half > 0.0 {
-                    self.rng.gen_range(-1.0..=1.0) * self.jitter_fraction * half
-                } else {
-                    0.0
-                };
-                center + self.amplitude_fraction * half * wave + jitter
-            })
-            .collect();
-        clamp_to_box(&mut w, &self.lo, &self.hi);
+        let mut w = vec![0.0; self.lo.len()];
+        self.next_into(t, &mut w);
         w
+    }
+
+    // Allocation-free override; one jitter draw per non-degenerate axis
+    // (when jitter is enabled), in axis order — matching `next`.
+    fn next_into(&mut self, t: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.lo.len(), "disturbance dimension mismatch");
+        let wave = (self.phase + self.omega * t as f64).sin();
+        for (o, (l, h)) in out.iter_mut().zip(self.lo.iter().zip(&self.hi)) {
+            let center = 0.5 * (l + h);
+            let half = 0.5 * (h - l);
+            let jitter = if self.jitter_fraction > 0.0 && half > 0.0 {
+                self.rng.gen_range(-1.0..=1.0) * self.jitter_fraction * half
+            } else {
+                0.0
+            };
+            *o = center + self.amplitude_fraction * half * wave + jitter;
+        }
+        clamp_to_box(out, &self.lo, &self.hi);
     }
 }
 
@@ -224,24 +241,28 @@ impl SteppedLevels {
 }
 
 impl DisturbanceProcess for SteppedLevels {
-    fn next(&mut self, _t: usize) -> Vec<f64> {
+    fn next(&mut self, t: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.lo.len()];
+        self.next_into(t, &mut w);
+        w
+    }
+
+    // Allocation-free override; on a jump it redraws every level in axis
+    // order, then the dwell — the same draw sequence `next` used.
+    fn next_into(&mut self, _t: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.lo.len(), "disturbance dimension mismatch");
         if self.dwell_left == 0 {
-            self.current = self
-                .lo
-                .iter()
-                .zip(&self.hi)
-                .map(|(l, h)| {
-                    if h > l {
-                        self.rng.gen_range(*l..=*h)
-                    } else {
-                        *l
-                    }
-                })
-                .collect();
+            for (i, (l, h)) in self.lo.iter().zip(&self.hi).enumerate() {
+                self.current[i] = if h > l {
+                    self.rng.gen_range(*l..=*h)
+                } else {
+                    *l
+                };
+            }
             self.dwell_left = self.rng.gen_range(self.dwell_range.0..=self.dwell_range.1);
         }
         self.dwell_left -= 1;
-        self.current.clone()
+        out.copy_from_slice(&self.current);
     }
 }
 
@@ -283,6 +304,52 @@ mod tests {
         let mut b = SteppedLevels::new(lo, hi, (2, 6), 9);
         for t in 0..100 {
             assert_eq!(a.next(t), b.next(t));
+        }
+    }
+
+    #[test]
+    fn next_into_matches_next_draw_for_draw() {
+        // Two same-seeded copies of each process, one driven through
+        // `next` and one through `next_into`, must emit identical
+        // sequences — the lockstep kernel's byte-identity depends on the
+        // override consuming the RNG in exactly the same order.
+        let lo = vec![-0.5, -0.1];
+        let hi = vec![0.5, 0.3];
+        let mk: Vec<(Box<dyn DisturbanceProcess>, Box<dyn DisturbanceProcess>)> = vec![
+            (
+                Box::new(UniformBox::new(lo.clone(), hi.clone(), 11)),
+                Box::new(UniformBox::new(lo.clone(), hi.clone(), 11)),
+            ),
+            (
+                Box::new(BoundedWalk::new(
+                    lo.clone(),
+                    hi.clone(),
+                    vec![0.2, 0.05],
+                    12,
+                )),
+                Box::new(BoundedWalk::new(
+                    lo.clone(),
+                    hi.clone(),
+                    vec![0.2, 0.05],
+                    12,
+                )),
+            ),
+            (
+                Box::new(SinusoidBox::new(lo.clone(), hi.clone(), 30, 0.7, 0.2, 13)),
+                Box::new(SinusoidBox::new(lo.clone(), hi.clone(), 30, 0.7, 0.2, 13)),
+            ),
+            (
+                Box::new(SteppedLevels::new(lo.clone(), hi.clone(), (2, 5), 14)),
+                Box::new(SteppedLevels::new(lo.clone(), hi.clone(), (2, 5), 14)),
+            ),
+        ];
+        for (mut scalar, mut buffered) in mk {
+            let mut buf = vec![0.0; lo.len()];
+            for t in 0..200 {
+                let want = scalar.next(t);
+                buffered.next_into(t, &mut buf);
+                assert_eq!(buf, want, "step {t} diverged");
+            }
         }
     }
 

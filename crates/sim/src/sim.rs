@@ -5,7 +5,7 @@ use crate::fuel::{FuelContext, FuelModel};
 use crate::AccParams;
 
 /// One recorded simulation step.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepRecord {
     /// Step index (time is `t·δ`).
     pub t: usize,
@@ -176,19 +176,27 @@ impl TrafficSim {
         self.s = s_next;
         self.v = v_next;
         self.t += 1;
-        self.trace.push(record.clone());
+        self.trace.push(record);
         record
+    }
+
+    /// Pre-sizes the trace buffer for a run of `steps` steps, so the
+    /// episode hot loop never reallocates mid-run.
+    pub fn reserve_trace(&mut self, steps: usize) {
+        self.trace.reserve(steps);
     }
 
     /// Renders the trace as CSV (header plus one row per step) for external
     /// plotting.
     pub fn trace_csv(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::from("t,s,v,vf,u,fuel,skipped\n");
         for r in &self.trace {
-            out.push_str(&format!(
-                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
+            let _ = writeln!(
+                out,
+                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{}",
                 r.t, r.s, r.v, r.vf, r.u, r.fuel, r.skipped as u8
-            ));
+            );
         }
         out
     }
